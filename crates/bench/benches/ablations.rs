@@ -1,0 +1,158 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs the same streaming session with one mechanism
+//! changed and reports (a) the wall time of the simulation via Criterion
+//! and (b) the resulting video-quality metrics, printed once before the
+//! timing loop, so the bench output doubles as the ablation's results
+//! table:
+//!
+//! * SureStream ladder vs. single-rate encoding (design decision 4);
+//! * FEC parity on vs. off (the paper's error-correction packets);
+//! * prebuffer depth sweep (design decision 5, Figure 1 / Figure 20);
+//! * TFRC rate control vs. an unresponsive constant-rate sender
+//!   (design decision 3, the Figure 18 mechanism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rv_bench::session_world;
+use rv_media::{Clip, ContentKind, SureStream};
+use rv_net::{CongestionParams, LinkParams};
+use rv_server::TfrcConfig;
+use rv_sim::{SimDuration, SimTime};
+use rv_tracer::SessionMetrics;
+
+fn congested_path() -> LinkParams {
+    LinkParams::lan()
+        .rate(350_000.0)
+        .delay(SimDuration::from_millis(60))
+        .queue(48 * 1024)
+        .loss(0.005)
+        .cross_traffic(CongestionParams::moderate(), 0.04)
+}
+
+fn report(tag: &str, m: &SessionMetrics) {
+    println!(
+        "[ablation] {tag}: fps={:.1} jitter={}ms bw={:.0}kbps lost={} rebuffers={}",
+        m.frame_rate,
+        m.jitter_ms.map_or("-".into(), |j| format!("{j:.0}")),
+        m.bandwidth_kbps,
+        m.packets_lost,
+        m.rebuffer_events,
+    );
+}
+
+fn bench_surestream_vs_single(c: &mut Criterion) {
+    let adaptive = Clip::new("a.rm", SimDuration::from_secs(300), ContentKind::News);
+    let single = Clip::with_ladder(
+        "s.rm",
+        SimDuration::from_secs(300),
+        ContentKind::News,
+        SureStream::single(300_000),
+    );
+    let run = |clip: &Clip| {
+        session_world(congested_path(), clip.clone(), 0xAB1, |cl, _| {
+            cl.max_bandwidth_bps = 384_000;
+        })
+        .run(SimTime::from_secs(200))
+    };
+    report("surestream", &run(&adaptive));
+    report("single-rate", &run(&single));
+
+    let mut g = c.benchmark_group("ablation_ladder");
+    g.sample_size(10);
+    g.bench_function("surestream", |b| b.iter(|| std::hint::black_box(run(&adaptive))));
+    g.bench_function("single_rate", |b| b.iter(|| std::hint::black_box(run(&single))));
+    g.finish();
+}
+
+fn bench_fec(c: &mut Criterion) {
+    let lossy = LinkParams::lan()
+        .rate(400_000.0)
+        .delay(SimDuration::from_millis(40))
+        .loss(0.02)
+        .queue(64 * 1024);
+    let clip = Clip::new("f.rm", SimDuration::from_secs(300), ContentKind::News);
+    let run = |group: usize| {
+        session_world(lossy, clip.clone(), 0xAB2, |_, s| {
+            s.fec_group = group;
+        })
+        .run(SimTime::from_secs(200))
+    };
+    report("fec_on(group=8)", &run(8));
+    report("fec_off", &run(0));
+
+    let mut g = c.benchmark_group("ablation_fec");
+    g.sample_size(10);
+    g.bench_function("on", |b| b.iter(|| std::hint::black_box(run(8))));
+    g.bench_function("off", |b| b.iter(|| std::hint::black_box(run(0))));
+    g.finish();
+}
+
+fn bench_prebuffer_sweep(c: &mut Criterion) {
+    let path = LinkParams::lan()
+        .rate(500_000.0)
+        .delay(SimDuration::from_millis(60))
+        .queue(256 * 1024)
+        .cross_traffic(CongestionParams::heavy(), 0.0);
+    let clip = Clip::new("p.rm", SimDuration::from_secs(300), ContentKind::News);
+    let run = |prebuffer_s: u64| {
+        session_world(path, clip.clone(), 0xAB3, |cl, s| {
+            cl.playout.prebuffer = SimDuration::from_secs(prebuffer_s);
+            s.buffer_lead = SimDuration::from_secs(prebuffer_s + 5);
+            cl.max_bandwidth_bps = 300_000;
+        })
+        .run(SimTime::from_secs(200))
+    };
+    let mut g = c.benchmark_group("ablation_prebuffer");
+    g.sample_size(10);
+    for secs in [1u64, 4, 8, 16] {
+        report(&format!("prebuffer_{secs}s"), &run(secs));
+        g.bench_function(format!("{secs}s"), |b| {
+            b.iter(|| std::hint::black_box(run(secs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rate_control(c: &mut Criterion) {
+    let clip = Clip::new("r.rm", SimDuration::from_secs(300), ContentKind::News);
+    // Responsive: defaults. Unresponsive: the controller is pinned to
+    // 350 kbps regardless of feedback — what the paper's Section I worries
+    // streaming video might do to the Internet.
+    let responsive = |()| {
+        session_world(congested_path(), clip.clone(), 0xAB4, |cl, _| {
+            cl.max_bandwidth_bps = 384_000;
+        })
+        .run(SimTime::from_secs(200))
+    };
+    let unresponsive = |()| {
+        session_world(congested_path(), clip.clone(), 0xAB4, |cl, s| {
+            cl.max_bandwidth_bps = 384_000;
+            s.tfrc = TfrcConfig {
+                min_rate_bps: 350_000.0,
+                max_rate_bps: 350_000.0,
+                ..TfrcConfig::default()
+            };
+        })
+        .run(SimTime::from_secs(200))
+    };
+    report("tfrc_responsive", &responsive(()));
+    report("unresponsive_350k", &unresponsive(()));
+
+    let mut g = c.benchmark_group("ablation_ratecontrol");
+    g.sample_size(10);
+    g.bench_function("tfrc", |b| b.iter(|| std::hint::black_box(responsive(()))));
+    g.bench_function("unresponsive", |b| {
+        b.iter(|| std::hint::black_box(unresponsive(())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_surestream_vs_single,
+    bench_fec,
+    bench_prebuffer_sweep,
+    bench_rate_control
+);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Component micro-benchmarks: the building blocks every session exercises
+//! thousands of times — protocol codecs, packetization, frame-schedule
+//! generation, the statistics kernel, TCP bulk transfer, and packet
+//! forwarding through the simulated network.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use rv_media::{packetize_frame, Clip, ContentKind, Frame, FrameSchedule, StreamDepacketizer};
+use rv_net::{Addr, HostId, LinkParams, NetBuilder, Packet};
+use rv_rtsp::{Decoder, Message, Method};
+use rv_sim::{SimDuration, SimRng, SimTime};
+use rv_stats::Cdf;
+use rv_transport::{Segment, Stack, TcpConfig};
+
+fn bench_rtsp_codec(c: &mut Criterion) {
+    let msg = Message::request(Method::Setup, "rtsp://server/clip.rm")
+        .with_header("CSeq", "2")
+        .with_header("Transport", "x-real-rdt/udp;client_port=5002")
+        .with_header("Bandwidth", "384000");
+    let wire = msg.encode();
+    let mut g = c.benchmark_group("rtsp");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| std::hint::black_box(msg.encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            dec.feed(&wire);
+            std::hint::black_box(dec.next_message().unwrap().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_media_pipeline(c: &mut Criterion) {
+    let frame = Frame {
+        index: 42,
+        pts: SimDuration::from_millis(2_800),
+        size: 4_200,
+        key: false,
+    };
+    let pkts = packetize_frame(&frame, 3, 7);
+    let wire: Vec<u8> = pkts.iter().flat_map(|p| p.encode()).collect();
+
+    let mut g = c.benchmark_group("media");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("packetize_frame", |b| {
+        b.iter(|| std::hint::black_box(packetize_frame(&frame, 3, 7)))
+    });
+    g.bench_function("depacketize_stream", |b| {
+        b.iter(|| {
+            let mut d = StreamDepacketizer::new();
+            d.feed(&wire);
+            let mut n = 0;
+            while d.next_packet().is_some() {
+                n += 1;
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+
+    c.bench_function("frame_schedule_60s", |b| {
+        let clip = Clip::new("x.rm", SimDuration::from_secs(60), ContentKind::Sports);
+        let enc = &clip.ladder.rungs()[4];
+        b.iter(|| {
+            std::hint::black_box(FrameSchedule::generate(
+                enc,
+                ContentKind::Sports,
+                SimDuration::from_secs(60),
+                99,
+            ))
+        })
+    });
+
+    c.bench_function("clip_describe_roundtrip", |b| {
+        let clip = Clip::new("x.rm", SimDuration::from_secs(300), ContentKind::News);
+        b.iter(|| {
+            let body = clip.describe();
+            std::hint::black_box(Clip::parse_description("x.rm", &body).unwrap())
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let samples: Vec<f64> = (0..10_000).map(|_| rng.range(0.0..30.0)).collect();
+    c.bench_function("cdf_build_10k", |b| {
+        b.iter(|| std::hint::black_box(Cdf::from_samples(&samples).unwrap()))
+    });
+    let cdf = Cdf::from_samples(&samples).unwrap();
+    c.bench_function("cdf_series_on_grid", |b| {
+        b.iter(|| std::hint::black_box(cdf.series_on_grid(0.0, 30.0, 56)))
+    });
+}
+
+/// Bulk TCP transfer between two stacks over a 10 Mbps link: measures the
+/// whole transport + network stack in motion.
+fn bench_tcp_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_bulk_256KiB");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(256 * 1024));
+    g.bench_function("clean_10mbps", |b| {
+        b.iter(|| {
+            let mut bld = NetBuilder::new();
+            let cn = bld.host();
+            let sn = bld.host();
+            bld.duplex(
+                cn,
+                sn,
+                LinkParams::lan()
+                    .rate(10_000_000.0)
+                    .delay(SimDuration::from_millis(10)),
+            );
+            let mut rng = SimRng::seed_from_u64(5);
+            let mut net = bld.build_with_payload::<Segment>(&mut rng);
+            let mut cs = Stack::new(HostId(0));
+            let mut ss = Stack::new(HostId(1));
+            let ch = cs.tcp_socket(1000, TcpConfig::default());
+            let sh = ss.tcp_socket(80, TcpConfig::default());
+            ss.tcp(sh).listen();
+            cs.tcp(ch).connect(Addr::new(HostId(1), 80), SimTime::ZERO);
+            let payload = vec![7u8; 256 * 1024];
+            let mut sent = 0;
+            let mut received = 0usize;
+            let mut now = SimTime::ZERO;
+            while received < payload.len() && now < SimTime::from_secs(30) {
+                sent += cs.tcp(ch).send(&payload[sent..]);
+                net.poll(now);
+                cs.poll(now, &mut net);
+                ss.poll(now, &mut net);
+                received += ss.tcp(sh).recv(usize::MAX).len();
+                now = rv_sim::earliest([
+                    net.next_wake(),
+                    cs.next_wake(),
+                    ss.next_wake(),
+                ])
+                .unwrap_or(now + SimDuration::from_millis(1))
+                .max(now + SimDuration::from_micros(100));
+            }
+            assert_eq!(received, payload.len());
+            std::hint::black_box(received)
+        })
+    });
+    g.finish();
+}
+
+/// Raw packet forwarding through a three-hop route.
+fn bench_network_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("forward_1k_packets_3hops", |b| {
+        b.iter(|| {
+            let mut bld = NetBuilder::new();
+            let a = bld.host();
+            let z = bld.host();
+            let r1 = bld.router();
+            let r2 = bld.router();
+            let fast = LinkParams::lan().rate(1e9).delay(SimDuration::from_millis(1));
+            bld.duplex(a, r1, fast);
+            bld.duplex(r1, r2, fast);
+            bld.duplex(r2, z, fast);
+            let mut rng = SimRng::seed_from_u64(3);
+            let mut net = bld.build_with_payload::<u32>(&mut rng);
+            for i in 0..1_000u32 {
+                net.send(
+                    SimTime::from_micros(u64::from(i)),
+                    Packet::new(Addr::new(HostId(0), 1), Addr::new(HostId(1), 1), 1000, i),
+                );
+                net.poll(SimTime::from_micros(u64::from(i)));
+            }
+            net.poll(SimTime::from_secs(10));
+            let mut delivered = 0;
+            while net.recv(HostId(1)).is_some() {
+                delivered += 1;
+            }
+            std::hint::black_box(delivered)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtsp_codec,
+    bench_media_pipeline,
+    bench_stats,
+    bench_tcp_bulk,
+    bench_network_forwarding
+);
+criterion_main!(benches);

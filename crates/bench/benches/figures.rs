@@ -1,0 +1,46 @@
+//! Figure-regeneration benchmarks: one Criterion benchmark per paper
+//! figure (the generator running over a prebuilt campaign), plus the
+//! campaign itself at reduced scale. These are the timings behind
+//! "how long does it take to reproduce Figure N".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use realvideo_core::{figure, FIGURE_IDS};
+use rv_study::{run_campaign, StudyParams};
+
+fn campaign_params(scale: f64) -> StudyParams {
+    StudyParams {
+        scale,
+        ..StudyParams::default()
+    }
+}
+
+/// The campaign itself: the expensive part of any figure.
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("scale_0.01", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(campaign_params(0.01))))
+    });
+    g.bench_function("scale_0.03", |b| {
+        b.iter(|| std::hint::black_box(run_campaign(campaign_params(0.03))))
+    });
+    g.finish();
+}
+
+/// Every figure generator over one shared campaign. Figure 1 re-simulates
+/// its own session and dominates; the analysis-only figures are cheap.
+fn bench_figures(c: &mut Criterion) {
+    let data = run_campaign(campaign_params(0.03));
+    let mut g = c.benchmark_group("figure");
+    g.sample_size(10);
+    for id in FIGURE_IDS {
+        g.bench_function(id, |b| {
+            b.iter(|| std::hint::black_box(figure(id, &data).expect("known id")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # rv-bench — benchmark harness support
+//!
+//! Re-exports the canonical two-host world builder used by the Criterion
+//! benches (`benches/figures.rs`, `benches/components.rs`,
+//! `benches/ablations.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rv_tracer::two_host_world as session_world;

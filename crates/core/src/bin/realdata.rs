@@ -1,0 +1,100 @@
+//! RealData: explore campaign records — the analysis companion the paper's
+//! Notes section describes.
+//!
+//! ```text
+//! realdata summary [--scale S] [--seed N]    # campaign-wide statistics
+//! realdata by <dimension> [--scale S]        # group summary table
+//! realdata csv [--scale S]                   # per-session CSV export
+//! realdata dimensions                        # list group-by dimensions
+//! ```
+
+use realvideo_core::analysis::{csv_header, csv_row, render_summaries, summarize_by, GroupBy};
+use rv_study::{run_campaign, StudyParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = StudyParams {
+        scale: 0.2,
+        ..StudyParams::default()
+    };
+    let mut command: Option<String> = None;
+    let mut dimension: Option<GroupBy> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                params.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s| *s > 0.0 && *s <= 1.0)
+                    .unwrap_or_else(|| die("--scale wants a number in (0, 1]"));
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed wants an integer"));
+            }
+            "dimensions" => {
+                for g in GroupBy::ALL {
+                    println!("{}", g.name());
+                }
+                return;
+            }
+            cmd @ ("summary" | "by" | "csv") if command.is_none() => {
+                command = Some(cmd.to_string());
+                if cmd == "by" {
+                    i += 1;
+                    let name = args
+                        .get(i)
+                        .unwrap_or_else(|| die("`by` wants a dimension; see `realdata dimensions`"));
+                    dimension = Some(
+                        GroupBy::parse(name)
+                            .unwrap_or_else(|| die(&format!("unknown dimension {name:?}"))),
+                    );
+                }
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(command) = command else {
+        die("usage: realdata <summary|by <dim>|csv|dimensions> [--scale S] [--seed N]");
+    };
+
+    eprintln!("running campaign: seed={} scale={}...", params.seed, params.scale);
+    let data = run_campaign(params);
+    eprintln!(
+        "{} sessions, {} played, {} rated\n",
+        data.records.len(),
+        data.played().count(),
+        data.rated().count()
+    );
+
+    match command.as_str() {
+        "summary" => {
+            for dim in [GroupBy::Connection, GroupBy::Protocol, GroupBy::UserRegion] {
+                println!("{}", render_summaries(dim, &summarize_by(&data, dim)));
+                println!();
+            }
+        }
+        "by" => {
+            let dim = dimension.expect("parsed with `by`");
+            println!("{}", render_summaries(dim, &summarize_by(&data, dim)));
+        }
+        "csv" => {
+            println!("{}", csv_header());
+            for r in &data.records {
+                println!("{}", csv_row(r));
+            }
+        }
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("realdata: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,103 @@
+//! Regenerates the paper's figures from a freshly simulated campaign.
+//!
+//! Usage:
+//! ```text
+//! repro all [--scale S] [--seed N]     # every figure
+//! repro fig11 fig16 [--scale S]        # specific figures
+//! repro list                           # figure index
+//! ```
+
+use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
+use rv_study::{run_campaign, StudyParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut params = StudyParams::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                params.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s| *s > 0.0 && *s <= 1.0)
+                    .unwrap_or_else(|| die("--scale wants a number in (0, 1]"));
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed wants an integer"));
+            }
+            "list" => {
+                println!("available figures:");
+                for id in FIGURE_IDS {
+                    println!("  {id}");
+                }
+                return;
+            }
+            "all" => ids.extend(FIGURE_IDS.iter().map(|s| s.to_string())),
+            "dump" => ids.push("dump".to_string()),
+            other if FIGURE_IDS.contains(&other) => ids.push(other.to_string()),
+            other => die(&format!("unknown argument {other:?}; try `repro list`")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        die("nothing to do; try `repro all` or `repro list`");
+    }
+
+    eprintln!(
+        "running campaign: seed={} scale={} ({} of the paper's ~2,900 sessions)...",
+        params.seed,
+        params.scale,
+        if params.scale >= 1.0 { "all" } else { "a fraction" }
+    );
+    let data = run_campaign(params);
+    eprintln!(
+        "campaign done: {} sessions, {} played, {} rated\n",
+        data.records.len(),
+        data.played().count(),
+        data.rated().count()
+    );
+
+    for id in ids {
+        if id == "dump" {
+            println!("user conn pc server proto enc_kbps fps jitter bw_kbps lost rebuf dropped startup recov");
+            for r in data.records.iter().filter(|r| r.played()) {
+                let m = &r.metrics;
+                println!(
+                    "{} {:?} {:.2} {} {} {} {:.1} {} {:.0} {} {} {} {:.1} {}",
+                    r.user_id,
+                    r.connection,
+                    r.pc.cpu_power(),
+                    r.server_name,
+                    match m.protocol { rv_rtsp::TransportKind::Udp => "udp", _ => "tcp" },
+                    m.encoded_bps / 1000,
+                    m.frame_rate,
+                    m.jitter_ms.map(|j| format!("{j:.0}")).unwrap_or("-".into()),
+                    m.bandwidth_kbps,
+                    m.packets_lost,
+                    m.rebuffer_events,
+                    m.frames_dropped,
+                    m.startup_delay.map(|d| d.as_secs_f64()).unwrap_or(-1.0),
+                    m.frames_recovered,
+                );
+            }
+            continue;
+        }
+        let FigureOutput { id, title, body } = figure(&id, &data).expect("validated id");
+        println!("==================================================================");
+        println!("{id}: {title}");
+        println!("==================================================================");
+        println!("{body}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

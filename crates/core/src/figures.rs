@@ -1,0 +1,802 @@
+//! Regenerates every figure of the paper from campaign data.
+//!
+//! One generator per figure (1, 5–28) plus the Section IV aggregate table.
+//! Each returns a [`FigureOutput`]: a text rendering (CDF plot + data
+//! series, bar chart, or scatter summary) and the headline statistics the
+//! paper reports for that figure, so EXPERIMENTS.md can compare
+//! paper-vs-measured directly.
+
+use rv_media::{Clip, ContentKind};
+use rv_rtsp::TransportKind;
+use rv_sim::{SimDuration, SimTime};
+use rv_stats::{bar_chart, cdf_plot, linear_fit, pearson, table, Cdf, CategoryCount};
+use rv_study::{
+    build_population, server_roster, ConnectionClass, PcClass, ServerRegion, SessionRecord,
+    StudyData, UserRegion,
+};
+use rv_tracer::SessionOutcome;
+
+/// A regenerated figure: identifier, caption, and text body.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Stable id, e.g. `fig11`.
+    pub id: &'static str,
+    /// The paper's caption, abbreviated.
+    pub title: &'static str,
+    /// Printable body: headline stats, plot, and data series.
+    pub body: String,
+}
+
+/// All figure ids, in paper order.
+pub const FIGURE_IDS: [&str; 26] = [
+    "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+    "fig25", "fig26", "fig27", "fig28", "agg",
+];
+
+/// Generates one figure by id. `None` for an unknown id.
+pub fn figure(id: &str, data: &StudyData) -> Option<FigureOutput> {
+    Some(match id {
+        "fig1" => fig1(),
+        "fig5" => fig5(data),
+        "fig6" => fig6(data),
+        "fig7" => fig7(data),
+        "fig8" => fig8(data),
+        "fig9" => fig9(data),
+        "fig10" => fig10(data),
+        "fig11" => fig11(data),
+        "fig12" => fig12(data),
+        "fig13" => fig13(data),
+        "fig14" => fig14(data),
+        "fig15" => fig15(data),
+        "fig16" => fig16(data),
+        "fig17" => fig17(data),
+        "fig18" => fig18(data),
+        "fig19" => fig19(data),
+        "fig20" => fig20(data),
+        "fig21" => fig21(data),
+        "fig22" => fig22(data),
+        "fig23" => fig23(data),
+        "fig24" => fig24(data),
+        "fig25" => fig25(data),
+        "fig26" => fig26(data),
+        "fig27" => fig27(data),
+        "fig28" => fig28(data),
+        "agg" => aggregate(data),
+        _ => return None,
+    })
+}
+
+/// Generates every figure.
+pub fn all_figures(data: &StudyData) -> Vec<FigureOutput> {
+    FIGURE_IDS
+        .iter()
+        .map(|id| figure(id, data).expect("known id"))
+        .collect()
+}
+
+// ---------- sample extraction helpers ----------
+
+fn fps_samples<'a>(recs: impl Iterator<Item = &'a SessionRecord>) -> Vec<f64> {
+    recs.map(|r| r.metrics.frame_rate).collect()
+}
+
+fn jitter_samples<'a>(recs: impl Iterator<Item = &'a SessionRecord>) -> Vec<f64> {
+    recs.filter_map(|r| r.metrics.jitter_ms).collect()
+}
+
+/// Renders a multi-series CDF figure: plot + per-series headline stats.
+fn cdf_figure(
+    id: &'static str,
+    title: &'static str,
+    series: Vec<(String, Vec<f64>)>,
+    unit: &str,
+    thresholds: &[f64],
+) -> FigureOutput {
+    let mut body = String::new();
+    let mut plots: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let lo = 0.0;
+    let hi = series
+        .iter()
+        .flat_map(|(_, s)| s.iter())
+        .copied()
+        .fold(1.0f64, f64::max);
+    let mut stats_rows: Vec<Vec<String>> = Vec::new();
+    for (name, samples) in &series {
+        let Some(cdf) = Cdf::from_samples(samples) else {
+            let mut row = vec![name.clone(), "0".into(), "-".into(), "-".into()];
+            row.extend(thresholds.iter().map(|_| "-".to_string()));
+            stats_rows.push(row);
+            continue;
+        };
+        let mut row = vec![
+            name.clone(),
+            cdf.count().to_string(),
+            format!("{:.2}", cdf.mean()),
+            format!("{:.2}", cdf.quantile(0.5)),
+        ];
+        for t in thresholds {
+            row.push(format!("{:.1}%", cdf.at(*t) * 100.0));
+        }
+        stats_rows.push(row);
+        plots.push((name.clone(), cdf.series_on_grid(lo, hi, 56)));
+    }
+    let mut header = vec!["series", "n", "mean", "median"];
+    let thr_labels: Vec<String> = thresholds
+        .iter()
+        .map(|t| format!("F({t}{unit})"))
+        .collect();
+    header.extend(thr_labels.iter().map(String::as_str));
+    body.push_str(&table(&header, &stats_rows));
+    body.push('\n');
+    let plot_refs: Vec<(&str, &[(f64, f64)])> = plots
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.as_slice()))
+        .collect();
+    if !plot_refs.is_empty() {
+        body.push_str(&cdf_plot(&plot_refs, 64, 16));
+    }
+    FigureOutput { id, title, body }
+}
+
+fn split_by<K: Ord + Clone, F: Fn(&SessionRecord) -> K, V: Fn(&SessionRecord) -> Option<f64>>(
+    data: &StudyData,
+    key: F,
+    value: V,
+) -> std::collections::BTreeMap<K, Vec<f64>> {
+    let mut out: std::collections::BTreeMap<K, Vec<f64>> = Default::default();
+    for r in data.played() {
+        if let Some(v) = value(r) {
+            out.entry(key(r)).or_default().push(v);
+        }
+    }
+    out
+}
+
+// ---------- Figure 1: buffering & playout timeline ----------
+
+fn fig1() -> FigureOutput {
+    // A single broadband session, sampled once a second: coded vs. current
+    // bandwidth and frame rate, showing the prebuffer burst and smooth
+    // playout (the paper's Figure 1).
+    let mut rng = rv_sim::SimRng::seed_from_u64(0xF161);
+    let pop = build_population(&mut rng, 1.0);
+    let user = pop
+        .participants
+        .iter()
+        .find(|u| {
+            u.connection == ConnectionClass::DslCable
+                && u.firewall == rv_rtsp::FirewallPolicy::Open
+                && u.pc.cpu_power() > 0.9
+        })
+        .expect("population has healthy DSL users");
+    let roster = server_roster();
+    let site = roster.iter().find(|s| s.name == "US/CNN").expect("CNN");
+    let clip = Clip::new(
+        "fig1-clip.rm",
+        SimDuration::from_secs(300),
+        ContentKind::News,
+    );
+    let mut world = rv_study::build_session_world(
+        user,
+        site,
+        &clip,
+        SimDuration::from_secs(70),
+        0xF161_0001,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut prev_bytes = 0u64;
+    let mut prev_frames = 0usize;
+    for sec in 1..=70u64 {
+        world.run(SimTime::from_secs(sec));
+        let stats = world.client.events();
+        let played: Vec<_> = stats.iter().filter(|e| e.played_at.is_some()).collect();
+        let frames_now = played.len();
+        // Server-sent bytes proxy for delivered bytes (loss-free broadband
+        // path); used consistently so per-second deltas never go negative.
+        let bytes = world.server.stats().bytes_sent;
+        let bw_kbps = (bytes.saturating_sub(prev_bytes)) as f64 * 8.0 / 1e3;
+        let fps = (frames_now - prev_frames) as f64;
+        // Coded values of the rung currently being streamed.
+        let (coded_bw, coded_fps) = world
+            .server
+            .debug_stream()
+            .map(|(rung, _, _, _)| {
+                let enc = &clip.ladder.rungs()[rung];
+                (enc.total_bps / 1000, enc.frame_rate)
+            })
+            .unwrap_or((0, 0.0));
+        rows.push(vec![
+            sec.to_string(),
+            coded_bw.to_string(),
+            format!("{bw_kbps:.0}"),
+            format!("{coded_fps:.1}"),
+            format!("{fps:.0}"),
+        ]);
+        prev_bytes = bytes;
+        prev_frames = frames_now;
+        if world.client.is_done() {
+            break;
+        }
+    }
+    let playback_start = world
+        .client
+        .metrics()
+        .and_then(|m| m.startup_delay)
+        .map(|d| format!("{:.1}", d.as_secs_f64()))
+        .unwrap_or_else(|| "?".into());
+    let mut body = format!(
+        "Buffering and playout of one DSL RealVideo session.\n\
+         Playout begins after {playback_start} s of buffering (paper: ~13 s).\n\n"
+    );
+    body.push_str(&table(
+        &["t(s)", "coded bw (kbps)", "current bw (kbps)", "coded fps", "current fps"],
+        &rows,
+    ));
+    FigureOutput {
+        id: "fig1",
+        title: "Buffering and playout of a RealVideo clip",
+        body,
+    }
+}
+
+// ---------- Figures 5–9: campaign composition ----------
+
+fn fig5(data: &StudyData) -> FigureOutput {
+    let mut per_user = CategoryCount::new();
+    for r in &data.records {
+        per_user.add(&format!("u{}", r.user_id));
+    }
+    let counts: Vec<f64> = per_user.by_name().iter().map(|(_, c)| *c as f64).collect();
+    let cdf = Cdf::from_samples(&counts).expect("users exist");
+    let mut body = format!(
+        "Users: {}   median clips/user: {:.0}   max: {:.0} (playlist holds 98)\n\n",
+        cdf.count(),
+        cdf.quantile(0.5),
+        cdf.max()
+    );
+    let series = cdf.series_on_grid(0.0, 100.0, 51);
+    body.push_str(&cdf_plot(&[("clips/user", &series)], 64, 16));
+    FigureOutput {
+        id: "fig5",
+        title: "CDF of video clips played per user",
+        body,
+    }
+}
+
+fn fig6(data: &StudyData) -> FigureOutput {
+    let mut rated: std::collections::BTreeMap<u32, u32> = Default::default();
+    for r in &data.records {
+        *rated.entry(r.user_id).or_insert(0) += u32::from(r.rating.is_some());
+    }
+    let counts: Vec<f64> = rated.values().map(|c| f64::from(*c)).collect();
+    let cdf = Cdf::from_samples(&counts).expect("users exist");
+    let mut body = format!(
+        "Users: {}   median rated clips/user: {:.0}   max: {:.0}\n\n",
+        cdf.count(),
+        cdf.quantile(0.5),
+        cdf.max()
+    );
+    let series = cdf.series_on_grid(0.0, 35.0, 36);
+    body.push_str(&cdf_plot(&[("rated/user", &series)], 64, 16));
+    FigureOutput {
+        id: "fig6",
+        title: "CDF of video clips rated per user",
+        body,
+    }
+}
+
+fn bar_figure(
+    id: &'static str,
+    title: &'static str,
+    counts: &CategoryCount,
+) -> FigureOutput {
+    let items: Vec<(&str, f64)> = counts
+        .by_count_ascending()
+        .into_iter()
+        .map(|(k, v)| (k, v as f64))
+        .collect();
+    FigureOutput {
+        id,
+        title,
+        body: bar_chart(&items, 48),
+    }
+}
+
+fn fig7(data: &StudyData) -> FigureOutput {
+    let mut counts = CategoryCount::new();
+    for r in &data.records {
+        counts.add(r.user_country.name());
+    }
+    bar_figure("fig7", "Video clips played by users from each country", &counts)
+}
+
+fn fig8(data: &StudyData) -> FigureOutput {
+    let mut counts = CategoryCount::new();
+    for r in &data.records {
+        counts.add(r.server_country.name());
+    }
+    bar_figure("fig8", "Video clips served by RealServers from each country", &counts)
+}
+
+fn fig9(data: &StudyData) -> FigureOutput {
+    let mut counts = CategoryCount::new();
+    for r in data.records.iter().filter(|r| r.user_state.is_some()) {
+        counts.add(r.user_state.expect("filtered"));
+    }
+    bar_figure("fig9", "Video clips played by U.S. users from each state", &counts)
+}
+
+fn fig10(data: &StudyData) -> FigureOutput {
+    let mut attempted = CategoryCount::new();
+    let mut unavailable = CategoryCount::new();
+    for r in &data.records {
+        attempted.add(r.server_name);
+        if !r.available {
+            unavailable.add(r.server_name);
+        }
+    }
+    let mut items: Vec<(&str, f64)> = attempted
+        .by_name()
+        .into_iter()
+        .map(|(name, total)| {
+            (name, unavailable.get(name) as f64 / total as f64)
+        })
+        .collect();
+    items.sort_by(|a, b| a.0.cmp(b.0));
+    let overall = unavailable.total() as f64 / attempted.total() as f64;
+    let mut body = format!("Overall unavailable fraction: {overall:.3} (paper: ~0.10)\n\n");
+    body.push_str(&bar_chart(&items, 48));
+    FigureOutput {
+        id: "fig10",
+        title: "Fraction of unavailable clips per server",
+        body,
+    }
+}
+
+// ---------- Figures 11–19: frame rate & bandwidth ----------
+
+fn fig11(data: &StudyData) -> FigureOutput {
+    let fps = fps_samples(data.played());
+    let cdf = Cdf::from_samples(&fps).expect("played sessions exist");
+    let mut out = cdf_figure(
+        "fig11",
+        "CDF of frame rate for all video clips",
+        vec![("all clips".to_string(), fps)],
+        " fps",
+        &[3.0, 15.0, 24.0],
+    );
+    out.body = format!(
+        "mean {:.1} fps (paper: 10)   <3 fps: {:.0}% (paper: ~25%)   \
+         >=15 fps: {:.0}% (paper: ~25%)   >=24 fps: {:.1}% (paper: <1%)\n\n{}",
+        cdf.mean(),
+        cdf.at(3.0) * 100.0,
+        (1.0 - cdf.at(15.0 - 1e-9)) * 100.0,
+        (1.0 - cdf.at(24.0 - 1e-9)) * 100.0,
+        out.body
+    );
+    out
+}
+
+fn fig12(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.connection, |r| Some(r.metrics.frame_rate));
+    let series = ConnectionClass::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig12",
+        "CDF of frame rate for different end-host network configurations",
+        series,
+        " fps",
+        &[3.0, 15.0],
+    )
+}
+
+fn fig13(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.connection, |r| Some(r.metrics.bandwidth_kbps));
+    let series = ConnectionClass::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig13",
+        "CDF of bandwidth for different end-host network configurations",
+        series,
+        " kbps",
+        &[50.0, 250.0],
+    )
+}
+
+fn fig14(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.server_region, |r| Some(r.metrics.frame_rate));
+    let series = ServerRegion::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig14",
+        "CDF of frame rate for RealServers in different geographic regions",
+        series,
+        " fps",
+        &[3.0, 15.0],
+    )
+}
+
+fn fig15(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.user_region, |r| Some(r.metrics.frame_rate));
+    let series = UserRegion::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig15",
+        "CDF of frame rate for users in different geographic regions",
+        series,
+        " fps",
+        &[3.0, 15.0],
+    )
+}
+
+fn fig16(data: &StudyData) -> FigureOutput {
+    let mut counts = CategoryCount::new();
+    for r in data.played() {
+        counts.add(match r.metrics.protocol {
+            TransportKind::Udp => "UDP",
+            TransportKind::Tcp => "TCP",
+        });
+    }
+    let udp = counts.fraction("UDP");
+    let body = format!(
+        "UDP: {:.1}% (paper: ~56%)   TCP: {:.1}% (paper: ~44%)\n\n{}",
+        udp * 100.0,
+        (1.0 - udp) * 100.0,
+        bar_chart(
+            &[("UDP", counts.get("UDP") as f64), ("TCP", counts.get("TCP") as f64)],
+            48
+        )
+    );
+    FigureOutput {
+        id: "fig16",
+        title: "Fraction of transport protocols observed",
+        body,
+    }
+}
+
+fn by_protocol(
+    data: &StudyData,
+    value: impl Fn(&SessionRecord) -> Option<f64>,
+) -> Vec<(String, Vec<f64>)> {
+    let by = split_by(data, |r| r.metrics.protocol == TransportKind::Udp, value);
+    vec![
+        ("TCP".to_string(), by.get(&false).cloned().unwrap_or_default()),
+        ("UDP".to_string(), by.get(&true).cloned().unwrap_or_default()),
+    ]
+}
+
+fn fig17(data: &StudyData) -> FigureOutput {
+    cdf_figure(
+        "fig17",
+        "CDF of frame rate for transport protocols",
+        by_protocol(data, |r| Some(r.metrics.frame_rate)),
+        " fps",
+        &[3.0, 15.0],
+    )
+}
+
+fn fig18(data: &StudyData) -> FigureOutput {
+    cdf_figure(
+        "fig18",
+        "CDF of bandwidth for transport protocols",
+        by_protocol(data, |r| Some(r.metrics.bandwidth_kbps)),
+        " kbps",
+        &[50.0, 250.0],
+    )
+}
+
+fn fig19(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.pc, |r| Some(r.metrics.frame_rate));
+    let series = PcClass::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig19",
+        "CDF of frame rate for classes of user PCs",
+        series,
+        " fps",
+        &[3.0, 15.0],
+    )
+}
+
+// ---------- Figures 20–25: jitter ----------
+
+fn fig20(data: &StudyData) -> FigureOutput {
+    let jitter = jitter_samples(data.played());
+    let cdf = Cdf::from_samples(&jitter).expect("played sessions exist");
+    let mut out = cdf_figure(
+        "fig20",
+        "CDF of overall jitter",
+        vec![("all clips".to_string(), jitter)],
+        " ms",
+        &[50.0, 300.0],
+    );
+    out.body = format!(
+        "jitter <=50 ms: {:.0}% (paper: ~50%)   >=300 ms: {:.0}% (paper: ~15%)\n\n{}",
+        cdf.at(50.0) * 100.0,
+        (1.0 - cdf.at(300.0)) * 100.0,
+        out.body
+    );
+    out
+}
+
+fn fig21(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.connection, |r| r.metrics.jitter_ms);
+    let series = ConnectionClass::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig21",
+        "CDF of jitter for different network configurations",
+        series,
+        " ms",
+        &[50.0, 300.0],
+    )
+}
+
+fn fig22(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.server_region, |r| r.metrics.jitter_ms);
+    let series = ServerRegion::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig22",
+        "CDF of jitter for RealServers in different geographic regions",
+        series,
+        " ms",
+        &[50.0, 300.0],
+    )
+}
+
+fn fig23(data: &StudyData) -> FigureOutput {
+    let by = split_by(data, |r| r.user_region, |r| r.metrics.jitter_ms);
+    let series = UserRegion::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig23",
+        "CDF of jitter for users in different geographic regions",
+        series,
+        " ms",
+        &[50.0, 300.0],
+    )
+}
+
+fn fig24(data: &StudyData) -> FigureOutput {
+    cdf_figure(
+        "fig24",
+        "CDF of jitter for transport protocols",
+        by_protocol(data, |r| r.metrics.jitter_ms),
+        " ms",
+        &[50.0, 300.0],
+    )
+}
+
+fn fig25(data: &StudyData) -> FigureOutput {
+    let bucket = |r: &SessionRecord| -> u8 {
+        if r.metrics.bandwidth_kbps < 10.0 {
+            0
+        } else if r.metrics.bandwidth_kbps <= 100.0 {
+            1
+        } else {
+            2
+        }
+    };
+    let by = split_by(data, bucket, |r| r.metrics.jitter_ms);
+    let names = ["< 10K", "10K - 100K", "> 100K"];
+    let series = (0u8..3)
+        .map(|b| {
+            (
+                names[usize::from(b)].to_string(),
+                by.get(&b).cloned().unwrap_or_default(),
+            )
+        })
+        .collect();
+    cdf_figure(
+        "fig25",
+        "CDF of jitter for observed bandwidth",
+        series,
+        " ms",
+        &[50.0, 300.0],
+    )
+}
+
+// ---------- Figures 26–28: perceptual quality ----------
+
+fn fig26(data: &StudyData) -> FigureOutput {
+    let ratings: Vec<f64> = data.rated().map(|r| f64::from(r.rating.unwrap())).collect();
+    let cdf = Cdf::from_samples(&ratings).expect("rated sessions exist");
+    let mut out = cdf_figure(
+        "fig26",
+        "CDF of overall quality",
+        vec![("ratings".to_string(), ratings)],
+        "",
+        &[2.0, 5.0, 8.0],
+    );
+    out.body = format!(
+        "rated clips: {}   mean rating: {:.2} (paper: ~5, near-uniform CDF)\n\n{}",
+        cdf.count(),
+        cdf.mean(),
+        out.body
+    );
+    out
+}
+
+fn fig27(data: &StudyData) -> FigureOutput {
+    let mut by: std::collections::BTreeMap<ConnectionClass, Vec<f64>> = Default::default();
+    for r in data.rated() {
+        by.entry(r.connection)
+            .or_default()
+            .push(f64::from(r.rating.expect("rated")));
+    }
+    let series = ConnectionClass::ALL
+        .iter()
+        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
+        .collect();
+    cdf_figure(
+        "fig27",
+        "CDF of quality for different end-host network configurations",
+        series,
+        "",
+        &[3.0, 7.0],
+    )
+}
+
+fn fig28(data: &StudyData) -> FigureOutput {
+    let pairs: Vec<(f64, f64)> = data
+        .rated()
+        .map(|r| (r.metrics.bandwidth_kbps, f64::from(r.rating.expect("rated"))))
+        .collect();
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let r = pearson(&xs, &ys);
+    let fit = linear_fit(&xs, &ys);
+    // Low ratings at high bandwidth — the paper highlights their absence.
+    let high_bw_low_rating = pairs
+        .iter()
+        .filter(|(bw, rating)| *bw > 250.0 && *rating <= 2.0)
+        .count();
+    let high_bw = pairs.iter().filter(|(bw, _)| *bw > 250.0).count();
+    let mut body = format!(
+        "points: {}   pearson r: {}   slope: {} rating/kbps\n\
+         low ratings (<=2) at high bandwidth (>250 kbps): {high_bw_low_rating} of {high_bw}\n\
+         (paper: weak correlation, slight upward trend, no low ratings at high bandwidth)\n\n",
+        pairs.len(),
+        r.map_or("-".to_string(), |v| format!("{v:.3}")),
+        fit.map_or("-".to_string(), |f| format!("{:+.4}", f.slope)),
+    );
+    // Scatter summary: mean rating per bandwidth bin.
+    let mut rows = Vec::new();
+    for (lo, hi) in [(0.0, 50.0), (50.0, 100.0), (100.0, 200.0), (200.0, 350.0), (350.0, 600.0)] {
+        let bin: Vec<f64> = pairs
+            .iter()
+            .filter(|(bw, _)| *bw >= lo && *bw < hi)
+            .map(|(_, r)| *r)
+            .collect();
+        let mean = if bin.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.2}", bin.iter().sum::<f64>() / bin.len() as f64)
+        };
+        rows.push(vec![format!("{lo:.0}-{hi:.0}"), bin.len().to_string(), mean]);
+    }
+    body.push_str(&table(&["bandwidth (kbps)", "n", "mean rating"], &rows));
+    FigureOutput {
+        id: "fig28",
+        title: "Quality rating vs. network bandwidth",
+        body,
+    }
+}
+
+// ---------- Section IV aggregates ----------
+
+fn aggregate(data: &StudyData) -> FigureOutput {
+    let total = data.records.len();
+    let played = data.played().count();
+    let rated = data.rated().count();
+    let unavailable = data.records.iter().filter(|r| !r.available).count();
+    let countries: std::collections::BTreeSet<&str> =
+        data.records.iter().map(|r| r.user_country.name()).collect();
+    let server_countries: std::collections::BTreeSet<&str> =
+        data.records.iter().map(|r| r.server_country.name()).collect();
+    let servers: std::collections::BTreeSet<&str> =
+        data.records.iter().map(|r| r.server_name).collect();
+    let blocked: usize = data
+        .records
+        .iter()
+        .filter(|r| r.metrics.outcome == SessionOutcome::Blocked)
+        .count();
+    let rows = vec![
+        vec!["participants".into(), data.participants.to_string(), "63".into()],
+        vec!["clip plays (sessions)".into(), total.to_string(), "~2855".into()],
+        vec!["clips watched & rated".into(), rated.to_string(), "~388".into()],
+        vec!["user countries".into(), countries.len().to_string(), "12".into()],
+        vec!["servers".into(), servers.len().to_string(), "11".into()],
+        vec![
+            "server countries".into(),
+            server_countries.len().to_string(),
+            "8".into(),
+        ],
+        vec![
+            "unavailable fraction".into(),
+            format!("{:.3}", unavailable as f64 / total as f64),
+            "~0.10".into(),
+        ],
+        vec![
+            "played successfully".into(),
+            played.to_string(),
+            "-".into(),
+        ],
+        vec![
+            "firewall-excluded volunteers".into(),
+            data.excluded_users.to_string(),
+            "\"several\"".into(),
+        ],
+        vec!["blocked sessions recorded".into(), blocked.to_string(), "0".into()],
+    ];
+    FigureOutput {
+        id: "agg",
+        title: "Section IV aggregates: paper vs. reproduction",
+        body: table(&["quantity", "measured", "paper"], &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_study::{run_campaign, StudyParams};
+
+    fn data() -> StudyData {
+        run_campaign(StudyParams {
+            scale: 0.03,
+            ..StudyParams::default()
+        })
+    }
+
+    #[test]
+    fn every_figure_generates() {
+        let d = data();
+        for id in FIGURE_IDS {
+            let f = figure(id, &d).expect("known id");
+            assert!(!f.body.is_empty(), "{id} empty");
+            assert_eq!(f.id, id);
+        }
+        assert!(figure("fig2", &d).is_none());
+    }
+
+    #[test]
+    fn fig11_headline_mentions_key_stats() {
+        let d = data();
+        let f = figure("fig11", &d).unwrap();
+        assert!(f.body.contains("mean"));
+        assert!(f.body.contains("fps"));
+    }
+
+    #[test]
+    fn fig16_shares_sum_to_hundred() {
+        let d = data();
+        let f = figure("fig16", &d).unwrap();
+        assert!(f.body.contains("UDP"));
+        assert!(f.body.contains("TCP"));
+    }
+
+    #[test]
+    fn all_figures_yields_26() {
+        let d = data();
+        assert_eq!(all_figures(&d).len(), 26);
+    }
+}

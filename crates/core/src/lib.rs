@@ -1,0 +1,40 @@
+//! # realvideo-core — public facade of the RealVideo reproduction
+//!
+//! Re-exports every layer of the system and provides [`figures`]: one
+//! generator per figure of *An Empirical Study of RealVideo Performance
+//! Across the Internet* (Wang, Claypool, Zuo — 2001). The `repro` binary
+//! prints them:
+//!
+//! ```text
+//! cargo run --release -p realvideo-core --bin repro -- all
+//! cargo run --release -p realvideo-core --bin repro -- fig11 --scale 0.2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod figures;
+
+pub use figures::{all_figures, figure, FigureOutput, FIGURE_IDS};
+
+/// The simulation kernel.
+pub use rv_sim as sim;
+/// The packet-level network.
+pub use rv_net as net;
+/// TCP and UDP transports.
+pub use rv_transport as transport;
+/// The RTSP control plane.
+pub use rv_rtsp as rtsp;
+/// Clips, SureStream, packetization.
+pub use rv_media as media;
+/// The streaming server.
+pub use rv_server as server;
+/// The buffered player.
+pub use rv_player as player;
+/// The instrumented client and metrics.
+pub use rv_tracer as tracer;
+/// The world model and campaign.
+pub use rv_study as study;
+/// CDFs, histograms, rendering.
+pub use rv_stats as stats;

@@ -1,0 +1,167 @@
+//! Property-based tests: the media codec round-trips under any field
+//! values, packetization conserves bytes, and frame schedules keep their
+//! invariants for every encoding/content/duration combination.
+
+use proptest::prelude::*;
+use rv_media::{
+    packetize_frame, standard_rung, Clip, ContentKind, Frame, FrameSchedule, MediaPacket,
+    PacketKind, StreamDepacketizer, SureStream, MAX_PAYLOAD,
+};
+use rv_sim::SimDuration;
+
+fn arb_kind() -> impl Strategy<Value = PacketKind> {
+    prop_oneof![
+        Just(PacketKind::Video),
+        Just(PacketKind::Audio),
+        Just(PacketKind::Parity),
+        Just(PacketKind::EndOfStream),
+    ]
+}
+
+fn arb_content() -> impl Strategy<Value = ContentKind> {
+    prop_oneof![
+        Just(ContentKind::News),
+        Just(ContentKind::Sports),
+        Just(ContentKind::Music),
+        Just(ContentKind::Talk),
+    ]
+}
+
+proptest! {
+    /// Every representable packet survives an encode/decode round trip.
+    #[test]
+    fn media_packet_roundtrip(
+        kind in arb_kind(),
+        key in any::<bool>(),
+        rung in any::<u8>(),
+        frame_index in any::<u32>(),
+        frag_index in any::<u16>(),
+        frag_count in any::<u16>(),
+        pts_micros in any::<u64>(),
+        group_id in any::<u32>(),
+        seq in any::<u32>(),
+        payload_len in 0u16..2000,
+    ) {
+        let pkt = MediaPacket {
+            kind, key, rung, frame_index, frag_index, frag_count,
+            pts_micros, group_id, seq, payload_len,
+        };
+        let bytes = pkt.encode();
+        prop_assert_eq!(bytes.len(), pkt.wire_len());
+        let (decoded, used) = MediaPacket::decode(&bytes).expect("decodes");
+        prop_assert_eq!(decoded, pkt);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Packetization conserves the frame's bytes and fragment numbering.
+    #[test]
+    fn packetize_conserves_bytes(size in 1u32..40_000, index in any::<u32>(), key in any::<bool>()) {
+        let frame = Frame {
+            index,
+            pts: SimDuration::from_millis(10),
+            size,
+            key,
+        };
+        let pkts = packetize_frame(&frame, 2, 9);
+        let total: u32 = pkts.iter().map(|p| u32::from(p.payload_len)).sum();
+        prop_assert_eq!(total, size);
+        let n = pkts.len() as u16;
+        for (i, p) in pkts.iter().enumerate() {
+            prop_assert_eq!(p.frag_index, i as u16);
+            prop_assert_eq!(p.frag_count, n);
+            prop_assert!(usize::from(p.payload_len) <= MAX_PAYLOAD);
+            prop_assert_eq!(p.key, key);
+        }
+    }
+
+    /// A stream of encoded packets fed through the depacketizer in chunks of
+    /// any size reproduces the original sequence.
+    #[test]
+    fn depacketizer_reassembles_any_chunking(
+        sizes in prop::collection::vec(1u32..5_000, 1..8),
+        chunk in 1usize..97,
+    ) {
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let frame = Frame {
+                index: i as u32,
+                pts: SimDuration::from_millis(i as u64 * 100),
+                size: *size,
+                key: i == 0,
+            };
+            for p in packetize_frame(&frame, 0, i as u32) {
+                wire.extend(p.encode());
+                expected.push(p);
+            }
+        }
+        let mut d = StreamDepacketizer::new();
+        let mut got = Vec::new();
+        for c in wire.chunks(chunk) {
+            d.feed(c);
+            while let Some(p) = d.next_packet() {
+                got.push(p);
+            }
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(d.buffered(), 0);
+    }
+
+    /// Frame schedules: strictly increasing pts, nonzero sizes, realized
+    /// rate never exceeding the encoded rate, for any content/duration.
+    #[test]
+    fn schedule_invariants(
+        total_bps in 15_000u32..500_000,
+        content in arb_content(),
+        secs in 1u64..180,
+        seed in any::<u64>(),
+    ) {
+        let enc = standard_rung(total_bps);
+        let s = FrameSchedule::generate(&enc, content, SimDuration::from_secs(secs), seed);
+        prop_assert!(!s.is_empty());
+        for w in s.frames().windows(2) {
+            prop_assert!(w[1].pts > w[0].pts);
+        }
+        prop_assert!(s.frames().iter().all(|f| f.size > 0));
+        // Fencepost: a clip of duration D can hold floor(D/interval)+1
+        // frames, so the realized rate may exceed the encoded rate by up
+        // to one frame per clip.
+        prop_assert!(s.actual_fps() <= s.encoded_fps() + 1.0 / secs as f64 + 0.01);
+        // First frame is a keyframe (decoder bootstrap).
+        prop_assert!(s.frames()[0].key);
+    }
+
+    /// The DESCRIBE body round-trips for any ladder subset.
+    #[test]
+    fn describe_roundtrip(
+        rates in prop::collection::btree_set(15_000u32..500_000, 1..6),
+        content in arb_content(),
+        secs in 1u64..600,
+    ) {
+        let ladder = SureStream::new(rates.iter().map(|r| standard_rung(*r)).collect());
+        let clip = Clip::with_ladder("c.rm", SimDuration::from_secs(secs), content, ladder);
+        let body = clip.describe();
+        let parsed = Clip::parse_description("c.rm", &body).expect("parses");
+        prop_assert_eq!(parsed, clip);
+    }
+
+    /// Ladder selection picks the best fitting rung for any bandwidth.
+    #[test]
+    fn ladder_select_is_best_fit(
+        rates in prop::collection::btree_set(15_000u32..500_000, 1..6),
+        available in 0.0f64..600_000.0,
+    ) {
+        let ladder = SureStream::new(rates.iter().map(|r| standard_rung(*r)).collect());
+        let idx = ladder.select(available);
+        let chosen = f64::from(ladder.rungs()[idx].total_bps);
+        if chosen > available {
+            // Nothing fits: must be the lowest rung.
+            prop_assert_eq!(idx, 0);
+        } else {
+            // Best fit: no higher rung also fits.
+            for r in &ladder.rungs()[idx + 1..] {
+                prop_assert!(f64::from(r.total_bps) > available);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Background cross-traffic model.
+//!
+//! In 2001 the paths between a RealServer and a dial-up user crossed transit
+//! links shared with unknown traffic. Simulating every competing flow is
+//! neither feasible nor necessary: what the streaming session experiences is
+//! a time-varying reduction of available capacity plus correlated loss. The
+//! [`CongestionProcess`] models exactly that — a piecewise-constant
+//! "congestion level" in `[0, 1)` that is resampled at exponentially
+//! distributed intervals, with occasional heavy-tailed (Pareto-length)
+//! congestion episodes.
+//!
+//! Levels are generated lazily but deterministically: a link polled at the
+//! same instants with the same seed sees the same congestion trajectory.
+
+use rv_sim::{SimDuration, SimRng, SimTime};
+
+/// Parameters of a link's background congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionParams {
+    /// Long-run mean congestion level in `[0, 1)`: the average fraction of
+    /// link capacity consumed by cross traffic.
+    pub mean_level: f64,
+    /// Amplitude of fluctuation around the mean (standard deviation of the
+    /// sampled level before clamping).
+    pub variability: f64,
+    /// Mean time between level changes.
+    pub mean_epoch: SimDuration,
+    /// Probability that a new epoch is a congestion *burst* (level pushed
+    /// toward 1) with a heavy-tailed duration.
+    pub burst_prob: f64,
+}
+
+impl CongestionParams {
+    /// A quiet link: no cross traffic at all.
+    pub const QUIET: CongestionParams = CongestionParams {
+        mean_level: 0.0,
+        variability: 0.0,
+        mean_epoch: SimDuration::from_secs(10),
+        burst_prob: 0.0,
+    };
+
+    /// A lightly loaded backbone link.
+    pub fn light() -> Self {
+        CongestionParams {
+            mean_level: 0.15,
+            variability: 0.10,
+            mean_epoch: SimDuration::from_secs(4),
+            burst_prob: 0.02,
+        }
+    }
+
+    /// A moderately loaded transit link.
+    pub fn moderate() -> Self {
+        CongestionParams {
+            mean_level: 0.35,
+            variability: 0.18,
+            mean_epoch: SimDuration::from_secs(3),
+            burst_prob: 0.06,
+        }
+    }
+
+    /// A heavily loaded / lossy international link.
+    pub fn heavy() -> Self {
+        CongestionParams {
+            mean_level: 0.55,
+            variability: 0.22,
+            mean_epoch: SimDuration::from_secs(2),
+            burst_prob: 0.12,
+        }
+    }
+}
+
+/// Lazily generated piecewise-constant congestion level for one link.
+#[derive(Debug, Clone)]
+pub struct CongestionProcess {
+    params: CongestionParams,
+    rng: SimRng,
+    /// Current epoch: level holds until `until`.
+    level: f64,
+    until: SimTime,
+}
+
+impl CongestionProcess {
+    /// Creates a process with its own RNG stream.
+    pub fn new(params: CongestionParams, rng: SimRng) -> Self {
+        CongestionProcess {
+            params,
+            rng,
+            level: params.mean_level.clamp(0.0, 0.95),
+            until: SimTime::ZERO,
+        }
+    }
+
+    /// The congestion level in `[0, 0.95]` at `now`.
+    ///
+    /// `now` must be nondecreasing across calls (the simulation clock is
+    /// monotone); querying the past would require storing the whole
+    /// trajectory for no benefit.
+    pub fn level_at(&mut self, now: SimTime) -> f64 {
+        while now >= self.until {
+            self.advance_epoch();
+        }
+        self.level
+    }
+
+    /// Available-capacity multiplier at `now`: `1 - level`.
+    pub fn capacity_factor(&mut self, now: SimTime) -> f64 {
+        1.0 - self.level_at(now)
+    }
+
+    fn advance_epoch(&mut self) {
+        let p = self.params;
+        let (level, dur) = if p.burst_prob > 0.0 && self.rng.chance(p.burst_prob) {
+            // Congestion burst: level pushed high, heavy-tailed duration.
+            let level = (0.75 + 0.2 * self.rng.unit()).min(0.95);
+            let secs = self
+                .rng
+                .pareto(p.mean_epoch.as_secs_f64() * 0.25, 1.5)
+                .min(p.mean_epoch.as_secs_f64() * 20.0);
+            (level, SimDuration::from_secs_f64(secs))
+        } else {
+            let level = self
+                .rng
+                .normal(p.mean_level, p.variability)
+                .clamp(0.0, 0.95);
+            let dur = if p.mean_epoch.is_zero() {
+                SimDuration::from_secs(1)
+            } else {
+                self.rng.exp_duration(p.mean_epoch)
+            };
+            (level, dur.max(SimDuration::from_millis(50)))
+        };
+        self.level = level;
+        self.until = self.until.saturating_add(dur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process(params: CongestionParams, seed: u64) -> CongestionProcess {
+        CongestionProcess::new(params, SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn quiet_link_has_zero_level() {
+        let mut p = process(CongestionParams::QUIET, 1);
+        for s in 0..100 {
+            assert_eq!(p.level_at(SimTime::from_secs(s)), 0.0);
+        }
+    }
+
+    #[test]
+    fn level_is_always_in_range() {
+        let mut p = process(CongestionParams::heavy(), 2);
+        for s in 0..2_000 {
+            let l = p.level_at(SimTime::from_millis(s * 137));
+            assert!((0.0..=0.95).contains(&l), "level {l}");
+        }
+    }
+
+    #[test]
+    fn long_run_mean_tracks_parameter() {
+        let mut p = process(CongestionParams::moderate(), 3);
+        let n = 40_000u64;
+        let mean: f64 = (0..n)
+            .map(|i| p.level_at(SimTime::from_millis(i * 100)))
+            .sum::<f64>()
+            / n as f64;
+        // Bursts push the realized mean slightly above the base level.
+        assert!(
+            (mean - 0.35).abs() < 0.12,
+            "long-run mean {mean} far from 0.35"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = process(CongestionParams::moderate(), 7);
+        let mut b = process(CongestionParams::moderate(), 7);
+        for s in 0..500 {
+            let t = SimTime::from_millis(s * 211);
+            assert_eq!(a.level_at(t), b.level_at(t));
+        }
+    }
+
+    #[test]
+    fn capacity_factor_complements_level() {
+        let mut p = process(CongestionParams::light(), 9);
+        let t = SimTime::from_secs(42);
+        let lvl = p.level_at(t);
+        assert!((p.capacity_factor(t) - (1.0 - lvl)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_is_piecewise_constant() {
+        let mut p = process(CongestionParams::light(), 11);
+        // Two queries inside the same microsecond epoch window agree.
+        let t = SimTime::from_millis(100);
+        let l1 = p.level_at(t);
+        let l2 = p.level_at(t);
+        assert_eq!(l1, l2);
+    }
+}

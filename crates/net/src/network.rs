@@ -1,0 +1,369 @@
+//! The assembled network: nodes, links, source routes, and packet delivery.
+//!
+//! [`Network`] is a poll-based component in the smoltcp style: callers
+//! `send` packets, `poll(now)` to crank link serializations and propagation,
+//! and `recv` delivered packets from per-host inboxes. `next_wake` reports
+//! when the network next needs attention.
+
+use std::collections::{HashMap, VecDeque};
+
+use rv_sim::{earliest, EventQueue, SimRng, SimTime};
+
+use crate::link::{Link, LinkParams, LinkStats};
+use crate::packet::{HostId, NodeId, Packet};
+
+/// Index of a link within the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// A packet in flight between links, tagged with the next hop to take.
+#[derive(Debug, Clone)]
+struct Transit<P> {
+    packet: Packet<P>,
+    /// Index into the route of the hop that has just been traversed.
+    hop: usize,
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network<P> {
+    /// Total number of nodes (hosts + routers).
+    num_nodes: u32,
+    /// host -> node mapping (hosts are nodes with an inbox).
+    host_nodes: Vec<NodeId>,
+    links: Vec<Link<P>>,
+    /// Source routes: (src host, dst host) -> link sequence.
+    routes: HashMap<(HostId, HostId), Vec<LinkId>>,
+    /// Packets that finished a link and are propagating.
+    in_flight: EventQueue<Transit<P>>,
+    inboxes: Vec<VecDeque<Packet<P>>>,
+    /// Packets dropped because no route existed.
+    unroutable: u64,
+    /// Packets dropped mid-flight because their route changed under them.
+    misrouted: u64,
+    /// Packets delivered end-to-end.
+    delivered: u64,
+}
+
+impl<P> Network<P> {
+    /// Creates an empty network. Use [`crate::NetBuilder`] for convenient
+    /// topology construction.
+    pub fn new() -> Self {
+        Network {
+            num_nodes: 0,
+            host_nodes: Vec::new(),
+            links: Vec::new(),
+            routes: HashMap::new(),
+            in_flight: EventQueue::new(),
+            inboxes: Vec::new(),
+            unroutable: 0,
+            misrouted: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Adds a host (a node with an inbox). Returns its id.
+    pub fn add_host(&mut self) -> HostId {
+        let node = self.add_node();
+        let host = HostId(self.host_nodes.len() as u32);
+        self.host_nodes.push(node);
+        self.inboxes.push(VecDeque::new());
+        host
+    }
+
+    /// Adds an interior node (router) with no inbox.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// The node a host occupies.
+    pub fn host_node(&self, host: HostId) -> NodeId {
+        self.host_nodes[host.0 as usize]
+    }
+
+    /// Adds a unidirectional link. Returns its id.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        params: LinkParams,
+        rng: SimRng,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(from, to, params, rng));
+        id
+    }
+
+    /// Installs the source route from `src` to `dst`.
+    ///
+    /// Panics if the link sequence is not contiguous from `src`'s node to
+    /// `dst`'s node — a broken route would silently blackhole traffic.
+    pub fn set_route(&mut self, src: HostId, dst: HostId, route: Vec<LinkId>) {
+        assert!(!route.is_empty(), "route must have at least one link");
+        let mut at = self.host_node(src);
+        for lid in &route {
+            let link = &self.links[lid.0 as usize];
+            assert_eq!(link.from, at, "route hop does not start where previous ended");
+            at = link.to;
+        }
+        assert_eq!(at, self.host_node(dst), "route does not end at destination");
+        self.routes.insert((src, dst), route);
+    }
+
+    /// Whether a route exists between two hosts.
+    pub fn has_route(&self, src: HostId, dst: HostId) -> bool {
+        self.routes.contains_key(&(src, dst))
+    }
+
+    /// Sends a packet at `now`. Returns `false` if no route exists or the
+    /// first link dropped it immediately.
+    pub fn send(&mut self, now: SimTime, packet: Packet<P>) -> bool {
+        let key = (packet.src.host, packet.dst.host);
+        let Some(route) = self.routes.get(&key) else {
+            self.unroutable += 1;
+            return false;
+        };
+        let first = route[0];
+        self.links[first.0 as usize].enqueue(now, packet)
+    }
+
+    /// Processes all work due by `now`: link serializations and propagation
+    /// arrivals, forwarding packets along their routes. Returns the number
+    /// of packets that moved.
+    pub fn poll(&mut self, now: SimTime) -> usize {
+        let mut moved = 0;
+        loop {
+            let mut progress = false;
+
+            // Drain link serializations due by now.
+            for lid in 0..self.links.len() {
+                for (arrive_at, packet) in self.links[lid].poll(now) {
+                    match self.hop_index(&packet, LinkId(lid as u32)) {
+                        Some(hop) => {
+                            self.in_flight.push(arrive_at, Transit { packet, hop });
+                            moved += 1;
+                        }
+                        None => self.misrouted += 1,
+                    }
+                    progress = true;
+                }
+            }
+
+            // Deliver propagations due by now.
+            while let Some(ev) = self.in_flight.pop_due(now) {
+                let Transit { packet, hop } = ev.event;
+                let key = (packet.src.host, packet.dst.host);
+                // The route existed at send time, but may have been replaced
+                // since; a packet stranded by a route change is dropped and
+                // counted rather than panicking the simulation.
+                let Some(route) = self.routes.get(&key) else {
+                    self.misrouted += 1;
+                    continue;
+                };
+                if hop + 1 >= route.len() {
+                    self.inboxes[packet.dst.host.0 as usize].push_back(packet);
+                    self.delivered += 1;
+                } else {
+                    let next = route[hop + 1];
+                    self.links[next.0 as usize].enqueue(ev.at, packet);
+                }
+                progress = true;
+                moved += 1;
+            }
+
+            if !progress {
+                return moved;
+            }
+        }
+    }
+
+    /// When the network next needs polling.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        earliest(
+            self.links
+                .iter()
+                .map(|l| l.next_wake())
+                .chain(std::iter::once(self.in_flight.next_time())),
+        )
+    }
+
+    /// Pops the next delivered packet for `host`, if any.
+    pub fn recv(&mut self, host: HostId) -> Option<Packet<P>> {
+        self.inboxes[host.0 as usize].pop_front()
+    }
+
+    /// Number of packets waiting in `host`'s inbox.
+    pub fn inbox_len(&self, host: HostId) -> usize {
+        self.inboxes[host.0 as usize].len()
+    }
+
+    /// Stats for one link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link.0 as usize].stats()
+    }
+
+    /// Count of packets that had no route.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Count of in-flight packets stranded by a mid-flight route change.
+    pub fn misrouted(&self) -> u64 {
+        self.misrouted
+    }
+
+    /// Count of packets delivered end-to-end.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Finds which hop of the packet's route `link` is; `None` when the
+    /// route changed while the packet was in flight.
+    fn hop_index(&self, packet: &Packet<P>, link: LinkId) -> Option<usize> {
+        let key = (packet.src.host, packet.dst.host);
+        self.routes
+            .get(&key)
+            .and_then(|route| route.iter().position(|l| *l == link))
+    }
+}
+
+impl<P> Default for Network<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Addr;
+    use rv_sim::SimDuration;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    /// Two hosts joined by one bidirectional pair of links.
+    fn two_hosts(params: LinkParams) -> (Network<u32>, HostId, HostId) {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let (na, nb) = (net.host_node(a), net.host_node(b));
+        let ab = net.add_link(na, nb, params, rng());
+        let ba = net.add_link(nb, na, params, rng());
+        net.set_route(a, b, vec![ab]);
+        net.set_route(b, a, vec![ba]);
+        (net, a, b)
+    }
+
+    #[test]
+    fn delivers_end_to_end_with_correct_latency() {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(20));
+        let (mut net, a, b) = two_hosts(params);
+        let t0 = SimTime::ZERO;
+        let pkt = Packet::new(Addr::new(a, 100), Addr::new(b, 200), 1250, 7u32);
+        assert!(net.send(t0, pkt));
+        // 10 ms serialization + 20 ms propagation = 30 ms.
+        net.poll(SimTime::from_millis(29));
+        assert_eq!(net.inbox_len(b), 0);
+        net.poll(SimTime::from_millis(30));
+        assert_eq!(net.inbox_len(b), 1);
+        let got = net.recv(b).unwrap();
+        assert_eq!(got.payload, 7);
+        assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn unroutable_packets_counted() {
+        let mut net: Network<u32> = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let pkt = Packet::new(Addr::new(a, 1), Addr::new(b, 2), 100, 0);
+        assert!(!net.send(SimTime::ZERO, pkt));
+        assert_eq!(net.unroutable(), 1);
+    }
+
+    #[test]
+    fn multi_hop_route_forwards() {
+        let mut net: Network<u32> = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let r = net.add_node();
+        let params = LinkParams::lan()
+            .rate(1e9)
+            .delay(SimDuration::from_millis(10));
+        let l1 = net.add_link(net.host_node(a), r, params, rng());
+        let l2 = net.add_link(r, net.host_node(b), params, rng());
+        net.set_route(a, b, vec![l1, l2]);
+        let pkt = Packet::new(Addr::new(a, 1), Addr::new(b, 2), 125, 9u32);
+        net.send(SimTime::ZERO, pkt);
+        // Two 10 ms propagation legs plus ~1 us serialization each.
+        net.poll(SimTime::from_millis(21));
+        assert_eq!(net.recv(b).unwrap().payload, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not end at destination")]
+    fn set_route_validates_endpoint() {
+        let mut net: Network<u32> = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let c = net.add_host();
+        let l = net.add_link(net.host_node(a), net.host_node(c), LinkParams::lan(), rng());
+        net.set_route(a, b, vec![l]);
+    }
+
+    #[test]
+    fn next_wake_tracks_pending_work() {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(20));
+        let (mut net, a, b) = two_hosts(params);
+        assert_eq!(net.next_wake(), None);
+        let pkt = Packet::new(Addr::new(a, 1), Addr::new(b, 2), 1250, 0u32);
+        net.send(SimTime::ZERO, pkt);
+        // Serialization finishes at 10 ms.
+        assert_eq!(net.next_wake(), Some(SimTime::from_millis(10)));
+        net.poll(SimTime::from_millis(10));
+        // Now the propagation arrival at 30 ms is pending.
+        assert_eq!(net.next_wake(), Some(SimTime::from_millis(30)));
+        net.poll(SimTime::from_millis(30));
+        assert_eq!(net.next_wake(), None);
+    }
+
+    #[test]
+    fn bidirectional_traffic_does_not_interfere() {
+        let (mut net, a, b) = two_hosts(LinkParams::lan().rate(1e9));
+        net.send(SimTime::ZERO, Packet::new(Addr::new(a, 1), Addr::new(b, 1), 100, 1u32));
+        net.send(SimTime::ZERO, Packet::new(Addr::new(b, 1), Addr::new(a, 1), 100, 2u32));
+        net.poll(SimTime::from_millis(100));
+        assert_eq!(net.recv(b).unwrap().payload, 1);
+        assert_eq!(net.recv(a).unwrap().payload, 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved_end_to_end() {
+        let (mut net, a, b) = two_hosts(LinkParams::lan().rate(1e6).queue(1 << 20));
+        for i in 0..10u32 {
+            net.send(
+                SimTime::ZERO,
+                Packet::new(Addr::new(a, 1), Addr::new(b, 1), 500, i),
+            );
+        }
+        net.poll(SimTime::from_secs(10));
+        let mut got = Vec::new();
+        while let Some(p) = net.recv(b) {
+            got.push(p.payload);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

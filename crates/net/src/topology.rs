@@ -1,0 +1,260 @@
+//! Topology builder with automatic shortest-path routing.
+//!
+//! The study's world model builds a two-tier topology per streaming session:
+//! server → server-side access link → transit path (region-dependent delay,
+//! loss, cross traffic) → user access link → client. [`NetBuilder`] keeps
+//! that construction declarative and installs BFS shortest-hop routes
+//! between every pair of hosts automatically.
+
+use std::collections::VecDeque;
+
+use rv_sim::SimRng;
+
+use crate::link::LinkParams;
+use crate::network::{LinkId, Network};
+use crate::packet::{HostId, NodeId};
+
+/// Declarative topology builder.
+pub struct NetBuilder {
+    net_nodes: u32,
+    hosts: Vec<u32>, // node indices that are hosts, in creation order
+    links: Vec<(u32, u32, LinkParams)>,
+}
+
+/// A node handle issued by the builder before the network exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildNode(u32);
+
+impl Default for NetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        NetBuilder {
+            net_nodes: 0,
+            hosts: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Declares a host (endpoint with sockets).
+    pub fn host(&mut self) -> BuildNode {
+        let n = BuildNode(self.net_nodes);
+        self.hosts.push(self.net_nodes);
+        self.net_nodes += 1;
+        n
+    }
+
+    /// Declares an interior router.
+    pub fn router(&mut self) -> BuildNode {
+        let n = BuildNode(self.net_nodes);
+        self.net_nodes += 1;
+        n
+    }
+
+    /// Adds a unidirectional link.
+    pub fn link(&mut self, from: BuildNode, to: BuildNode, params: LinkParams) {
+        self.links.push((from.0, to.0, params));
+    }
+
+    /// Adds a symmetric pair of links with identical parameters.
+    pub fn duplex(&mut self, a: BuildNode, b: BuildNode, params: LinkParams) {
+        self.link(a, b, params);
+        self.link(b, a, params);
+    }
+
+    /// Adds an asymmetric pair (common for consumer access: downstream fat,
+    /// upstream thin).
+    pub fn duplex_asym(&mut self, a: BuildNode, b: BuildNode, ab: LinkParams, ba: LinkParams) {
+        self.link(a, b, ab);
+        self.link(b, a, ba);
+    }
+
+    /// Materializes the network and installs BFS shortest-hop routes between
+    /// every ordered pair of hosts that is connected.
+    ///
+    /// `rng` seeds the per-link loss/congestion streams (forked, so link
+    /// count changes don't perturb unrelated links... each link gets its own
+    /// child stream in creation order).
+    pub fn build(self, rng: &mut SimRng) -> Network<()>
+    where
+        (): Sized,
+    {
+        self.build_with_payload::<()>(rng)
+    }
+
+    /// As [`NetBuilder::build`] but for an arbitrary payload type.
+    pub fn build_with_payload<P>(self, rng: &mut SimRng) -> Network<P> {
+        let mut net: Network<P> = Network::new();
+
+        // Create nodes in declaration order so ids match handles.
+        let mut node_ids: Vec<NodeId> = Vec::with_capacity(self.net_nodes as usize);
+        let mut host_ids: Vec<(u32, HostId)> = Vec::new();
+        for idx in 0..self.net_nodes {
+            if self.hosts.contains(&idx) {
+                let h = net.add_host();
+                node_ids.push(net.host_node(h));
+                host_ids.push((idx, h));
+            } else {
+                node_ids.push(net.add_node());
+            }
+        }
+
+        // Create links, remembering adjacency for routing.
+        let mut adj: Vec<Vec<(u32, LinkId)>> = vec![Vec::new(); self.net_nodes as usize];
+        for (from, to, params) in &self.links {
+            let lid = net.add_link(node_ids[*from as usize], node_ids[*to as usize], *params, rng.fork(u64::from(*from) << 32 | u64::from(*to)));
+            adj[*from as usize].push((*to, lid));
+        }
+
+        // BFS from every host to every other host.
+        for (src_idx, src_host) in &host_ids {
+            let preds = bfs(&adj, *src_idx, self.net_nodes);
+            for (dst_idx, dst_host) in &host_ids {
+                if src_idx == dst_idx {
+                    continue;
+                }
+                if let Some(route) = trace(&preds, *src_idx, *dst_idx) {
+                    net.set_route(*src_host, *dst_host, route);
+                }
+            }
+        }
+        net
+    }
+}
+
+/// BFS over the directed adjacency, recording the (node, link) predecessor.
+fn bfs(adj: &[Vec<(u32, LinkId)>], src: u32, n: u32) -> Vec<Option<(u32, LinkId)>> {
+    let mut preds: Vec<Option<(u32, LinkId)>> = vec![None; n as usize];
+    let mut visited = vec![false; n as usize];
+    visited[src as usize] = true;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for (v, lid) in &adj[u as usize] {
+            if !visited[*v as usize] {
+                visited[*v as usize] = true;
+                preds[*v as usize] = Some((u, *lid));
+                q.push_back(*v);
+            }
+        }
+    }
+    preds
+}
+
+/// Reconstructs the link sequence from `src` to `dst`, if reachable.
+fn trace(preds: &[Option<(u32, LinkId)>], src: u32, dst: u32) -> Option<Vec<LinkId>> {
+    let mut route = Vec::new();
+    let mut at = dst;
+    while at != src {
+        let (prev, lid) = preds[at as usize]?;
+        route.push(lid);
+        at = prev;
+    }
+    route.reverse();
+    Some(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Addr, Packet};
+    use rv_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn builds_dumbbell_and_routes() {
+        let mut b = NetBuilder::new();
+        let server = b.host();
+        let client = b.host();
+        let r1 = b.router();
+        let r2 = b.router();
+        let fast = LinkParams::lan().rate(1e9).delay(SimDuration::from_millis(1));
+        b.duplex(server, r1, fast);
+        b.duplex(r1, r2, fast);
+        b.duplex(r2, client, fast);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut net = b.build_with_payload::<u32>(&mut rng);
+
+        let (s, c) = (HostId(0), HostId(1));
+        assert!(net.has_route(s, c));
+        assert!(net.has_route(c, s));
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(s, 1), Addr::new(c, 1), 100, 42u32),
+        );
+        net.poll(SimTime::from_millis(10));
+        assert_eq!(net.recv(c).unwrap().payload, 42);
+    }
+
+    #[test]
+    fn disconnected_hosts_have_no_route() {
+        let mut b = NetBuilder::new();
+        let _a = b.host();
+        let _b = b.host();
+        let mut rng = SimRng::seed_from_u64(3);
+        let net = b.build(&mut rng);
+        assert!(!net.has_route(HostId(0), HostId(1)));
+    }
+
+    #[test]
+    fn one_way_link_gives_one_way_route() {
+        let mut b = NetBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        b.link(a, c, LinkParams::lan());
+        let mut rng = SimRng::seed_from_u64(4);
+        let net = b.build(&mut rng);
+        assert!(net.has_route(HostId(0), HostId(1)));
+        assert!(!net.has_route(HostId(1), HostId(0)));
+    }
+
+    #[test]
+    fn bfs_prefers_fewest_hops() {
+        // a -> c directly and a -> r -> c; route must use the direct link.
+        let mut b = NetBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        let r = b.router();
+        b.link(a, c, LinkParams::lan().delay(SimDuration::from_millis(1)));
+        b.link(a, r, LinkParams::lan());
+        b.link(r, c, LinkParams::lan());
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut net = b.build_with_payload::<u8>(&mut rng);
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(HostId(0), 1), Addr::new(HostId(1), 1), 100, 1u8),
+        );
+        net.poll(SimTime::from_millis(2));
+        // Direct link: ~1 ms propagation. Two-hop would be ~10 ms.
+        assert_eq!(net.inbox_len(HostId(1)), 1);
+    }
+
+    #[test]
+    fn asymmetric_duplex_uses_each_direction() {
+        let mut b = NetBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        let down = LinkParams::lan().rate(500_000.0);
+        let up = LinkParams::lan().rate(50_000.0);
+        b.duplex_asym(a, c, down, up);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut net = b.build_with_payload::<u8>(&mut rng);
+        // 1250 bytes: 20 ms down at 500 kbps, 200 ms up at 50 kbps.
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(HostId(0), 1), Addr::new(HostId(1), 1), 1250, 0),
+        );
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(HostId(1), 1), Addr::new(HostId(0), 1), 1250, 0),
+        );
+        net.poll(SimTime::from_millis(26));
+        assert_eq!(net.inbox_len(HostId(1)), 1);
+        assert_eq!(net.inbox_len(HostId(0)), 0);
+        net.poll(SimTime::from_millis(206));
+        assert_eq!(net.inbox_len(HostId(0)), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for network-layer conservation laws: packets are
+//! never created from nothing, FIFO order survives any load pattern, and
+//! link accounting always balances.
+
+use proptest::prelude::*;
+use rv_net::{Addr, HostId, LinkParams, NetBuilder, Packet};
+use rv_sim::{SimDuration, SimRng, SimTime};
+
+/// Two hosts, one duplex link with the given parameters.
+fn two_hosts(params: LinkParams, seed: u64) -> rv_net::Network<u32> {
+    let mut b = NetBuilder::new();
+    let a = b.host();
+    let z = b.host();
+    b.duplex(a, z, params);
+    let mut rng = SimRng::seed_from_u64(seed);
+    b.build_with_payload::<u32>(&mut rng)
+}
+
+proptest! {
+    /// Conservation: delivered + dropped == offered, under any mix of
+    /// packet sizes, send times, loss rate, and queue size.
+    #[test]
+    fn packets_are_conserved(
+        sends in prop::collection::vec((1u32..3000, 0u64..5_000), 1..200),
+        loss in 0.0f64..0.3,
+        queue_kb in 1u32..64,
+        seed in any::<u64>(),
+    ) {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(10))
+            .queue(queue_kb * 1024)
+            .loss(loss);
+        let mut net = two_hosts(params, seed);
+        let (a, z) = (HostId(0), HostId(1));
+        let mut accepted = 0u64;
+        for (i, (size, at_ms)) in sends.iter().enumerate() {
+            let t = SimTime::from_millis(*at_ms);
+            net.poll(t);
+            if net.send(t, Packet::new(Addr::new(a, 1), Addr::new(z, 1), *size, i as u32)) {
+                accepted += 1;
+            }
+        }
+        net.poll(SimTime::from_secs(600));
+        let mut received = 0u64;
+        while net.recv(z).is_some() {
+            received += 1;
+        }
+        // Everything the first link accepted must arrive (single hop, no
+        // further loss points).
+        prop_assert_eq!(received, accepted);
+        prop_assert_eq!(net.delivered(), accepted);
+        let stats = net.link_stats(rv_net::LinkId(0));
+        prop_assert_eq!(stats.enqueued, accepted);
+        prop_assert_eq!(
+            stats.enqueued + stats.dropped_queue + stats.dropped_loss,
+            sends.len() as u64
+        );
+    }
+
+    /// FIFO: whatever arrives, arrives in send order on a lossless link.
+    #[test]
+    fn fifo_order_is_preserved(
+        sends in prop::collection::vec((1u32..3000, 0u64..2_000), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let params = LinkParams::lan()
+            .rate(500_000.0)
+            .delay(SimDuration::from_millis(20))
+            .queue(u32::MAX);
+        let mut net = two_hosts(params, seed);
+        let (a, z) = (HostId(0), HostId(1));
+        let mut sorted_sends = sends.clone();
+        sorted_sends.sort_by_key(|(_, t)| *t);
+        for (i, (size, at_ms)) in sorted_sends.iter().enumerate() {
+            let t = SimTime::from_millis(*at_ms);
+            net.poll(t);
+            net.send(t, Packet::new(Addr::new(a, 1), Addr::new(z, 1), *size, i as u32));
+        }
+        net.poll(SimTime::from_secs(600));
+        let mut prev = None;
+        while let Some(p) = net.recv(z) {
+            if let Some(prev) = prev {
+                prop_assert!(p.payload > prev, "out of order: {} after {prev}", p.payload);
+            }
+            prev = Some(p.payload);
+        }
+    }
+
+    /// Latency sanity: delivery is never earlier than serialization +
+    /// propagation allows.
+    #[test]
+    fn no_faster_than_light_delivery(
+        size in 1u32..10_000,
+        rate_kbps in 10u32..10_000,
+        delay_ms in 0u64..500,
+    ) {
+        let rate = f64::from(rate_kbps) * 1e3;
+        let params = LinkParams::lan()
+            .rate(rate)
+            .delay(SimDuration::from_millis(delay_ms))
+            .queue(u32::MAX);
+        let mut net = two_hosts(params, 1);
+        let (a, z) = (HostId(0), HostId(1));
+        net.send(SimTime::ZERO, Packet::new(Addr::new(a, 1), Addr::new(z, 1), size, 0));
+        let min_micros =
+            (f64::from(size) * 8.0 / rate * 1e6) as u64 + delay_ms * 1000;
+        // Just before the bound: nothing may have arrived.
+        if min_micros > 1 {
+            net.poll(SimTime::from_micros(min_micros - 1));
+            prop_assert_eq!(net.inbox_len(z), 0);
+        }
+        // At (just past) the bound: it must arrive.
+        net.poll(SimTime::from_micros(min_micros + 2));
+        prop_assert_eq!(net.inbox_len(z), 1);
+    }
+}

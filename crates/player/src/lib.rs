@@ -1,0 +1,99 @@
+//! # rv-player — the RealPlayer core equivalent
+//!
+//! Consumes media packets from either transport, reassembles frames
+//! ([`Assembler`], with XOR-parity FEC recovery), and plays them through a
+//! buffered playout engine ([`Playout`]) with prebuffering, 20-second
+//! rebuffer halts, a late-frame grace window, and a CPU decode model that
+//! makes old PCs drop frames — the mechanisms behind the paper's frame
+//! rate (Figs 11–19) and jitter (Figs 20–25) distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod playout;
+mod reassembly;
+
+pub use playout::{
+    DropReason, Playout, PlayoutConfig, PlayoutEvent, PlayoutState, PlayoutStats,
+};
+pub use reassembly::{Assembler, CompleteFrame, ReassemblyStats};
+
+use rv_media::MediaPacket;
+use rv_sim::{SimDuration, SimTime};
+
+/// A complete receiving player: depacketization + reassembly + playout.
+#[derive(Debug)]
+pub struct Player {
+    assembler: Assembler,
+    playout: Playout,
+}
+
+impl Player {
+    /// Creates a player; `cpu_power` scales the decode model (1.0 = typical
+    /// new 2001 PC).
+    pub fn new(cfg: PlayoutConfig, cpu_power: f64) -> Self {
+        Player {
+            assembler: Assembler::new(),
+            playout: Playout::new(cfg, cpu_power),
+        }
+    }
+
+    /// Feeds one received media packet.
+    pub fn on_packet(&mut self, now: SimTime, pkt: MediaPacket) {
+        for frame in self.assembler.on_packet(now, pkt) {
+            self.playout.push_frame(now, frame);
+        }
+        if self.assembler.eos() {
+            self.playout.source_ended();
+        }
+    }
+
+    /// Signals that the transport was torn down (no more packets).
+    pub fn end_of_source(&mut self) {
+        self.playout.source_ended();
+    }
+
+    /// Advances playout, returning frame events.
+    pub fn poll(&mut self, now: SimTime) -> Vec<PlayoutEvent> {
+        let events = self.playout.poll(now);
+        // Partial frames whose deadline passed will never play; drop them.
+        if let Some(last) = events.iter().rev().find_map(|e| {
+            e.played_at.is_some().then_some(e.pts)
+        }) {
+            self.assembler
+                .expire_before(last.saturating_sub(SimDuration::from_secs(1)));
+        }
+        events
+    }
+
+    /// Playout state.
+    pub fn state(&self) -> PlayoutState {
+        self.playout.state()
+    }
+
+    /// Playout counters.
+    pub fn playout_stats(&self) -> PlayoutStats {
+        self.playout.stats()
+    }
+
+    /// Receive-side counters.
+    pub fn reassembly_stats(&self) -> ReassemblyStats {
+        self.assembler.stats()
+    }
+
+    /// Buffered media ahead of the playout cursor.
+    pub fn buffered_span(&self) -> SimDuration {
+        self.playout.buffered_span()
+    }
+
+    /// Drains the interval counters for a receiver report:
+    /// `(loss_rate, bytes_received)` since the last call.
+    pub fn take_interval(&mut self) -> (f64, u64) {
+        self.assembler.take_interval()
+    }
+
+    /// When the player next needs polling.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        self.playout.next_wake(now)
+    }
+}

@@ -1,0 +1,482 @@
+//! Frame reassembly, FEC recovery, and receive-side loss accounting.
+//!
+//! Media packets arrive fragmented, reordered (UDP), and with gaps; the
+//! assembler reconstructs complete frames, applies the parity packets'
+//! single-loss recovery, and keeps the sequence-gap statistics the player
+//! reports back to the server's rate controller.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rv_media::{MediaPacket, PacketKind};
+use rv_sim::{SimDuration, SimTime};
+
+/// A fully reassembled video frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompleteFrame {
+    /// Encoder frame index.
+    pub index: u32,
+    /// SureStream rung it was encoded at.
+    pub rung: u8,
+    /// Presentation time.
+    pub pts: SimDuration,
+    /// Total frame bytes.
+    pub size: u32,
+    /// Keyframe flag.
+    pub key: bool,
+    /// When the last fragment (or FEC recovery) completed the frame.
+    pub completed_at: SimTime,
+}
+
+/// Counters for the receive side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReassemblyStats {
+    /// Data/audio/parity packets received.
+    pub packets_received: u64,
+    /// Estimated packets lost (sequence gaps).
+    pub packets_lost: u64,
+    /// Media payload bytes received.
+    pub bytes_received: u64,
+    /// Frames completed normally.
+    pub frames_completed: u64,
+    /// Frames completed only thanks to a parity packet.
+    pub frames_recovered: u64,
+    /// Audio packets received.
+    pub audio_packets: u64,
+}
+
+#[derive(Debug)]
+struct PartialFrame {
+    got: Vec<bool>,
+    received: u16,
+    bytes: u32,
+    pts: SimDuration,
+    key: bool,
+}
+
+#[derive(Debug, Default)]
+struct FecGroup {
+    data_received: u16,
+    parity: Option<u16>, // group size announced by the parity packet
+    /// Size of the largest member fragment, from the parity packet: the
+    /// best available estimate for a recovered fragment's size.
+    parity_len: u16,
+    /// Incomplete frames that have fragments in this group.
+    frames: HashSet<(u8, u32)>,
+}
+
+/// Reassembles frames from media packets.
+#[derive(Debug)]
+pub struct Assembler {
+    partial: HashMap<(u8, u32), PartialFrame>,
+    /// Frames already delivered; re-received fragments must not rebuild them.
+    completed: HashSet<(u8, u32)>,
+    groups: BTreeMap<u32, FecGroup>,
+    /// Highest transport sequence seen, for loss estimation.
+    max_seq: Option<u32>,
+    seen_count: u64,
+    /// Interval accounting for receiver reports.
+    interval_bytes: u64,
+    interval_max_seq: Option<u32>,
+    interval_seen: u64,
+    interval_base_seq: Option<u32>,
+    /// Where the next interval's sequence window starts (max seen + 1).
+    next_interval_base: u32,
+    eos: bool,
+    stats: ReassemblyStats,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Assembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Assembler {
+            partial: HashMap::new(),
+            completed: HashSet::new(),
+            groups: BTreeMap::new(),
+            max_seq: None,
+            seen_count: 0,
+            interval_bytes: 0,
+            interval_max_seq: None,
+            interval_seen: 0,
+            interval_base_seq: None,
+            next_interval_base: 0,
+            eos: false,
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Lifetime counters (loss estimate updated on the fly).
+    pub fn stats(&self) -> ReassemblyStats {
+        let mut s = self.stats;
+        s.packets_lost = self.estimated_lost();
+        s
+    }
+
+    /// `true` once the end-of-stream marker arrived.
+    pub fn eos(&self) -> bool {
+        self.eos
+    }
+
+    /// Sequence-gap loss estimate over the whole session.
+    fn estimated_lost(&self) -> u64 {
+        match self.max_seq {
+            Some(max) => (u64::from(max) + 1).saturating_sub(self.seen_count),
+            None => 0,
+        }
+    }
+
+    /// Processes one packet; returns any frames it completed (usually 0–1,
+    /// more after an FEC recovery).
+    pub fn on_packet(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+        self.stats.packets_received += 1;
+        self.stats.bytes_received += pkt.wire_len() as u64;
+        self.interval_bytes += pkt.wire_len() as u64;
+        self.seen_count += 1;
+        self.interval_seen += 1;
+        self.max_seq = Some(self.max_seq.map_or(pkt.seq, |m| m.max(pkt.seq)));
+        self.interval_max_seq = Some(self.interval_max_seq.map_or(pkt.seq, |m| m.max(pkt.seq)));
+        if self.interval_base_seq.is_none() {
+            // Anchor at the stream's continuation point, not the first seq
+            // seen this interval: a reordered packet from the previous
+            // interval would otherwise inflate the expected count and
+            // report phantom loss.
+            self.interval_base_seq = Some(pkt.seq.min(self.next_interval_base));
+        }
+
+        match pkt.kind {
+            PacketKind::Audio => {
+                self.stats.audio_packets += 1;
+                Vec::new()
+            }
+            PacketKind::EndOfStream => {
+                self.eos = true;
+                Vec::new()
+            }
+            PacketKind::Video => self.on_video(now, pkt),
+            PacketKind::Parity => self.on_parity(now, pkt),
+        }
+    }
+
+    fn on_video(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+        let key = (pkt.rung, pkt.frame_index);
+        if self.completed.contains(&key) {
+            return Vec::new(); // duplicate of an already-delivered frame
+        }
+        let entry = self.partial.entry(key).or_insert_with(|| PartialFrame {
+            got: vec![false; usize::from(pkt.frag_count)],
+            received: 0,
+            bytes: 0,
+            pts: SimDuration::from_micros(pkt.pts_micros),
+            key: pkt.key,
+        });
+        let idx = usize::from(pkt.frag_index);
+        if idx >= entry.got.len() || entry.got[idx] {
+            return Vec::new(); // duplicate or malformed
+        }
+        entry.got[idx] = true;
+        entry.received += 1;
+        entry.bytes += u32::from(pkt.payload_len);
+
+        let group = self.groups.entry(pkt.group_id).or_default();
+        group.data_received += 1;
+
+        if entry.received == entry.got.len() as u16 {
+            let done = self.partial.remove(&key).expect("present");
+            self.completed.insert(key);
+            self.stats.frames_completed += 1;
+            // The frame left the partial set; drop it from group tracking.
+            for g in self.groups.values_mut() {
+                g.frames.remove(&key);
+            }
+            vec![CompleteFrame {
+                index: pkt.frame_index,
+                rung: pkt.rung,
+                pts: done.pts,
+                size: done.bytes,
+                key: done.key,
+                completed_at: now,
+            }]
+        } else {
+            self.groups
+                .entry(pkt.group_id)
+                .or_default()
+                .frames
+                .insert(key);
+            self.try_recover(now, pkt.group_id)
+        }
+    }
+
+    fn on_parity(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+        let group = self.groups.entry(pkt.group_id).or_default();
+        group.parity = Some(pkt.frag_count);
+        group.parity_len = pkt.payload_len;
+        self.try_recover(now, pkt.group_id)
+    }
+
+    /// XOR-parity semantics: if the parity packet arrived and exactly one
+    /// data packet of the group is missing, the missing fragment is
+    /// reconstructible. In the simulation the fragment's *content* is not
+    /// carried, so recovery completes the unique frame in the group that is
+    /// one fragment short.
+    fn try_recover(&mut self, now: SimTime, group_id: u32) -> Vec<CompleteFrame> {
+        let Some(group) = self.groups.get(&group_id) else {
+            return Vec::new();
+        };
+        let Some(size) = group.parity else {
+            return Vec::new();
+        };
+        if group.data_received + 1 != size {
+            return Vec::new();
+        }
+        // Find the unique one-fragment-short frame touched by this group.
+        let candidates: Vec<(u8, u32)> = group
+            .frames
+            .iter()
+            .filter(|k| {
+                self.partial
+                    .get(k)
+                    .is_some_and(|p| p.received + 1 == p.got.len() as u16)
+            })
+            .copied()
+            .collect();
+        if candidates.len() != 1 {
+            return Vec::new();
+        }
+        let key = candidates[0];
+        let recovered_len = self.groups[&group_id].parity_len;
+        let done = self.partial.remove(&key).expect("candidate exists");
+        self.completed.insert(key);
+        self.groups.remove(&group_id);
+        for g in self.groups.values_mut() {
+            g.frames.remove(&key);
+        }
+        self.stats.frames_completed += 1;
+        self.stats.frames_recovered += 1;
+        // The recovered fragment's bytes are synthesized; the parity
+        // packet's length (the largest member) is the best size estimate.
+        let recovered = if recovered_len > 0 {
+            u32::from(recovered_len)
+        } else {
+            done.bytes / u32::from(done.received.max(1))
+        };
+        vec![CompleteFrame {
+            index: key.1,
+            rung: key.0,
+            pts: done.pts,
+            size: done.bytes + recovered,
+            key: done.key,
+            completed_at: now,
+        }]
+    }
+
+    /// Drains the per-interval receiver-report counters, returning
+    /// `(loss_rate, received_bytes)` since the previous call.
+    pub fn take_interval(&mut self) -> (f64, u64) {
+        let loss = match (self.interval_base_seq, self.interval_max_seq) {
+            (Some(base), Some(max)) => {
+                let expected = u64::from(max) - u64::from(base) + 1;
+                let lost = expected.saturating_sub(self.interval_seen);
+                lost as f64 / expected as f64
+            }
+            _ => 0.0,
+        };
+        let bytes = self.interval_bytes;
+        self.next_interval_base = self
+            .interval_max_seq
+            .map_or(self.next_interval_base, |m| m.saturating_add(1));
+        self.interval_bytes = 0;
+        self.interval_seen = 0;
+        self.interval_base_seq = None;
+        self.interval_max_seq = None;
+        (loss, bytes)
+    }
+
+    /// Number of frames currently awaiting fragments.
+    pub fn pending_frames(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Discards partial frames older than `horizon` (their playout deadline
+    /// passed; holding them forever would leak).
+    pub fn expire_before(&mut self, horizon: SimDuration) {
+        let stale: Vec<(u8, u32)> = self
+            .partial
+            .iter()
+            .filter(|(_, p)| p.pts < horizon)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stale {
+            self.partial.remove(&key);
+            for g in self.groups.values_mut() {
+                g.frames.remove(&key);
+            }
+        }
+        // Old FEC groups with no live frames can go too.
+        self.groups.retain(|_, g| !g.frames.is_empty() || g.parity.is_none());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_media::{packetize_frame, parity_packet, Frame};
+
+    fn frame(index: u32, size: u32) -> Frame {
+        Frame {
+            index,
+            pts: SimDuration::from_millis(u64::from(index) * 100),
+            size,
+            key: index % 10 == 0,
+        }
+    }
+
+    fn seq_packets(frames: &[Frame], group: u32) -> Vec<MediaPacket> {
+        let mut seq = 0;
+        let mut out = Vec::new();
+        for f in frames {
+            for mut p in packetize_frame(f, 0, group) {
+                p.seq = seq;
+                seq += 1;
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_fragment_frame_completes_immediately() {
+        let mut a = Assembler::new();
+        let pkts = seq_packets(&[frame(0, 500)], 0);
+        let done = a.on_packet(SimTime::from_millis(5), pkts[0]);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].index, 0);
+        assert_eq!(done[0].size, 500);
+        assert!(done[0].key);
+        assert_eq!(done[0].completed_at, SimTime::from_millis(5));
+        assert_eq!(a.stats().frames_completed, 1);
+    }
+
+    #[test]
+    fn multi_fragment_frame_waits_for_all() {
+        let mut a = Assembler::new();
+        let pkts = seq_packets(&[frame(1, 3000)], 0);
+        assert_eq!(pkts.len(), 3);
+        assert!(a.on_packet(SimTime::ZERO, pkts[0]).is_empty());
+        assert!(a.on_packet(SimTime::ZERO, pkts[2]).is_empty());
+        let done = a.on_packet(SimTime::from_millis(9), pkts[1]);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].size, 3000);
+        assert_eq!(a.pending_frames(), 0);
+    }
+
+    #[test]
+    fn reordering_is_tolerated() {
+        let mut a = Assembler::new();
+        let mut pkts = seq_packets(&[frame(1, 2800), frame(2, 700)], 0);
+        pkts.reverse();
+        let mut done = Vec::new();
+        for p in pkts {
+            done.extend(a.on_packet(SimTime::ZERO, p));
+        }
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut a = Assembler::new();
+        let pkts = seq_packets(&[frame(1, 500)], 0);
+        assert_eq!(a.on_packet(SimTime::ZERO, pkts[0]).len(), 1);
+        assert_eq!(a.on_packet(SimTime::ZERO, pkts[0]).len(), 0);
+        assert_eq!(a.stats().frames_completed, 1);
+    }
+
+    #[test]
+    fn fec_recovers_single_loss() {
+        let mut a = Assembler::new();
+        let f = frame(1, 3000); // 3 fragments
+        let mut pkts = packetize_frame(&f, 0, 7);
+        for (i, p) in pkts.iter_mut().enumerate() {
+            p.seq = i as u32;
+        }
+        let mut parity = parity_packet(7, &pkts);
+        parity.seq = 3;
+        // Lose fragment 1.
+        assert!(a.on_packet(SimTime::ZERO, pkts[0]).is_empty());
+        assert!(a.on_packet(SimTime::ZERO, pkts[2]).is_empty());
+        let done = a.on_packet(SimTime::from_millis(3), parity);
+        assert_eq!(done.len(), 1, "parity should complete the frame");
+        assert_eq!(a.stats().frames_recovered, 1);
+        // Size approximates the original.
+        assert!(done[0].size >= 2800 && done[0].size <= 3200, "size {}", done[0].size);
+    }
+
+    #[test]
+    fn fec_cannot_recover_double_loss() {
+        let mut a = Assembler::new();
+        let f = frame(1, 4200); // 3 fragments
+        let mut pkts = packetize_frame(&f, 0, 9);
+        for (i, p) in pkts.iter_mut().enumerate() {
+            p.seq = i as u32;
+        }
+        let mut parity = parity_packet(9, &pkts);
+        parity.seq = 3;
+        assert!(a.on_packet(SimTime::ZERO, pkts[0]).is_empty());
+        assert!(a.on_packet(SimTime::ZERO, parity).is_empty());
+        assert_eq!(a.stats().frames_recovered, 0);
+    }
+
+    #[test]
+    fn loss_estimate_from_seq_gaps() {
+        let mut a = Assembler::new();
+        let frames: Vec<Frame> = (0..10).map(|i| frame(i, 500)).collect();
+        let pkts = seq_packets(&frames, 0);
+        // Drop packets 3 and 7.
+        for (i, p) in pkts.iter().enumerate() {
+            if i != 3 && i != 7 {
+                a.on_packet(SimTime::ZERO, *p);
+            }
+        }
+        assert_eq!(a.stats().packets_lost, 2);
+        let (loss, bytes) = a.take_interval();
+        assert!((loss - 0.2).abs() < 1e-9, "loss {loss}");
+        assert!(bytes > 0);
+        // Interval counters reset.
+        let (loss2, bytes2) = a.take_interval();
+        assert_eq!(loss2, 0.0);
+        assert_eq!(bytes2, 0);
+    }
+
+    #[test]
+    fn eos_flag() {
+        let mut a = Assembler::new();
+        let mut p = packetize_frame(&frame(0, 100), 0, 0)[0];
+        p.kind = PacketKind::EndOfStream;
+        a.on_packet(SimTime::ZERO, p);
+        assert!(a.eos());
+    }
+
+    #[test]
+    fn audio_counted_not_assembled() {
+        let mut a = Assembler::new();
+        let mut p = packetize_frame(&frame(0, 100), 0, 0)[0];
+        p.kind = PacketKind::Audio;
+        assert!(a.on_packet(SimTime::ZERO, p).is_empty());
+        assert_eq!(a.stats().audio_packets, 1);
+        assert_eq!(a.pending_frames(), 0);
+    }
+
+    #[test]
+    fn expiry_drops_stale_partials() {
+        let mut a = Assembler::new();
+        let pkts = seq_packets(&[frame(1, 2800)], 0);
+        a.on_packet(SimTime::ZERO, pkts[0]); // 1 of 2 fragments
+        assert_eq!(a.pending_frames(), 1);
+        a.expire_before(SimDuration::from_secs(10));
+        assert_eq!(a.pending_frames(), 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! RTSP message model and text codec.
+//!
+//! RealServer spoke RTSP (RFC 2326) on its control connection. The codec
+//! here parses and serializes the realistic wire format — request line,
+//! headers, CRLF framing, optional body with Content-Length — because the
+//! control connection runs over the simulated TCP byte stream and must
+//! survive arbitrary segmentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// RTSP request methods used by the streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Capability query.
+    Options,
+    /// Retrieve the clip's presentation description (SureStream ladder).
+    Describe,
+    /// Establish a transport for a stream.
+    Setup,
+    /// Start playout.
+    Play,
+    /// Pause playout.
+    Pause,
+    /// End the session.
+    Teardown,
+    /// Mid-session parameter change (stream switches, reports).
+    SetParameter,
+}
+
+impl Method {
+    /// All methods, for iteration in tests.
+    pub const ALL: [Method; 7] = [
+        Method::Options,
+        Method::Describe,
+        Method::Setup,
+        Method::Play,
+        Method::Pause,
+        Method::Teardown,
+        Method::SetParameter,
+    ];
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Method::Options => "OPTIONS",
+            Method::Describe => "DESCRIBE",
+            Method::Setup => "SETUP",
+            Method::Play => "PLAY",
+            Method::Pause => "PAUSE",
+            Method::Teardown => "TEARDOWN",
+            Method::SetParameter => "SET_PARAMETER",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Method> {
+        Some(match s {
+            "OPTIONS" => Method::Options,
+            "DESCRIBE" => Method::Describe,
+            "SETUP" => Method::Setup,
+            "PLAY" => Method::Play,
+            "PAUSE" => Method::Pause,
+            "TEARDOWN" => Method::Teardown,
+            "SET_PARAMETER" => Method::SetParameter,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An RTSP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200 OK.
+    pub const OK: Status = Status(200);
+    /// 404: the clip is not available.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 453: server out of capacity.
+    pub const NOT_ENOUGH_BANDWIDTH: Status = Status(453);
+    /// 461: requested transport not supported.
+    pub const UNSUPPORTED_TRANSPORT: Status = Status(461);
+
+    /// Human-readable reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            404 => "Not Found",
+            453 => "Not Enough Bandwidth",
+            461 => "Unsupported Transport",
+            _ => "Unknown",
+        }
+    }
+
+    /// `true` for 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An RTSP message: request or response, headers, optional body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A client request.
+    Request {
+        /// The method.
+        method: Method,
+        /// The target URL, e.g. `rtsp://server/clip.rm`.
+        url: String,
+        /// Header fields (names case-preserved, lookup case-insensitive).
+        headers: BTreeMap<String, String>,
+        /// Message body.
+        body: Vec<u8>,
+    },
+    /// A server response.
+    Response {
+        /// Status code.
+        status: Status,
+        /// Header fields.
+        headers: BTreeMap<String, String>,
+        /// Message body.
+        body: Vec<u8>,
+    },
+}
+
+impl Message {
+    /// Builds a bodyless request.
+    pub fn request(method: Method, url: &str) -> Message {
+        Message::Request {
+            method,
+            url: url.to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builds a bodyless response.
+    pub fn response(status: Status) -> Message {
+        Message::Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Message {
+        self.headers_mut()
+            .insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets the body and Content-Length (builder style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Message {
+        self.headers_mut()
+            .insert("Content-Length".to_string(), body.len().to_string());
+        match &mut self {
+            Message::Request { body: b, .. } | Message::Response { body: b, .. } => *b = body,
+        }
+        self
+    }
+
+    /// The message headers.
+    pub fn headers(&self) -> &BTreeMap<String, String> {
+        match self {
+            Message::Request { headers, .. } | Message::Response { headers, .. } => headers,
+        }
+    }
+
+    fn headers_mut(&mut self) -> &mut BTreeMap<String, String> {
+        match self {
+            Message::Request { headers, .. } | Message::Response { headers, .. } => headers,
+        }
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers()
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The message body.
+    pub fn body(&self) -> &[u8] {
+        match self {
+            Message::Request { body, .. } | Message::Response { body, .. } => body,
+        }
+    }
+
+    /// Serializes to the RTSP wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        match self {
+            Message::Request { method, url, .. } => {
+                out.push_str(&format!("{method} {url} RTSP/1.0\r\n"));
+            }
+            Message::Response { status, .. } => {
+                out.push_str(&format!("RTSP/1.0 {} {}\r\n", status.0, status.reason()));
+            }
+        }
+        for (k, v) in self.headers() {
+            out.push_str(&format!("{k}: {v}\r\n"));
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(self.body());
+        bytes
+    }
+}
+
+/// Errors the decoder can report for malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The start line was not a valid request or response line.
+    BadStartLine(String),
+    /// A header line had no colon.
+    BadHeader(String),
+    /// Content-Length was not a number.
+    BadContentLength(String),
+    /// The method is not one we speak.
+    UnknownMethod(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadStartLine(l) => write!(f, "bad start line: {l:?}"),
+            DecodeError::BadHeader(l) => write!(f, "bad header line: {l:?}"),
+            DecodeError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            DecodeError::UnknownMethod(m) => write!(f, "unknown method: {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental decoder over a TCP byte stream: feed bytes in arbitrary
+/// chunks, pop complete messages.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet forming a complete message.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode one complete message. Returns `Ok(None)` when more
+    /// bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, DecodeError> {
+        // Find the header/body separator.
+        let Some(header_end) = find_crlf_crlf(&self.buf) else {
+            return Ok(None);
+        };
+        let header_text = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let mut lines = header_text.split("\r\n");
+        let start = lines.next().unwrap_or_default().to_string();
+
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(DecodeError::BadHeader(line.to_string()));
+            };
+            headers.insert(name.trim().to_string(), value.trim().to_string());
+        }
+
+        let content_length = match headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| DecodeError::BadContentLength(v.clone()))?,
+            None => 0,
+        };
+
+        let body_start = header_end + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None); // body incomplete
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+
+        // Parse the start line.
+        if let Some(rest) = start.strip_prefix("RTSP/1.0 ") {
+            let mut parts = rest.splitn(2, ' ');
+            let code = parts
+                .next()
+                .and_then(|c| c.parse::<u16>().ok())
+                .ok_or_else(|| DecodeError::BadStartLine(start.clone()))?;
+            Ok(Some(Message::Response {
+                status: Status(code),
+                headers,
+                body,
+            }))
+        } else {
+            let mut parts = start.split(' ');
+            let method_str = parts.next().unwrap_or_default();
+            let url = parts
+                .next()
+                .ok_or_else(|| DecodeError::BadStartLine(start.clone()))?;
+            let version = parts.next();
+            if version != Some("RTSP/1.0") {
+                return Err(DecodeError::BadStartLine(start.clone()));
+            }
+            let method = Method::from_str(method_str)
+                .ok_or_else(|| DecodeError::UnknownMethod(method_str.to_string()))?;
+            Ok(Some(Message::Request {
+                method,
+                url: url.to_string(),
+                headers,
+                body,
+            }))
+        }
+    }
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let msg = Message::request(Method::Describe, "rtsp://srv/clip.rm")
+            .with_header("CSeq", "1")
+            .with_header("User-Agent", "RealTracer/1.0");
+        let bytes = msg.encode();
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        let got = dec.next_message().unwrap().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn response_with_body_round_trips() {
+        let msg = Message::response(Status::OK)
+            .with_header("CSeq", "2")
+            .with_body(b"v=0\r\nm=video".to_vec());
+        let bytes = msg.encode();
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        let got = dec.next_message().unwrap().unwrap();
+        assert_eq!(got.body(), b"v=0\r\nm=video");
+        assert_eq!(got.header("content-length"), Some("12"));
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_segmentation() {
+        let msg = Message::request(Method::Setup, "rtsp://s/c")
+            .with_header("Transport", "udp;client_port=5000")
+            .with_body(b"0123456789".to_vec());
+        let bytes = msg.encode();
+        // Feed one byte at a time.
+        let mut dec = Decoder::new();
+        let mut decoded = None;
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            if let Some(m) = dec.next_message().unwrap() {
+                decoded = Some(m);
+            }
+        }
+        assert_eq!(decoded.unwrap(), msg);
+    }
+
+    #[test]
+    fn decoder_handles_pipelined_messages() {
+        let a = Message::request(Method::Play, "rtsp://s/c").with_header("CSeq", "3");
+        let b = Message::request(Method::Teardown, "rtsp://s/c").with_header("CSeq", "4");
+        let mut bytes = a.encode();
+        bytes.extend(b.encode());
+        let mut dec = Decoder::new();
+        dec.feed(&bytes);
+        assert_eq!(dec.next_message().unwrap().unwrap(), a);
+        assert_eq!(dec.next_message().unwrap().unwrap(), b);
+        assert_eq!(dec.next_message().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn incomplete_message_returns_none() {
+        let mut dec = Decoder::new();
+        dec.feed(b"DESCRIBE rtsp://s/c RTSP/1.0\r\nCSeq: 1\r\n");
+        assert_eq!(dec.next_message().unwrap(), None);
+        dec.feed(b"\r\n");
+        assert!(dec.next_message().unwrap().is_some());
+    }
+
+    #[test]
+    fn bad_inputs_are_errors() {
+        let mut dec = Decoder::new();
+        dec.feed(b"NONSENSE\r\n\r\n");
+        assert!(matches!(
+            dec.next_message(),
+            Err(DecodeError::BadStartLine(_))
+        ));
+
+        let mut dec = Decoder::new();
+        dec.feed(b"FETCH rtsp://s/c RTSP/1.0\r\n\r\n");
+        assert!(matches!(
+            dec.next_message(),
+            Err(DecodeError::UnknownMethod(_))
+        ));
+
+        let mut dec = Decoder::new();
+        dec.feed(b"PLAY rtsp://s/c RTSP/1.0\r\nContent-Length: abc\r\n\r\n");
+        assert!(matches!(
+            dec.next_message(),
+            Err(DecodeError::BadContentLength(_))
+        ));
+
+        let mut dec = Decoder::new();
+        dec.feed(b"PLAY rtsp://s/c RTSP/1.0\r\nno-colon-here\r\n\r\n");
+        assert!(matches!(dec.next_message(), Err(DecodeError::BadHeader(_))));
+    }
+
+    #[test]
+    fn all_methods_round_trip() {
+        for m in Method::ALL {
+            let msg = Message::request(m, "rtsp://s/c");
+            let mut dec = Decoder::new();
+            dec.feed(&msg.encode());
+            assert_eq!(dec.next_message().unwrap().unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let msg = Message::request(Method::Options, "rtsp://s/c").with_header("CSeq", "9");
+        assert_eq!(msg.header("cseq"), Some("9"));
+        assert_eq!(msg.header("CSEQ"), Some("9"));
+        assert_eq!(msg.header("missing"), None);
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status::NOT_FOUND.reason(), "Not Found");
+        assert_eq!(Status(599).reason(), "Unknown");
+    }
+}

@@ -1,0 +1,481 @@
+//! Client and server RTSP session state machines.
+//!
+//! These machines own CSeq bookkeeping and legal-transition enforcement;
+//! the application layers (rv-server, rv-tracer) supply the decisions via
+//! [`ServerHandler`] and drive the client through explicit request methods.
+
+use crate::message::{Message, Method, Status};
+use crate::transport::TransportSpec;
+
+/// Progress of a client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Nothing sent yet.
+    Init,
+    /// DESCRIBE outstanding.
+    Describing,
+    /// Description received; SETUP outstanding.
+    SettingUp,
+    /// Transport agreed; PLAY outstanding.
+    Starting,
+    /// Stream is playing.
+    Playing,
+    /// TEARDOWN outstanding.
+    TearingDown,
+    /// Session over.
+    Done,
+    /// Server refused or protocol violation.
+    Failed,
+}
+
+/// What a client learned from a server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// DESCRIBE succeeded; body is the presentation description.
+    Described(Vec<u8>),
+    /// The clip is unavailable (404 and friends).
+    Unavailable(Status),
+    /// SETUP succeeded with the final transport.
+    SetUp(TransportSpec),
+    /// PLAY succeeded; data will flow.
+    Started,
+    /// TEARDOWN acknowledged.
+    TornDown,
+    /// The response violated the protocol or arrived out of order.
+    ProtocolError(String),
+}
+
+/// Client-side RTSP session.
+#[derive(Debug)]
+pub struct ClientSession {
+    url: String,
+    state: ClientState,
+    cseq: u32,
+    /// CSeq of the outstanding request, if any.
+    pending: Option<(u32, Method)>,
+    session_id: Option<String>,
+}
+
+impl ClientSession {
+    /// Creates a session for `url`.
+    pub fn new(url: &str) -> Self {
+        ClientSession {
+            url: url.to_string(),
+            state: ClientState::Init,
+            cseq: 0,
+            pending: None,
+            session_id: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The session id the server assigned at SETUP.
+    pub fn session_id(&self) -> Option<&str> {
+        self.session_id.as_deref()
+    }
+
+    fn request(&mut self, method: Method) -> Message {
+        self.cseq += 1;
+        self.pending = Some((self.cseq, method));
+        let mut msg =
+            Message::request(method, &self.url).with_header("CSeq", &self.cseq.to_string());
+        if let Some(id) = &self.session_id {
+            msg = msg.with_header("Session", id);
+        }
+        msg
+    }
+
+    /// Builds the DESCRIBE request. Panics when not in `Init`.
+    pub fn describe(&mut self) -> Message {
+        assert_eq!(self.state, ClientState::Init, "describe() out of order");
+        self.state = ClientState::Describing;
+        self.request(Method::Describe)
+    }
+
+    /// Builds the SETUP request with the transport the player wants.
+    pub fn setup(&mut self, spec: TransportSpec) -> Message {
+        assert_eq!(self.state, ClientState::SettingUp, "setup() out of order");
+        self.request(Method::Setup)
+            .with_header("Transport", &spec.encode())
+    }
+
+    /// Builds the PLAY request.
+    pub fn play(&mut self) -> Message {
+        assert_eq!(self.state, ClientState::Starting, "play() out of order");
+        self.request(Method::Play)
+    }
+
+    /// Builds a SET_PARAMETER carrying an application parameter (used for
+    /// receiver statistics feedback on UDP sessions). Legal only while
+    /// playing; does not change state and expects no meaningful reply.
+    pub fn set_parameter(&mut self, name: &str, value: &str) -> Message {
+        assert_eq!(
+            self.state,
+            ClientState::Playing,
+            "set_parameter() outside playback"
+        );
+        self.cseq += 1;
+        let mut msg = Message::request(Method::SetParameter, &self.url)
+            .with_header("CSeq", &self.cseq.to_string())
+            .with_header(name, value);
+        if let Some(id) = &self.session_id {
+            msg = msg.with_header("Session", id);
+        }
+        msg
+    }
+
+    /// Builds the TEARDOWN request (legal from any active state).
+    pub fn teardown(&mut self) -> Message {
+        self.state = ClientState::TearingDown;
+        self.request(Method::Teardown)
+    }
+
+    /// Processes a server response, advancing the state machine.
+    pub fn on_response(&mut self, msg: &Message) -> ClientEvent {
+        let Message::Response { status, .. } = msg else {
+            self.state = ClientState::Failed;
+            return ClientEvent::ProtocolError("request received where response expected".into());
+        };
+        // CSeq must match the outstanding request; unsolicited OK responses
+        // to SET_PARAMETER are tolerated (pending is None for those).
+        let cseq: Option<u32> = msg.header("CSeq").and_then(|v| v.parse().ok());
+        let Some((want, method)) = self.pending else {
+            return ClientEvent::ProtocolError("unsolicited response".into());
+        };
+        if cseq != Some(want) {
+            // A reply to SET_PARAMETER or a stale response: ignore politely.
+            return ClientEvent::ProtocolError(format!(
+                "CSeq mismatch: want {want} got {cseq:?}"
+            ));
+        }
+        self.pending = None;
+
+        match (method, status.is_success()) {
+            (Method::Describe, true) => {
+                self.state = ClientState::SettingUp;
+                ClientEvent::Described(msg.body().to_vec())
+            }
+            (Method::Describe, false) => {
+                self.state = ClientState::Failed;
+                ClientEvent::Unavailable(*status)
+            }
+            (Method::Setup, true) => {
+                self.session_id = msg.header("Session").map(str::to_string);
+                match msg.header("Transport").and_then(TransportSpec::parse) {
+                    Some(spec) => {
+                        self.state = ClientState::Starting;
+                        ClientEvent::SetUp(spec)
+                    }
+                    None => {
+                        self.state = ClientState::Failed;
+                        ClientEvent::ProtocolError("SETUP reply without transport".into())
+                    }
+                }
+            }
+            (Method::Setup, false) => {
+                self.state = ClientState::Failed;
+                ClientEvent::Unavailable(*status)
+            }
+            (Method::Play, true) => {
+                self.state = ClientState::Playing;
+                ClientEvent::Started
+            }
+            (Method::Play, false) => {
+                self.state = ClientState::Failed;
+                ClientEvent::Unavailable(*status)
+            }
+            (Method::Teardown, _) => {
+                self.state = ClientState::Done;
+                ClientEvent::TornDown
+            }
+            (m, ok) => {
+                self.state = ClientState::Failed;
+                ClientEvent::ProtocolError(format!("unexpected response to {m} (ok={ok})"))
+            }
+        }
+    }
+}
+
+/// The server application's decisions, invoked by [`ServerSession`].
+pub trait ServerHandler {
+    /// Returns the presentation description for `url`, or `None` → 404.
+    fn describe(&mut self, url: &str) -> Option<Vec<u8>>;
+    /// Observes the client's advertised maximum bandwidth (the RealPlayer
+    /// "connection speed" setting, sent as a Bandwidth header). Default: ignore.
+    fn client_bandwidth(&mut self, _bps: u32) {}
+    /// Decides the final transport (may downgrade UDP→TCP), or an error
+    /// status refusing the setup.
+    fn setup(&mut self, url: &str, requested: TransportSpec) -> Result<TransportSpec, Status>;
+    /// Starts streaming. Always succeeds in this model.
+    fn play(&mut self, url: &str);
+    /// Receives a client parameter (receiver reports etc.).
+    fn set_parameter(&mut self, url: &str, name: &str, value: &str);
+    /// Stops streaming.
+    fn teardown(&mut self, url: &str);
+}
+
+/// Server-side RTSP session: validates requests and produces responses,
+/// delegating decisions to a [`ServerHandler`].
+#[derive(Debug, Default)]
+pub struct ServerSession {
+    session_counter: u32,
+    session_id: Option<String>,
+}
+
+impl ServerSession {
+    /// A fresh server session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles one request, returning the response to send.
+    pub fn on_request<H: ServerHandler>(&mut self, handler: &mut H, msg: &Message) -> Message {
+        let Message::Request {
+            method,
+            url,
+            headers,
+            ..
+        } = msg
+        else {
+            return Message::response(Status(400));
+        };
+        let cseq = msg.header("CSeq").unwrap_or("0").to_string();
+        if let Some(bw) = msg.header("Bandwidth").and_then(|v| v.parse().ok()) {
+            handler.client_bandwidth(bw);
+        }
+        let respond = |status: Status| Message::response(status).with_header("CSeq", &cseq);
+
+        match method {
+            Method::Options => respond(Status::OK)
+                .with_header("Public", "DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN, SET_PARAMETER"),
+            Method::Describe => match handler.describe(url) {
+                Some(body) => respond(Status::OK).with_body(body),
+                None => respond(Status::NOT_FOUND),
+            },
+            Method::Setup => {
+                let Some(requested) = msg.header("Transport").and_then(TransportSpec::parse)
+                else {
+                    return respond(Status::UNSUPPORTED_TRANSPORT);
+                };
+                match handler.setup(url, requested) {
+                    Ok(spec) => {
+                        self.session_counter += 1;
+                        let id = format!("sess-{}", self.session_counter);
+                        self.session_id = Some(id.clone());
+                        respond(Status::OK)
+                            .with_header("Session", &id)
+                            .with_header("Transport", &spec.encode())
+                    }
+                    Err(status) => respond(status),
+                }
+            }
+            Method::Play => {
+                if self.session_matches(headers.get("Session")) {
+                    handler.play(url);
+                    respond(Status::OK)
+                } else {
+                    respond(Status(454)) // Session Not Found
+                }
+            }
+            Method::Pause => respond(Status::OK),
+            Method::SetParameter => {
+                // Every non-CSeq/Session header is an application parameter.
+                for (k, v) in headers {
+                    if !k.eq_ignore_ascii_case("cseq") && !k.eq_ignore_ascii_case("session") {
+                        handler.set_parameter(url, k, v);
+                    }
+                }
+                respond(Status::OK)
+            }
+            Method::Teardown => {
+                handler.teardown(url);
+                self.session_id = None;
+                respond(Status::OK)
+            }
+        }
+    }
+
+    fn session_matches(&self, got: Option<&String>) -> bool {
+        match (&self.session_id, got) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportKind;
+
+    /// A scripted handler for tests.
+    struct TestHandler {
+        clip_exists: bool,
+        force_tcp: bool,
+        played: bool,
+        torn_down: bool,
+        params: Vec<(String, String)>,
+    }
+
+    impl Default for TestHandler {
+        fn default() -> Self {
+            TestHandler {
+                clip_exists: true,
+                force_tcp: false,
+                played: false,
+                torn_down: false,
+                params: Vec::new(),
+            }
+        }
+    }
+
+    impl ServerHandler for TestHandler {
+        fn describe(&mut self, _url: &str) -> Option<Vec<u8>> {
+            self.clip_exists.then(|| b"sdp-body".to_vec())
+        }
+        fn setup(&mut self, _url: &str, requested: TransportSpec) -> Result<TransportSpec, Status> {
+            if self.force_tcp {
+                Ok(TransportSpec::tcp())
+            } else {
+                Ok(TransportSpec {
+                    server_port: Some(6970),
+                    ..requested
+                })
+            }
+        }
+        fn play(&mut self, _url: &str) {
+            self.played = true;
+        }
+        fn set_parameter(&mut self, _url: &str, name: &str, value: &str) {
+            self.params.push((name.to_string(), value.to_string()));
+        }
+        fn teardown(&mut self, _url: &str) {
+            self.torn_down = true;
+        }
+    }
+
+    fn full_handshake(handler: &mut TestHandler) -> (ClientSession, ServerSession) {
+        let mut client = ClientSession::new("rtsp://srv/clip.rm");
+        let mut server = ServerSession::new();
+
+        let resp = server.on_request(handler, &client.describe());
+        assert_eq!(
+            client.on_response(&resp),
+            ClientEvent::Described(b"sdp-body".to_vec())
+        );
+
+        let resp = server.on_request(handler, &client.setup(TransportSpec::udp(5002)));
+        match client.on_response(&resp) {
+            ClientEvent::SetUp(_) => {}
+            other => panic!("expected SetUp, got {other:?}"),
+        }
+
+        let resp = server.on_request(handler, &client.play());
+        assert_eq!(client.on_response(&resp), ClientEvent::Started);
+        assert_eq!(client.state(), ClientState::Playing);
+        (client, server)
+    }
+
+    #[test]
+    fn full_session_lifecycle() {
+        let mut h = TestHandler::default();
+        let (mut client, mut server) = full_handshake(&mut h);
+        assert!(h.played);
+
+        let resp = server.on_request(&mut h, &client.teardown());
+        assert_eq!(client.on_response(&resp), ClientEvent::TornDown);
+        assert_eq!(client.state(), ClientState::Done);
+        assert!(h.torn_down);
+    }
+
+    #[test]
+    fn missing_clip_gives_unavailable() {
+        let mut h = TestHandler {
+            clip_exists: false,
+            ..TestHandler::default()
+        };
+        let mut client = ClientSession::new("rtsp://srv/missing.rm");
+        let mut server = ServerSession::new();
+        let resp = server.on_request(&mut h, &client.describe());
+        assert_eq!(
+            client.on_response(&resp),
+            ClientEvent::Unavailable(Status::NOT_FOUND)
+        );
+        assert_eq!(client.state(), ClientState::Failed);
+    }
+
+    #[test]
+    fn server_can_downgrade_to_tcp() {
+        let mut h = TestHandler {
+            force_tcp: true,
+            ..TestHandler::default()
+        };
+        let mut client = ClientSession::new("rtsp://srv/clip.rm");
+        let mut server = ServerSession::new();
+        let resp = server.on_request(&mut h, &client.describe());
+        client.on_response(&resp);
+        let resp = server.on_request(&mut h, &client.setup(TransportSpec::udp(5002)));
+        match client.on_response(&resp) {
+            ClientEvent::SetUp(spec) => assert_eq!(spec.kind, TransportKind::Tcp),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn play_without_setup_session_is_rejected() {
+        let mut h = TestHandler::default();
+        let mut server = ServerSession::new();
+        // Forge a PLAY with a bogus session header.
+        let req = Message::request(Method::Play, "rtsp://srv/clip.rm")
+            .with_header("CSeq", "9")
+            .with_header("Session", "sess-999");
+        let resp = server.on_request(&mut h, &req);
+        match resp {
+            Message::Response { status, .. } => assert_eq!(status, Status(454)),
+            _ => panic!("expected response"),
+        }
+        assert!(!h.played);
+    }
+
+    #[test]
+    fn set_parameter_reaches_handler() {
+        let mut h = TestHandler::default();
+        let (mut client, mut server) = full_handshake(&mut h);
+        let msg = client.set_parameter("x-loss-rate", "0.031");
+        server.on_request(&mut h, &msg);
+        assert_eq!(h.params, vec![("x-loss-rate".to_string(), "0.031".to_string())]);
+        // Still playing: feedback must not disturb the session.
+        assert_eq!(client.state(), ClientState::Playing);
+    }
+
+    #[test]
+    fn cseq_mismatch_is_flagged() {
+        let mut client = ClientSession::new("rtsp://srv/c");
+        let _ = client.describe();
+        let bogus = Message::response(Status::OK).with_header("CSeq", "42");
+        match client.on_response(&bogus) {
+            ClientEvent::ProtocolError(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn setup_before_describe_panics() {
+        let mut client = ClientSession::new("rtsp://srv/c");
+        let _ = client.setup(TransportSpec::udp(5002));
+    }
+
+    #[test]
+    fn options_lists_methods() {
+        let mut h = TestHandler::default();
+        let mut server = ServerSession::new();
+        let req = Message::request(Method::Options, "*").with_header("CSeq", "1");
+        let resp = server.on_request(&mut h, &req);
+        assert!(resp.header("Public").unwrap().contains("SETUP"));
+    }
+}

@@ -1,0 +1,755 @@
+//! The streaming server: session control, SureStream switching, pacing,
+//! scalable-video thinning, FEC, and UDP rate control.
+//!
+//! One [`RealServer`] serves one streaming session (the study runs every
+//! session in its own simulated world; server-side contention is modeled by
+//! cross traffic on the server's access link). The server:
+//!
+//! * answers RTSP on the control TCP connection (DESCRIBE/SETUP/PLAY/...),
+//! * streams media packets over the negotiated transport, running ahead of
+//!   real time by `buffer_lead` to fill the player's buffer (the initial
+//!   bandwidth burst visible in the paper's Figure 1),
+//! * adapts: picks the SureStream rung fitting the measured throughput
+//!   (TFRC reports on UDP, delivered-byte rate on TCP), switching with
+//!   hysteresis, and thins non-key frames when even the lowest rung
+//!   exceeds the available rate (Scalable Video Technology),
+//! * protects UDP data with one XOR-parity packet per FEC group.
+
+use rv_net::Addr;
+use rv_rtsp::{Decoder, ServerHandler, ServerSession, Status, TransportKind, TransportSpec};
+use rv_media::{
+    packetize_frame, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind,
+};
+use rv_sim::{SimDuration, SimTime};
+use rv_transport::{Stack, TcpHandle, UdpHandle};
+
+use crate::catalog::Catalog;
+use crate::ratecontrol::{ReceiverReport, TfrcConfig, TfrcController, TokenBucket};
+
+/// The SET_PARAMETER header carrying receiver reports.
+pub const REPORT_PARAM: &str = "x-receiver-report";
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Whether this server picks UDP for auto-configured clients.
+    pub prefers_udp: bool,
+    /// Server-side UDP data port.
+    pub data_udp_port: u16,
+    /// How far ahead of the playout clock the server pushes media.
+    pub buffer_lead: SimDuration,
+    /// Data packets per FEC group on UDP (0 disables parity).
+    pub fec_group: usize,
+    /// UDP rate controller parameters.
+    pub tfrc: TfrcConfig,
+    /// Minimum spacing between upward rung switches.
+    pub switch_hold: SimDuration,
+    /// Rate re-evaluation period.
+    pub rate_eval_period: SimDuration,
+    /// Halve the UDP rate when no report arrives for this long.
+    pub report_timeout: SimDuration,
+    /// Spacing of audio packets.
+    pub audio_interval: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            prefers_udp: true,
+            data_udp_port: 6970,
+            buffer_lead: SimDuration::from_secs(13),
+            fec_group: 8,
+            tfrc: TfrcConfig::default(),
+            switch_hold: SimDuration::from_secs(5),
+            rate_eval_period: SimDuration::from_secs(1),
+            report_timeout: SimDuration::from_secs(3),
+            audio_interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Server lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Video data packets sent.
+    pub video_packets: u64,
+    /// Audio packets sent.
+    pub audio_packets: u64,
+    /// FEC parity packets sent.
+    pub parity_packets: u64,
+    /// Media payload bytes sent (headers included).
+    pub bytes_sent: u64,
+    /// Video frames fully transmitted.
+    pub frames_sent: u64,
+    /// Frames skipped by scalable-video thinning.
+    pub frames_thinned: u64,
+    /// Downward rung switches.
+    pub switches_down: u64,
+    /// Upward rung switches.
+    pub switches_up: u64,
+    /// Malformed control messages dropped.
+    pub control_errors: u64,
+}
+
+/// Decisions + state shared with the RTSP handler callbacks.
+#[derive(Debug)]
+struct ServerCore {
+    catalog: Catalog,
+    prefers_udp: bool,
+    data_udp_port: u16,
+    client_max_bps: Option<u32>,
+    negotiated: Option<TransportSpec>,
+    pending_play: Option<String>,
+    pending_teardown: bool,
+    pending_reports: Vec<ReceiverReport>,
+}
+
+impl ServerHandler for ServerCore {
+    fn describe(&mut self, url: &str) -> Option<Vec<u8>> {
+        let name = clip_name(url);
+        self.catalog.get(name).map(Clip::describe)
+    }
+
+    fn client_bandwidth(&mut self, bps: u32) {
+        self.client_max_bps = Some(bps);
+    }
+
+    fn setup(&mut self, _url: &str, requested: TransportSpec) -> Result<TransportSpec, Status> {
+        let spec = match requested.kind {
+            TransportKind::Udp if self.prefers_udp => TransportSpec {
+                server_port: Some(self.data_udp_port),
+                ..requested
+            },
+            // Client asked for TCP, or this server downgrades UDP to TCP.
+            _ => TransportSpec::tcp(),
+        };
+        self.negotiated = Some(spec);
+        Ok(spec)
+    }
+
+    fn play(&mut self, url: &str) {
+        self.pending_play = Some(clip_name(url).to_string());
+    }
+
+    fn set_parameter(&mut self, _url: &str, name: &str, value: &str) {
+        if name.eq_ignore_ascii_case(REPORT_PARAM) {
+            if let Some(report) = ReceiverReport::parse(value) {
+                self.pending_reports.push(report);
+            }
+        }
+    }
+
+    fn teardown(&mut self, _url: &str) {
+        self.pending_teardown = true;
+    }
+}
+
+/// Extracts the clip name from an rtsp:// URL (the final path component).
+fn clip_name(url: &str) -> &str {
+    url.rsplit('/').next().unwrap_or(url)
+}
+
+/// One active outbound stream.
+#[derive(Debug)]
+struct ActiveStream {
+    clip: Clip,
+    transport: TransportKind,
+    client_udp: Option<Addr>,
+    rung: usize,
+    /// Highest rung this client's bandwidth setting allows. SureStream
+    /// never serves above the player's configured connection speed — the
+    /// headroom between rung rate and path rate is what keeps the buffer
+    /// full and playout smooth.
+    max_rung: usize,
+    schedule: FrameSchedule,
+    next_frame: usize,
+    play_epoch: SimTime,
+    /// High-water mark of transmitted presentation time.
+    sent_until: SimDuration,
+    next_audio: SimDuration,
+    audio_seq: u32,
+    fec_buf: Vec<MediaPacket>,
+    group_id: u32,
+    thin_debt: f64,
+    /// Persistent pacing bucket for UDP (rate follows the TFRC controller).
+    bucket: TokenBucket,
+    eos_sent: bool,
+    last_rate_eval: SimTime,
+    last_switch: SimTime,
+    tcp_bytes_acked_prev: u64,
+    last_timeout_check: SimTime,
+}
+
+/// The streaming server for one session.
+#[derive(Debug)]
+pub struct RealServer {
+    cfg: ServerConfig,
+    core: ServerCore,
+    rtsp: ServerSession,
+    decoder: Decoder,
+    ctrl: TcpHandle,
+    data_tcp: TcpHandle,
+    udp: UdpHandle,
+    stream: Option<ActiveStream>,
+    tfrc: TfrcController,
+    next_seq: u32,
+    clip_seed: u64,
+    stats: ServerStats,
+}
+
+impl RealServer {
+    /// Creates a server. `ctrl` and `data_tcp` must be listening TCP
+    /// sockets; `udp` the server's data socket. `clip_seed` makes clip
+    /// encodings deterministic per server.
+    pub fn new(
+        cfg: ServerConfig,
+        catalog: Catalog,
+        ctrl: TcpHandle,
+        data_tcp: TcpHandle,
+        udp: UdpHandle,
+        clip_seed: u64,
+    ) -> Self {
+        RealServer {
+            core: ServerCore {
+                catalog,
+                prefers_udp: cfg.prefers_udp,
+                data_udp_port: cfg.data_udp_port,
+                client_max_bps: None,
+                negotiated: None,
+                pending_play: None,
+                pending_teardown: false,
+                pending_reports: Vec::new(),
+            },
+            rtsp: ServerSession::new(),
+            decoder: Decoder::new(),
+            ctrl,
+            data_tcp,
+            udp,
+            stream: None,
+            tfrc: TfrcController::new(cfg.tfrc, 100_000.0),
+            next_seq: 0,
+            clip_seed,
+            stats: ServerStats::default(),
+            cfg,
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The rung currently streaming, if any.
+    pub fn current_rung(&self) -> Option<usize> {
+        self.stream.as_ref().map(|s| s.rung)
+    }
+
+    /// The UDP rate controller's current allowed rate.
+    pub fn allowed_bps(&self) -> f64 {
+        self.tfrc.allowed_bps()
+    }
+
+    /// `true` while a stream is active.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Debug snapshot: (rung, next_frame, schedule len, sent_until ms).
+    pub fn debug_stream(&self) -> Option<(usize, usize, usize, u64)> {
+        self.stream.as_ref().map(|s| {
+            (s.rung, s.next_frame, s.schedule.len(), s.sent_until.as_millis())
+        })
+    }
+
+    /// Debug: the rate controller's smoothed loss estimate.
+    pub fn debug_loss(&self) -> f64 {
+        self.tfrc.smoothed_loss()
+    }
+
+    /// Runs the server at `now`: control-plane processing then data pump.
+    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) {
+        self.pump_control(stack);
+        self.apply_control_events(now, stack);
+        self.pump_data(now, stack);
+    }
+
+    /// When the server next needs attention.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        // While streaming, pacing and rate evaluation need a steady tick;
+        // idle servers are woken by control-connection arrivals.
+        self.stream
+            .as_ref()
+            .map(|_| now + SimDuration::from_millis(20))
+    }
+
+    fn pump_control(&mut self, stack: &mut Stack) {
+        let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
+        if !bytes.is_empty() {
+            self.decoder.feed(&bytes);
+        }
+        loop {
+            match self.decoder.next_message() {
+                Ok(Some(msg)) => {
+                    let resp = self.rtsp.on_request(&mut self.core, &msg);
+                    let encoded = resp.encode();
+                    stack.tcp(self.ctrl).send(&encoded);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.stats.control_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn apply_control_events(&mut self, now: SimTime, stack: &mut Stack) {
+        if self.core.pending_teardown {
+            self.core.pending_teardown = false;
+            self.stream = None;
+        }
+        if let Some(clip_name) = self.core.pending_play.take() {
+            self.start_stream(now, stack, &clip_name);
+        }
+        let rtt = stack
+            .tcp_ref(self.ctrl)
+            .srtt()
+            .unwrap_or(SimDuration::from_millis(200));
+        for report in self.core.pending_reports.drain(..) {
+            self.tfrc.on_report(now, report, rtt);
+        }
+    }
+
+    fn start_stream(&mut self, now: SimTime, stack: &mut Stack, clip_name: &str) {
+        let Some(clip) = self.core.catalog.get(clip_name).cloned() else {
+            return; // vanished between DESCRIBE and PLAY
+        };
+        let Some(spec) = self.core.negotiated else {
+            return; // PLAY without SETUP: session machine already rejected
+        };
+        // Initial rung: what the client says its connection supports,
+        // moderated by what TFRC currently believes.
+        let client_bps = f64::from(self.core.client_max_bps.unwrap_or(300_000));
+        let max_rung = clip.ladder.select(client_bps * 0.9);
+        let initial = clip.ladder.select(client_bps * 0.8).min(max_rung);
+        let rung_bps = f64::from(clip.ladder.rungs()[initial].total_bps);
+        // Cap the rate controller at the top rung (plus pacing headroom):
+        // a media server has nothing to gain from probing beyond the
+        // encoded rate, and doing so only manufactures queue loss.
+        let top_bps = f64::from(
+            clip.ladder
+                .rungs()
+                .last()
+                .expect("ladder nonempty")
+                .total_bps,
+        );
+        // ... and never above the client's stated connection speed: pushing
+        // past the access link only fills its queue with loss and delay.
+        let tfrc_cfg = crate::ratecontrol::TfrcConfig {
+            max_rate_bps: self
+                .cfg
+                .tfrc
+                .max_rate_bps
+                .min(top_bps * 1.25)
+                // 0.85: leave room for FEC (+1/8), audio, and headers so
+                // the wire rate stays under the client's access link.
+                .min(client_bps * 0.85),
+            ..self.cfg.tfrc
+        };
+        self.tfrc = TfrcController::new(tfrc_cfg, rung_bps.max(20_000.0) * 1.5);
+
+        let client_udp = match spec.kind {
+            TransportKind::Udp => {
+                let host = stack
+                    .tcp_ref(self.ctrl)
+                    .remote()
+                    .map(|a| a.host)
+                    .expect("control connection is established");
+                Some(Addr::new(host, spec.client_port))
+            }
+            TransportKind::Tcp => None,
+        };
+
+        let schedule = self.schedule_for(&clip, initial);
+        self.stream = Some(ActiveStream {
+            transport: spec.kind,
+            client_udp,
+            rung: initial,
+            max_rung,
+            schedule,
+            next_frame: 0,
+            play_epoch: now,
+            sent_until: SimDuration::ZERO,
+            next_audio: SimDuration::ZERO,
+            audio_seq: 0,
+            fec_buf: Vec::new(),
+            group_id: 0,
+            thin_debt: 0.0,
+            bucket: {
+                // The burst must exceed the largest single frame (a
+                // low-action keyframe at the top rung can reach ~16 KB);
+                // a frame bigger than the burst could never be sent and
+                // would livelock the stream.
+                let mut b = TokenBucket::new(self.tfrc.allowed_bps(), 32_000.0);
+                // Anchor refills to the stream start, not time zero.
+                b.try_consume(now, 0);
+                b
+            },
+            eos_sent: false,
+            last_rate_eval: now,
+            last_switch: now,
+            tcp_bytes_acked_prev: 0,
+            last_timeout_check: now,
+            clip,
+        });
+    }
+
+    fn schedule_for(&self, clip: &Clip, rung: usize) -> FrameSchedule {
+        let enc = &clip.ladder.rungs()[rung];
+        let seed = self
+            .clip_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hash_name(&clip.name))
+            .wrapping_add(rung as u64);
+        FrameSchedule::generate(enc, clip.content, clip.duration, seed)
+    }
+
+    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) {
+        let Some(mut stream) = self.stream.take() else {
+            return;
+        };
+        self.evaluate_rate(now, stack, &mut stream);
+
+        let media_clock = now.saturating_since(stream.play_epoch);
+        let horizon = media_clock + self.cfg.buffer_lead;
+        let rung_bps = f64::from(stream.clip.ladder.rungs()[stream.rung].total_bps);
+        // Scalable Video Technology thinning applies to the rate-controlled
+        // UDP path; TCP is governed by its own backpressure. Thinning to
+        // ~85 % of the allowed rate leaves delivery margin so the surviving
+        // frames arrive ahead of their deadlines and play smoothly —
+        // "reduce the frame rate in a controlled fashion to maintain smooth
+        // video" (paper, Section II.C).
+        let thin_ratio = match stream.transport {
+            TransportKind::Udp => (0.85 * self.tfrc.allowed_bps() / rung_bps).clamp(0.0, 1.0),
+            TransportKind::Tcp => 1.0,
+        };
+        // UDP pacing follows the rate controller; TCP paces itself.
+        stream.bucket.set_rate(self.tfrc.allowed_bps().max(8_000.0));
+
+        // --- audio track (constant rate) ---
+        let audio_bps = stream.clip.ladder.rungs()[stream.rung].audio_bps;
+        let audio_bytes =
+            (f64::from(audio_bps) * self.cfg.audio_interval.as_secs_f64() / 8.0) as u16;
+        while stream.next_audio <= horizon && stream.next_audio < stream.clip.duration
+        {
+            let pkt = MediaPacket {
+                kind: PacketKind::Audio,
+                key: false,
+                rung: stream.rung as u8,
+                frame_index: stream.audio_seq,
+                frag_index: 0,
+                frag_count: 1,
+                pts_micros: stream.next_audio.as_micros(),
+                group_id: 0,
+                seq: 0,
+                payload_len: audio_bytes.max(8),
+            };
+            let wire = pkt.wire_len() as u32;
+            let can_send = match stream.transport {
+                TransportKind::Udp => stream.bucket.try_consume(now, wire),
+                TransportKind::Tcp => {
+                    stack.tcp_ref(self.data_tcp).send_capacity_left() >= wire as usize
+                }
+            };
+            if !can_send {
+                break;
+            }
+            let mut pkt = pkt;
+            pkt.seq = self.bump_seq();
+            self.transmit(stack, &stream, pkt);
+            self.stats.audio_packets += 1;
+            stream.audio_seq += 1;
+            stream.next_audio += self.cfg.audio_interval;
+        }
+
+        // --- video frames ---
+        while stream.next_frame < stream.schedule.len() {
+            let frame = stream.schedule.frames()[stream.next_frame];
+            if frame.pts > horizon {
+                break;
+            }
+            // Scalable Video Technology: drop non-key frames when the
+            // allowed rate is meaningfully below the rung's rate (small
+            // transient dips are absorbed by the playout buffer).
+            if !frame.key && thin_ratio < 0.90 {
+                stream.thin_debt += 1.0 - thin_ratio;
+                if stream.thin_debt >= 1.0 {
+                    stream.thin_debt -= 1.0;
+                    stream.next_frame += 1;
+                    stream.sent_until = frame.pts;
+                    self.stats.frames_thinned += 1;
+                    continue;
+                }
+            }
+            let pkts = packetize_frame(&frame, stream.rung as u8, stream.group_id);
+            let wire: u32 = pkts.iter().map(|p| p.wire_len() as u32).sum();
+            // Charge the FEC parity share up front so the pacing budget
+            // covers every byte that will hit the wire.
+            let wire_with_fec = if self.cfg.fec_group > 0 && stream.transport == TransportKind::Udp
+            {
+                wire + wire / self.cfg.fec_group as u32 + 8
+            } else {
+                wire
+            };
+            let can_send = match stream.transport {
+                TransportKind::Udp => stream.bucket.try_consume(now, wire_with_fec),
+                TransportKind::Tcp => {
+                    stack.tcp_ref(self.data_tcp).send_capacity_left() >= wire as usize
+                }
+            };
+            if !can_send {
+                break;
+            }
+            for mut pkt in pkts {
+                pkt.seq = self.bump_seq();
+                self.transmit(stack, &stream, pkt);
+                if self.cfg.fec_group > 0 && stream.transport == TransportKind::Udp {
+                    stream.fec_buf.push(pkt);
+                    if stream.fec_buf.len() >= self.cfg.fec_group {
+                        let mut parity = parity_packet(stream.group_id, &stream.fec_buf);
+                        parity.seq = self.bump_seq();
+                        self.transmit(stack, &stream, parity);
+                        self.stats.parity_packets += 1;
+                        stream.fec_buf.clear();
+                        stream.group_id += 1;
+                    }
+                }
+            }
+            self.stats.frames_sent += 1;
+            stream.next_frame += 1;
+            stream.sent_until = frame.pts;
+        }
+
+        // --- end of stream ---
+        if !stream.eos_sent
+            && stream.next_frame >= stream.schedule.len()
+            && stream.next_audio >= stream.clip.duration
+        {
+            let mut pkt = MediaPacket {
+                kind: PacketKind::EndOfStream,
+                key: false,
+                rung: stream.rung as u8,
+                frame_index: 0,
+                frag_index: 0,
+                frag_count: 1,
+                pts_micros: stream.clip.duration.as_micros(),
+                group_id: 0,
+                seq: 0,
+                payload_len: 0,
+            };
+            pkt.seq = self.bump_seq();
+            self.transmit(stack, &stream, pkt);
+            stream.eos_sent = true;
+        }
+
+        self.stream = Some(stream);
+    }
+
+    fn evaluate_rate(&mut self, now: SimTime, stack: &mut Stack, stream: &mut ActiveStream) {
+        if now.saturating_since(stream.last_rate_eval) < self.cfg.rate_eval_period {
+            return;
+        }
+        let dt = now.saturating_since(stream.last_rate_eval).as_secs_f64();
+        stream.last_rate_eval = now;
+
+        // Feedback starvation on UDP halves the rate.
+        if stream.transport == TransportKind::Udp {
+            let last = self.tfrc.last_report().unwrap_or(stream.play_epoch);
+            if now.saturating_since(last) > self.cfg.report_timeout
+                && now.saturating_since(stream.last_timeout_check) > self.cfg.report_timeout
+            {
+                self.tfrc.on_report_timeout();
+                stream.last_timeout_check = now;
+            }
+        }
+
+        // Rung selection with hysteresis: switch down on clear evidence the
+        // current rate cannot be sustained; step up one rung at a time when
+        // the path has comfortably supported more for a while.
+        let rungs = stream.clip.ladder.rungs();
+        let cur_bps = f64::from(rungs[stream.rung].total_bps);
+        let next_bps = rungs.get(stream.rung + 1).map(|r| f64::from(r.total_bps));
+        let held = now.saturating_since(stream.last_switch) >= self.cfg.switch_hold;
+
+        match stream.transport {
+            TransportKind::Udp => {
+                let allowed = self.tfrc.allowed_bps();
+                if allowed < cur_bps * 0.85 {
+                    let desired = stream.clip.ladder.select(allowed);
+                    if desired < stream.rung {
+                        self.switch_rung(now, stream, desired);
+                        self.stats.switches_down += 1;
+                    }
+                } else if let Some(next_bps) = next_bps {
+                    if allowed > next_bps * 1.15 && held && stream.rung < stream.max_rung {
+                        let next = stream.rung + 1;
+                        self.switch_rung(now, stream, next);
+                        self.stats.switches_up += 1;
+                    }
+                }
+            }
+            TransportKind::Tcp => {
+                let acked = stack.tcp_ref(self.data_tcp).stats().bytes_acked;
+                let measured = (acked - stream.tcp_bytes_acked_prev) as f64 * 8.0 / dt.max(0.1);
+                stream.tcp_bytes_acked_prev = acked;
+                let backlog = stack.tcp_ref(self.data_tcp).unacked_and_unsent();
+                // A large standing backlog means TCP cannot drain what we
+                // offer: the measured rate is the path's real capacity. An
+                // empty backlog means the offered (media) rate understates
+                // the path, so the only down-signal is the backlog itself.
+                if backlog > 32 * 1024 && measured > 1_000.0 && measured < cur_bps * 0.85 {
+                    let desired = stream.clip.ladder.select(measured);
+                    if desired < stream.rung {
+                        self.switch_rung(now, stream, desired);
+                        self.stats.switches_down += 1;
+                    }
+                } else if backlog < 4 * 1024
+                    && next_bps.is_some()
+                    && held
+                    && stream.rung < stream.max_rung
+                {
+                    let next = stream.rung + 1;
+                    self.switch_rung(now, stream, next);
+                    self.stats.switches_up += 1;
+                }
+            }
+        }
+    }
+
+    fn switch_rung(&mut self, now: SimTime, stream: &mut ActiveStream, rung: usize) {
+        stream.rung = rung;
+        stream.schedule = self.schedule_for(&stream.clip, rung);
+        stream.next_frame = stream.schedule.first_frame_at(stream.sent_until);
+        stream.fec_buf.clear();
+        stream.thin_debt = 0.0;
+        stream.last_switch = now;
+    }
+
+    fn transmit(&mut self, stack: &mut Stack, stream: &ActiveStream, pkt: MediaPacket) {
+        let bytes = pkt.encode();
+        self.stats.bytes_sent += bytes.len() as u64;
+        if pkt.kind == PacketKind::Video {
+            self.stats.video_packets += 1;
+        }
+        match stream.transport {
+            TransportKind::Udp => {
+                let dst = stream.client_udp.expect("UDP stream has client address");
+                stack.udp(self.udp).send_to(dst, bytes);
+            }
+            TransportKind::Tcp => {
+                stack.tcp(self.data_tcp).send(&bytes);
+            }
+        }
+    }
+
+    fn bump_seq(&mut self) -> u32 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_media::ContentKind;
+
+    #[test]
+    fn clip_name_takes_last_component() {
+        assert_eq!(clip_name("rtsp://srv.example/news/clip1.rm"), "clip1.rm");
+        assert_eq!(clip_name("clip1.rm"), "clip1.rm");
+    }
+
+    #[test]
+    fn hash_name_is_stable_and_distinct() {
+        assert_eq!(hash_name("a.rm"), hash_name("a.rm"));
+        assert_ne!(hash_name("a.rm"), hash_name("b.rm"));
+    }
+
+    #[test]
+    fn core_setup_honors_preference() {
+        let mut core = ServerCore {
+            catalog: Catalog::new(),
+            prefers_udp: true,
+            data_udp_port: 6970,
+            client_max_bps: None,
+            negotiated: None,
+            pending_play: None,
+            pending_teardown: false,
+            pending_reports: Vec::new(),
+        };
+        let got = core.setup("u", TransportSpec::udp(5002)).unwrap();
+        assert_eq!(got.kind, TransportKind::Udp);
+        assert_eq!(got.server_port, Some(6970));
+
+        core.prefers_udp = false;
+        let got = core.setup("u", TransportSpec::udp(5002)).unwrap();
+        assert_eq!(got.kind, TransportKind::Tcp);
+
+        let got = core.setup("u", TransportSpec::tcp()).unwrap();
+        assert_eq!(got.kind, TransportKind::Tcp);
+    }
+
+    #[test]
+    fn core_describe_respects_availability() {
+        let mut catalog = Catalog::new();
+        catalog.add(Clip::new(
+            "c.rm",
+            SimDuration::from_secs(60),
+            ContentKind::News,
+        ));
+        catalog.set_available("c.rm", false);
+        let mut core = ServerCore {
+            catalog,
+            prefers_udp: true,
+            data_udp_port: 6970,
+            client_max_bps: None,
+            negotiated: None,
+            pending_play: None,
+            pending_teardown: false,
+            pending_reports: Vec::new(),
+        };
+        assert!(core.describe("rtsp://s/c.rm").is_none());
+        core.catalog.set_available("c.rm", true);
+        assert!(core.describe("rtsp://s/c.rm").is_some());
+    }
+
+    #[test]
+    fn core_collects_reports() {
+        let mut core = ServerCore {
+            catalog: Catalog::new(),
+            prefers_udp: true,
+            data_udp_port: 6970,
+            client_max_bps: None,
+            negotiated: None,
+            pending_play: None,
+            pending_teardown: false,
+            pending_reports: Vec::new(),
+        };
+        core.set_parameter("u", REPORT_PARAM, "0.050000:120000.0");
+        core.set_parameter("u", "x-unrelated", "whatever");
+        core.set_parameter("u", REPORT_PARAM, "not a report");
+        assert_eq!(core.pending_reports.len(), 1);
+        assert!((core.pending_reports[0].loss_rate - 0.05).abs() < 1e-9);
+    }
+}

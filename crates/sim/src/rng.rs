@@ -1,0 +1,287 @@
+//! Deterministic random number generation for the simulation.
+//!
+//! Every stochastic decision in the simulator draws from a [`SimRng`], which
+//! wraps a seeded ChaCha-based generator. Given the same seed, every run of
+//! the simulation — and therefore every regenerated figure — is bit-identical.
+//!
+//! [`SimRng::fork`] derives independent child generators for subsystems so
+//! that adding draws in one component does not perturb the stream seen by
+//! another (a classic reproducibility hazard in monolithic-RNG simulators).
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::time::SimDuration;
+
+/// A deterministic, forkable random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha12Rng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream is a deterministic function of the parent's state
+    /// and the `stream` label; forking with different labels yields
+    /// uncorrelated streams without consuming parent draws unevenly.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let mut seed = [0u8; 32];
+        self.inner.fill_bytes(&mut seed);
+        // Mix the label into the seed so equal parent states with different
+        // labels still diverge.
+        for (i, b) in stream.to_le_bytes().iter().enumerate() {
+            seed[i] ^= *b;
+        }
+        SimRng {
+            inner: ChaCha12Rng::from_seed(seed),
+        }
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..10)` or `rng.range(0.0..1.0)`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponential sample with the given mean (`mean > 0`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse transform; 1 - unit() is in (0, 1] so ln() is finite.
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Standard-normal sample via the Box-Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.unit(); // (0, 1]
+        let u2: f64 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal sample parameterized by the mean and standard deviation of
+    /// the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto sample with scale `x_min > 0` and shape `alpha > 0`.
+    /// Heavy-tailed; used for cross-traffic burst sizes.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && alpha > 0.0);
+        x_min / (1.0 - self.unit()).powf(1.0 / alpha)
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Picks an index in `0..weights.len()` with probability proportional to
+    /// its weight. Returns `None` for an empty slice or non-positive total.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        if weights.is_empty() || total <= 0.0 {
+            return None;
+        }
+        let mut point = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if *w <= 0.0 {
+                continue;
+            }
+            if point < *w {
+                return Some(i);
+            }
+            point -= *w;
+        }
+        // Floating point slop: fall back to the last positive-weight entry.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// Picks a reference to a uniformly random element; `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.range(0..items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher-Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_deterministic_and_distinct() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut parent3 = SimRng::seed_from_u64(7);
+        let mut d1 = parent3.fork(1);
+        let mut parent4 = SimRng::seed_from_u64(7);
+        let mut d2 = parent4.fork(2);
+        assert_ne!(d1.next_u64(), d2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            assert!(rng.pareto(3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut rng = SimRng::seed_from_u64(19);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_edge_cases() {
+        let mut rng = SimRng::seed_from_u64(23);
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, -1.0]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::seed_from_u64(29);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn exp_duration_is_nonnegative_and_scaled() {
+        let mut rng = SimRng::seed_from_u64(31);
+        let mean = SimDuration::from_millis(100);
+        let n = 5_000;
+        let total: f64 = (0..n)
+            .map(|_| rng.exp_duration(mean).as_secs_f64())
+            .sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - 0.1).abs() < 0.01, "mean {sample_mean}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use proptest::prelude::*;
+use rv_sim::{earliest, EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Popping the queue always yields events in nondecreasing time order,
+    /// regardless of insertion order.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+        }
+    }
+
+    /// Events at identical times pop in insertion (FIFO) order.
+    #[test]
+    fn queue_fifo_on_ties(groups in prop::collection::vec((0u64..100, 1usize..10), 1..30)) {
+        let mut q = EventQueue::new();
+        let mut idx = 0usize;
+        for (t, n) in &groups {
+            for _ in 0..*n {
+                q.push(SimTime::from_micros(*t), idx);
+                idx += 1;
+            }
+        }
+        let mut per_time: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        while let Some(ev) = q.pop() {
+            per_time.entry(ev.at.as_micros()).or_default().push(ev.event);
+        }
+        for seq in per_time.values() {
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seq, &sorted);
+        }
+    }
+
+    /// `earliest` equals the minimum over the Some() entries.
+    #[test]
+    fn earliest_is_min(entries in prop::collection::vec(prop::option::of(0u64..1_000), 0..20)) {
+        let opts: Vec<Option<SimTime>> =
+            entries.iter().map(|o| o.map(SimTime::from_micros)).collect();
+        let expect = entries.iter().flatten().min().map(|m| SimTime::from_micros(*m));
+        prop_assert_eq!(earliest(opts), expect);
+    }
+
+    /// Time arithmetic round-trips: (t + d) - t == d.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur).saturating_since(time), dur);
+    }
+
+    /// Saturating subtraction never underflows and is zero when later > self.
+    #[test]
+    fn saturating_since_never_panics(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        let d = ta.saturating_since(tb);
+        if a <= b {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        } else {
+            prop_assert_eq!(d.as_micros(), a - b);
+        }
+    }
+
+    /// Seeded RNG streams are reproducible for any seed.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.range(0u64..1_000_000), b.range(0u64..1_000_000));
+        }
+    }
+
+    /// weighted_index only ever returns indices with positive weight.
+    #[test]
+    fn weighted_index_respects_support(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..16),
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        if let Some(i) = rng.weighted_index(&weights) {
+            prop_assert!(weights[i] > 0.0);
+        } else {
+            prop_assert!(weights.iter().all(|w| *w <= 0.0));
+        }
+    }
+
+    /// Shuffle is a permutation: same multiset before and after.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..64)) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut orig = v.clone();
+        rng.shuffle(&mut v);
+        orig.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(orig, v);
+    }
+}

@@ -1,0 +1,233 @@
+//! Histograms and categorical tallies.
+//!
+//! The paper's bar-chart figures (7, 8, 9, 10, 16) are categorical counts;
+//! [`CategoryCount`] models those. [`Histogram`] bins continuous samples for
+//! scatter/density-style summaries.
+
+use std::collections::BTreeMap;
+
+/// A tally over named categories, preserving deterministic (sorted) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CategoryCount {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CategoryCount {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation of `category`.
+    pub fn add(&mut self, category: &str) {
+        self.add_n(category, 1);
+    }
+
+    /// Adds `n` observations of `category`.
+    pub fn add_n(&mut self, category: &str, n: u64) {
+        *self.counts.entry(category.to_string()).or_insert(0) += n;
+    }
+
+    /// The count for `category` (zero if never seen).
+    pub fn get(&self, category: &str) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Total observations across all categories.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct categories.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The share of observations in `category`, in `[0, 1]`.
+    pub fn fraction(&self, category: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(category) as f64 / total as f64
+        }
+    }
+
+    /// `(category, count)` pairs sorted by category name.
+    pub fn by_name(&self) -> Vec<(&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+    }
+
+    /// `(category, count)` pairs sorted by ascending count, then name —
+    /// the ordering the paper's bar charts use.
+    pub fn by_count_ascending(&self) -> Vec<(&str, u64)> {
+        let mut v = self.by_name();
+        v.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample. Values outside `[lo, hi)` land in the
+    /// underflow/overflow counters rather than being dropped silently.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// The count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let start = self.lo + self.width * i as f64;
+        (start, start + self.width)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the top of the range (and NaNs are underflow).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_midpoint, count)` series for plotting.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (a, b) = self.bin_range(i);
+                ((a + b) / 2.0, *c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_counts_accumulate() {
+        let mut c = CategoryCount::new();
+        c.add("US");
+        c.add("US");
+        c.add_n("UK", 5);
+        assert_eq!(c.get("US"), 2);
+        assert_eq!(c.get("UK"), 5);
+        assert_eq!(c.get("FR"), 0);
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.len(), 2);
+        assert!((c.fraction("UK") - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_category_fraction_is_zero() {
+        let c = CategoryCount::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction("x"), 0.0);
+    }
+
+    #[test]
+    fn orderings() {
+        let mut c = CategoryCount::new();
+        c.add_n("b", 3);
+        c.add_n("a", 3);
+        c.add_n("z", 1);
+        assert_eq!(c.by_name(), vec![("a", 3), ("b", 3), ("z", 1)]);
+        assert_eq!(c.by_count_ascending(), vec![("z", 1), ("a", 3), ("b", 3)]);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.0); // bin 0
+        h.add(1.9); // bin 0
+        h.add(2.0); // bin 1
+        h.add(9.999); // bin 4
+        h.add(10.0); // overflow (half-open top)
+        h.add(-0.1); // underflow
+        h.add(f64::NAN); // underflow
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_range(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn histogram_series_midpoints() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.add(1.0);
+        h.add(3.0);
+        h.add(3.5);
+        assert_eq!(h.series(), vec![(1.0, 1), (3.0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

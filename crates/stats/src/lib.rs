@@ -1,0 +1,22 @@
+//! # rv-stats — statistics toolkit for the RealVideo reproduction
+//!
+//! Every figure in the paper is either a CDF ([`Cdf`]), a categorical bar
+//! chart ([`CategoryCount`]), or a scatter with a trend ([`pearson`],
+//! [`linear_fit`]). This crate provides those primitives plus the text
+//! rendering ([`table`], [`bar_chart`], [`cdf_plot`]) the `repro` binary
+//! prints them with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod correlate;
+mod histogram;
+mod render;
+mod summary;
+
+pub use cdf::Cdf;
+pub use correlate::{linear_fit, pearson, LinearFit};
+pub use histogram::{CategoryCount, Histogram};
+pub use render::{bar_chart, cdf_plot, series_columns, table};
+pub use summary::Summary;

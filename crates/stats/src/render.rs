@@ -1,0 +1,196 @@
+//! Plain-text rendering of figures: aligned tables, bar charts, and CDF
+//! line plots. The `repro` binary prints every paper figure through these.
+
+/// Renders rows as an aligned, pipe-separated table with a header.
+///
+/// Panics if any row's width differs from the header's.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "table row width {} != header width {}",
+            row.len(),
+            header.len()
+        );
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `(label, value)` pairs as a horizontal ASCII bar chart scaled to
+/// `width` characters for the largest value.
+pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {value:.4}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Plots one or more named CDF series on a shared text canvas.
+///
+/// `series` maps a name to its `(x, F(x))` points (F in `[0, 1]`). The plot
+/// is `width` x `height` characters; each series draws with its own glyph.
+pub fn cdf_plot(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, pts) in series {
+        for (x, _) in *pts {
+            lo = lo.min(*x);
+            hi = hi.max(*x);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no data)\n");
+    }
+    if hi <= lo {
+        hi = lo + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, f) in *pts {
+            let col = (((x - lo) / (hi - lo)) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - f.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            canvas[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in canvas.iter().enumerate() {
+        let y = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      {}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "      {lo:<12.4}{:>width$.4}\n",
+        hi,
+        width = width.saturating_sub(12)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("      legend: {}\n", legend.join("   ")));
+    out
+}
+
+/// Formats a `(x, y)` numeric series as two aligned columns, the raw data
+/// dump accompanying each plotted figure.
+pub fn series_columns(name_x: &str, name_y: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.4}"), format!("{y:.4}")])
+        .collect();
+    table(&[name_x, name_y], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "count"],
+            &[
+                vec!["us".into(), "2100".into()],
+                vec!["egypt".into(), "8".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "name  | count");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "us    | 2100");
+        assert_eq!(lines[3], "egypt | 8");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(&[("big", 10.0), ("half", 5.0)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        assert!(!lines[1].contains(&"#".repeat(6)));
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let out = bar_chart(&[("a", 0.0)], 10);
+        assert!(!out.contains('#'));
+    }
+
+    #[test]
+    fn cdf_plot_renders_axes_and_legend() {
+        let pts = [(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)];
+        let out = cdf_plot(&[("all", &pts)], 40, 10);
+        assert!(out.contains("1.00 |"));
+        assert!(out.contains("0.00 |"));
+        assert!(out.contains("legend: * all"));
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn cdf_plot_handles_empty() {
+        assert_eq!(cdf_plot(&[("none", &[])], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn cdf_plot_multiple_series_use_distinct_glyphs() {
+        let a = [(0.0, 0.1), (1.0, 0.9)];
+        let b = [(0.0, 0.3), (1.0, 0.7)];
+        let out = cdf_plot(&[("a", &a), ("b", &b)], 20, 8);
+        assert!(out.contains('*') && out.contains('o'));
+    }
+
+    #[test]
+    fn series_columns_formats() {
+        let out = series_columns("fps", "cdf", &[(3.0, 0.25)]);
+        assert!(out.contains("3.0000"));
+        assert!(out.contains("0.2500"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for statistical invariants.
+
+use proptest::prelude::*;
+use rv_stats::{linear_fit, pearson, Cdf, CategoryCount, Histogram, Summary};
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// A CDF is monotone nondecreasing and ranges over [0, 1].
+    #[test]
+    fn cdf_monotone(samples in finite_samples()) {
+        let cdf = Cdf::from_samples(&samples).unwrap();
+        let series = cdf.series_on_grid(cdf.min() - 1.0, cdf.max() + 1.0, 50);
+        prop_assert_eq!(series[0].1, 0.0);
+        prop_assert_eq!(series.last().unwrap().1, 1.0);
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    /// quantile and at are approximate inverses: F(quantile(q)) >= q.
+    #[test]
+    fn cdf_quantile_inverts(samples in finite_samples(), q in 0.0f64..=1.0) {
+        let cdf = Cdf::from_samples(&samples).unwrap();
+        prop_assert!(cdf.at(cdf.quantile(q)) >= q - 1e-12);
+    }
+
+    /// Summary mean lies within [min, max] and matches the CDF mean.
+    #[test]
+    fn summary_mean_bounded(samples in finite_samples()) {
+        let s = Summary::from_samples(&samples).unwrap();
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        let cdf = Cdf::from_samples(&samples).unwrap();
+        prop_assert!((s.mean() - cdf.mean()).abs() < 1e-6);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn summary_quantiles_monotone(samples in finite_samples(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let s = Summary::from_samples(&samples).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi) + 1e-12);
+    }
+
+    /// Pearson correlation, when defined, is within [-1, 1].
+    #[test]
+    fn pearson_bounded(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    /// r² of the least-squares fit equals pearson² when both are defined.
+    #[test]
+    fn r_squared_is_pearson_squared(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let (Some(r), Some(fit)) = (pearson(&xs, &ys), linear_fit(&xs, &ys)) {
+            prop_assert!((fit.r_squared - r * r).abs() < 1e-6);
+        }
+    }
+
+    /// Histogram conserves every sample: bins + underflow + overflow == n.
+    #[test]
+    fn histogram_conserves_mass(samples in prop::collection::vec(-100.0f64..200.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for s in &samples {
+            h.add(*s);
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), samples.len() as u64);
+    }
+
+    /// Category fractions sum to 1 over all categories (when nonempty).
+    #[test]
+    fn category_fractions_sum_to_one(labels in prop::collection::vec(0u8..6, 1..200)) {
+        let mut c = CategoryCount::new();
+        for l in &labels {
+            c.add(&format!("cat{l}"));
+        }
+        let total: f64 = c.by_name().iter().map(|(name, _)| c.fraction(name)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert_eq!(c.total(), labels.len() as u64);
+    }
+}

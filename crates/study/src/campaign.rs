@@ -1,0 +1,280 @@
+//! The campaign runner: replays the June 2001 study end to end.
+//!
+//! Every participant walks the playlist, playing their Figure-5 number of
+//! clips; each play checks clip availability (Figure 10), builds a session
+//! world, streams for the watch limit, and records a [`SessionRecord`].
+//! The first `clips_to_rate` successfully played clips also receive a
+//! 0–10 rating from the user's rating profile.
+
+use rv_sim::{SimDuration, SimRng, SimTime};
+use rv_tracer::{rate, SessionMetrics, SessionOutcome};
+
+use crate::geography::{Country, ServerRegion, UserRegion};
+use crate::playlist::{build_playlist, PlaylistEntry};
+use crate::population::{build_population, ConnectionClass, PcClass, UserProfile};
+use crate::servers::{server_roster, ServerSite};
+use crate::worldbuild::build_session_world;
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyParams {
+    /// Master seed: same seed, same study, bit for bit.
+    pub seed: u64,
+    /// Fraction of each user's clip count to actually play, `(0, 1]`.
+    /// 1.0 reproduces the paper's ~2,900 sessions (minutes of CPU);
+    /// 0.05–0.2 suits tests and quick runs.
+    pub scale: f64,
+    /// Watch limit per clip (RealTracer default: 1 minute).
+    pub watch_limit: SimDuration,
+    /// Wall-clock budget per session before the harness gives up.
+    pub session_deadline: SimTime,
+}
+
+impl Default for StudyParams {
+    fn default() -> Self {
+        StudyParams {
+            seed: 0x2001_0604, // June 4, 2001: the study's first day
+            scale: 1.0,
+            watch_limit: SimDuration::from_secs(60),
+            session_deadline: SimTime::from_secs(150),
+        }
+    }
+}
+
+impl StudyParams {
+    /// A small configuration for tests and examples.
+    pub fn quick() -> Self {
+        StudyParams {
+            scale: 0.05,
+            ..StudyParams::default()
+        }
+    }
+}
+
+/// One clip-play attempt: the study's unit of data.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// Participant id.
+    pub user_id: u32,
+    /// User's country.
+    pub user_country: Country,
+    /// User's US state, if applicable.
+    pub user_state: Option<&'static str>,
+    /// User's figure region.
+    pub user_region: UserRegion,
+    /// User's connection class.
+    pub connection: ConnectionClass,
+    /// User's PC class.
+    pub pc: PcClass,
+    /// Server name (Figure 10 labels).
+    pub server_name: &'static str,
+    /// Server country.
+    pub server_country: Country,
+    /// Server figure region.
+    pub server_region: ServerRegion,
+    /// Clip name.
+    pub clip_name: String,
+    /// `false` when the clip was unavailable at request time.
+    pub available: bool,
+    /// Measured session statistics.
+    pub metrics: SessionMetrics,
+    /// The user's 0–10 rating, when they rated this clip.
+    pub rating: Option<u8>,
+}
+
+impl SessionRecord {
+    /// `true` for records that played and produced measurements (the set
+    /// the paper's Figures 11–25 are computed over).
+    pub fn played(&self) -> bool {
+        self.available && self.metrics.outcome == SessionOutcome::Played
+    }
+}
+
+/// The complete study output.
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// Every session attempt, in play order.
+    pub records: Vec<SessionRecord>,
+    /// Number of volunteers excluded for RTSP-blocking firewalls.
+    pub excluded_users: u32,
+    /// Number of analyzable participants.
+    pub participants: u32,
+}
+
+impl StudyData {
+    /// Records that played successfully.
+    pub fn played(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.records.iter().filter(|r| r.played())
+    }
+
+    /// Records carrying a rating.
+    pub fn rated(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.records.iter().filter(|r| r.rating.is_some())
+    }
+}
+
+/// Runs the whole campaign. Deterministic in `params.seed`.
+pub fn run_campaign(params: StudyParams) -> StudyData {
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let roster = server_roster();
+    let population = build_population(&mut rng.fork(1), params.scale);
+    let playlist = build_playlist(&roster, &mut rng.fork(2));
+    let mut availability_rng = rng.fork(3);
+
+    let mut records = Vec::new();
+    for user in &population.participants {
+        run_user(
+            &params,
+            user,
+            &roster,
+            &playlist,
+            &mut availability_rng,
+            &mut records,
+        );
+    }
+    StudyData {
+        records,
+        excluded_users: population.excluded.len() as u32,
+        participants: population.participants.len() as u32,
+    }
+}
+
+fn run_user(
+    params: &StudyParams,
+    user: &UserProfile,
+    roster: &[ServerSite],
+    playlist: &[PlaylistEntry],
+    availability_rng: &mut SimRng,
+    records: &mut Vec<SessionRecord>,
+) {
+    let mut rated = 0;
+    // Each user starts at a different playlist offset. RealTracer itself
+    // always started at the top, but rotating keeps scaled-down runs
+    // (scale < 1) representative of every server; at full scale the
+    // difference washes out over 98-clip cycles.
+    let offset = (user.id as usize * 7) % playlist.len();
+    for (clip_idx, entry) in playlist
+        .iter()
+        .cycle()
+        .skip(offset)
+        .take(user.clips_to_play as usize)
+        .enumerate()
+    {
+        let site = &roster[entry.server];
+        let available = !site.clip_unavailable(availability_rng);
+        let session_seed = params
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(user.id) << 20)
+            .wrapping_add(clip_idx as u64);
+
+        let (metrics, rating) = if available {
+            let mut world = build_session_world(
+                user,
+                site,
+                &entry.clip,
+                params.watch_limit,
+                session_seed,
+            );
+            let metrics = world.run(params.session_deadline);
+            let rating = if metrics.outcome == SessionOutcome::Played
+                && rated < user.clips_to_rate
+            {
+                rated += 1;
+                let mut rating_rng = SimRng::seed_from_u64(session_seed ^ 0x7A7E_5EED);
+                Some(rate(&metrics, &user.rater, &mut rating_rng))
+            } else {
+                None
+            };
+            (metrics, rating)
+        } else {
+            (
+                SessionMetrics::failed(SessionOutcome::Unavailable, rv_rtsp::TransportKind::Tcp),
+                None,
+            )
+        };
+
+        records.push(SessionRecord {
+            user_id: user.id,
+            user_country: user.country,
+            user_state: user.state,
+            user_region: user.region(),
+            connection: user.connection,
+            pc: user.pc,
+            server_name: site.name,
+            server_country: site.country,
+            server_region: site.region(),
+            clip_name: entry.clip.name.clone(),
+            available,
+            metrics,
+            rating,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_data() -> StudyData {
+        run_campaign(StudyParams {
+            scale: 0.04,
+            ..StudyParams::default()
+        })
+    }
+
+    #[test]
+    fn campaign_produces_records_for_every_user() {
+        let data = quick_data();
+        assert_eq!(data.participants, 63);
+        assert!(data.excluded_users > 0);
+        let users: std::collections::BTreeSet<u32> =
+            data.records.iter().map(|r| r.user_id).collect();
+        assert_eq!(users.len(), 63);
+    }
+
+    #[test]
+    fn most_sessions_play_some_are_unavailable() {
+        let data = quick_data();
+        let total = data.records.len();
+        let played = data.played().count();
+        let unavailable = data.records.iter().filter(|r| !r.available).count();
+        assert!(played * 10 >= total * 6, "played {played}/{total}");
+        // ~10 % unavailability.
+        let frac = unavailable as f64 / total as f64;
+        assert!((0.02..0.25).contains(&frac), "unavailable fraction {frac}");
+    }
+
+    #[test]
+    fn ratings_present_and_in_range() {
+        let data = quick_data();
+        let rated: Vec<u8> = data.rated().map(|r| r.rating.unwrap()).collect();
+        assert!(!rated.is_empty());
+        assert!(rated.iter().all(|r| *r <= 10));
+    }
+
+    #[test]
+    fn both_protocols_appear(){
+        let data = quick_data();
+        let udp = data
+            .played()
+            .filter(|r| r.metrics.protocol == rv_rtsp::TransportKind::Udp)
+            .count();
+        let tcp = data
+            .played()
+            .filter(|r| r.metrics.protocol == rv_rtsp::TransportKind::Tcp)
+            .count();
+        assert!(udp > 0 && tcp > 0, "udp {udp} tcp {tcp}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick_data();
+        let b = quick_data();
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.rating, y.rating);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # rv-study — the world model and campaign runner
+//!
+//! Everything the 2001 measurement study needed that was not software:
+//! geography and the era's inter-region path quality ([`geography`]), the
+//! 63-participant population with its connection/PC/firewall mix
+//! ([`build_population`]), the eleven-server roster ([`server_roster`]),
+//! the 98-clip playlist ([`build_playlist`]), per-session world
+//! construction ([`build_session_world`]), and the campaign runner
+//! ([`run_campaign`]) that replays the whole June 2001 study and yields
+//! the [`SessionRecord`]s every figure is computed from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+pub mod geography;
+mod playlist;
+mod population;
+mod servers;
+mod worldbuild;
+
+pub use campaign::{run_campaign, SessionRecord, StudyData, StudyParams};
+pub use geography::{
+    path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion,
+    UserRegion, Zone,
+};
+pub use playlist::{build_playlist, PlaylistEntry, PLAYLIST_LEN};
+pub use population::{
+    build_population, ConnectionClass, PcClass, Population, UserProfile, COUNTRY_TARGETS,
+    US_STATE_WEIGHTS,
+};
+pub use servers::{server_roster, ServerSite};
+pub use worldbuild::build_session_world;

@@ -1,0 +1,217 @@
+//! The eleven RealServer sites of the study.
+//!
+//! Names, countries, and per-server clip-unavailability rates follow
+//! Figure 10; the serving shares follow Figure 8. Capacity and load model
+//! the paper's finding that high-bandwidth users increasingly see the
+//! *server side* as the bottleneck: popular sites run their access links at
+//! higher utilization.
+
+use rv_net::CongestionParams;
+use rv_sim::{SimDuration, SimRng};
+
+use crate::geography::{server_region, Country, ServerRegion};
+
+/// One RealServer site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSite {
+    /// Site label as the paper prints it (Figure 10).
+    pub name: &'static str,
+    /// Hosting country.
+    pub country: Country,
+    /// Fraction of requests to this site that find the clip unavailable
+    /// (Figure 10; overall mean ≈ 10 %).
+    pub unavailability: f64,
+    /// Relative share of all clips served (Figure 8, by country).
+    pub serve_weight: f64,
+    /// Server access-link rate, bits/second.
+    pub access_bps: f64,
+    /// Mean utilization of the access link by *other* sessions: the
+    /// server-side bottleneck.
+    pub load: f64,
+    /// Whether this server's operators enabled UDP delivery (most did).
+    pub prefers_udp: bool,
+}
+
+impl ServerSite {
+    /// The site's figure region.
+    pub fn region(&self) -> ServerRegion {
+        server_region(self.country)
+    }
+
+    /// The access-link cross-traffic model implied by `load`.
+    pub fn access_congestion(&self) -> CongestionParams {
+        CongestionParams {
+            mean_level: self.load,
+            variability: 0.12,
+            mean_epoch: SimDuration::from_secs(3),
+            burst_prob: 0.04 + self.load * 0.08,
+        }
+    }
+
+    /// Samples whether a clip request finds the clip unavailable.
+    pub fn clip_unavailable(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.unavailability)
+    }
+}
+
+/// The full server roster.
+///
+/// Figure 10 labels ten sites; the paper's text counts eleven servers in
+/// eight countries, so a second US entertainment site (US/MSNBC) completes
+/// the roster — its share is folded into the US total of Figure 8.
+pub fn server_roster() -> Vec<ServerSite> {
+    vec![
+        ServerSite {
+            name: "AUS/ABC",
+            country: Country::Australia,
+            unavailability: 0.10,
+            serve_weight: 294.0,
+            access_bps: 4_000_000.0,
+            load: 0.25,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "BRZ/UOL",
+            country: Country::Brazil,
+            unavailability: 0.22,
+            serve_weight: 297.0,
+            access_bps: 3_000_000.0,
+            load: 0.35,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "CAN/CBC",
+            country: Country::Canada,
+            unavailability: 0.03,
+            serve_weight: 126.0,
+            access_bps: 6_000_000.0,
+            load: 0.20,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "CHI/CCTV",
+            country: Country::China,
+            unavailability: 0.22,
+            serve_weight: 260.0,
+            access_bps: 2_000_000.0,
+            load: 0.45,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "ITA/Kwvideo",
+            country: Country::Italy,
+            unavailability: 0.05,
+            serve_weight: 240.0,
+            access_bps: 4_000_000.0,
+            load: 0.25,
+            prefers_udp: false,
+        },
+        ServerSite {
+            name: "JAP/FUJITV",
+            country: Country::Japan,
+            unavailability: 0.08,
+            serve_weight: 184.0,
+            access_bps: 4_000_000.0,
+            load: 0.35,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "UK/BBC",
+            country: Country::Uk,
+            unavailability: 0.05,
+            serve_weight: 280.0,
+            access_bps: 8_000_000.0,
+            load: 0.25,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "UK/ITN",
+            country: Country::Uk,
+            unavailability: 0.17,
+            serve_weight: 136.0,
+            access_bps: 4_000_000.0,
+            load: 0.30,
+            prefers_udp: false,
+        },
+        ServerSite {
+            name: "US/ABC",
+            country: Country::Us,
+            unavailability: 0.04,
+            serve_weight: 430.0,
+            access_bps: 10_000_000.0,
+            load: 0.30,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "US/CNN",
+            country: Country::Us,
+            unavailability: 0.02,
+            serve_weight: 430.0,
+            access_bps: 10_000_000.0,
+            load: 0.35,
+            prefers_udp: true,
+        },
+        ServerSite {
+            name: "US/MSNBC",
+            country: Country::Us,
+            unavailability: 0.06,
+            serve_weight: 215.0,
+            access_bps: 8_000_000.0,
+            load: 0.30,
+            prefers_udp: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn roster_has_eleven_servers_in_eight_countries() {
+        let roster = server_roster();
+        assert_eq!(roster.len(), 11);
+        let countries: BTreeSet<Country> = roster.iter().map(|s| s.country).collect();
+        assert_eq!(countries.len(), 8);
+    }
+
+    #[test]
+    fn mean_unavailability_is_about_ten_percent() {
+        let roster = server_roster();
+        let mean: f64 =
+            roster.iter().map(|s| s.unavailability).sum::<f64>() / roster.len() as f64;
+        assert!((mean - 0.10).abs() < 0.03, "mean unavailability {mean}");
+    }
+
+    #[test]
+    fn us_dominates_serve_share() {
+        let roster = server_roster();
+        let total: f64 = roster.iter().map(|s| s.serve_weight).sum();
+        let us: f64 = roster
+            .iter()
+            .filter(|s| s.country == Country::Us)
+            .map(|s| s.serve_weight)
+            .sum();
+        // Figure 8: US served 1075 of ~2892 clips.
+        assert!((us / total - 0.37).abs() < 0.05, "us share {}", us / total);
+    }
+
+    #[test]
+    fn all_figure_regions_are_covered() {
+        let roster = server_roster();
+        let regions: BTreeSet<ServerRegion> = roster.iter().map(|s| s.region()).collect();
+        assert_eq!(regions.len(), ServerRegion::ALL.len());
+    }
+
+    #[test]
+    fn unavailability_sampling_matches_rate() {
+        let roster = server_roster();
+        let brz = roster.iter().find(|s| s.name == "BRZ/UOL").unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 20_000;
+        let unavailable = (0..n).filter(|_| brz.clip_unavailable(&mut rng)).count();
+        let frac = unavailable as f64 / n as f64;
+        assert!((frac - 0.22).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Builds the simulated world for one streaming session.
+//!
+//! Topology: `client — access link — cloud A — transit — cloud B — server
+//! access — server`. The user's access class sets the first hop, the
+//! zone pair sets the transit leg, and the server's capacity and load set
+//! the last hop — the three candidate bottlenecks whose interplay the
+//! paper's Figures 12–15 dissect.
+
+use rv_media::Clip;
+use rv_net::{Addr, CongestionParams, HostId, LinkParams, NetBuilder};
+use rv_server::{Catalog, RealServer, ServerConfig};
+use rv_sim::{SimDuration, SimRng};
+use rv_tracer::{client_data_tcp_config, ports, ClientConfig, SessionWorld, TracerClient};
+use rv_transport::{Segment, Stack, TcpConfig};
+
+use crate::geography::{path_profile, zone};
+use crate::population::{ConnectionClass, UserProfile};
+use crate::servers::ServerSite;
+
+/// Access-link parameters for a user's connection class.
+fn access_links(user: &UserProfile) -> (LinkParams, LinkParams) {
+    match user.connection {
+        ConnectionClass::Modem56k => {
+            // Modems add ~60 ms of latency each way and have deep buffers
+            // relative to their rate — the jitter machine of Figure 21.
+            // Phone-line retrains and shared ISP dial-up backhaul appear
+            // as heavy-tailed throughput dips with correlated loss.
+            let line_noise = CongestionParams {
+                mean_level: 0.08,
+                variability: 0.10,
+                mean_epoch: SimDuration::from_secs(4),
+                burst_prob: 0.045,
+            };
+            let down = LinkParams::lan()
+                .rate(user.access_down_bps)
+                .delay(SimDuration::from_millis(60))
+                .queue(10 * 1024)
+                .loss(0.003)
+                .cross_traffic(line_noise, 0.025);
+            let up = LinkParams::lan()
+                .rate(user.access_up_bps)
+                .delay(SimDuration::from_millis(60))
+                .queue(8 * 1024)
+                .loss(0.003)
+                .cross_traffic(line_noise, 0.025);
+            (down, up)
+        }
+        ConnectionClass::DslCable => {
+            let down = LinkParams::lan()
+                .rate(user.access_down_bps)
+                .delay(SimDuration::from_millis(8))
+                .queue(48 * 1024)
+                .loss(0.0005);
+            let up = LinkParams::lan()
+                .rate(user.access_up_bps)
+                .delay(SimDuration::from_millis(8))
+                .queue(16 * 1024)
+                .loss(0.0005);
+            (down, up)
+        }
+        ConnectionClass::T1Lan => {
+            // Shared office uplink: fast but contended — slightly more
+            // variance than a dedicated DSL line (the paper's explanation
+            // for DSL's better jitter, Figure 21).
+            let contention = CongestionParams {
+                mean_level: 0.28,
+                variability: 0.20,
+                mean_epoch: SimDuration::from_secs(2),
+                burst_prob: 0.07,
+            };
+            let link = LinkParams::lan()
+                .rate(user.access_down_bps)
+                .delay(SimDuration::from_millis(3))
+                .queue(96 * 1024)
+                .cross_traffic(contention, 0.01);
+            (link, link)
+        }
+    }
+}
+
+/// Builds the complete [`SessionWorld`] for `user` fetching `clip` from
+/// `site`. `session_seed` isolates this session's randomness.
+pub fn build_session_world(
+    user: &UserProfile,
+    site: &ServerSite,
+    clip: &Clip,
+    watch_limit: SimDuration,
+    session_seed: u64,
+) -> SessionWorld {
+    let mut rng = SimRng::seed_from_u64(session_seed);
+
+    // --- topology ---
+    let mut b = NetBuilder::new();
+    let client = b.host(); // host 0
+    let server = b.host(); // host 1
+    let cloud_a = b.router();
+    let cloud_b = b.router();
+
+    let (down, up) = access_links(user);
+    // Access: client <-> cloud A (down = toward client).
+    b.link(cloud_a, client, down);
+    b.link(client, cloud_a, up);
+
+    // Transit: cloud A <-> cloud B.
+    let path = path_profile(zone(user.country), zone(site.country));
+    let transit = LinkParams::lan()
+        .rate(45_000_000.0) // T3 backbone
+        .delay(path.delay)
+        .queue(256 * 1024)
+        .loss(path.base_loss)
+        .cross_traffic(path.congestion, path.congestion_loss);
+    b.duplex(cloud_a, cloud_b, transit);
+
+    // Server access: cloud B <-> server.
+    let server_access = LinkParams::lan()
+        .rate(site.access_bps)
+        .delay(SimDuration::from_millis(2))
+        .queue(128 * 1024)
+        .cross_traffic(site.access_congestion(), 0.02);
+    b.duplex(cloud_b, server, server_access);
+
+    let net = b.build_with_payload::<Segment>(&mut rng.fork(1));
+
+    // --- stacks & sockets ---
+    let mut client_stack = Stack::new(HostId(0));
+    let mut server_stack = Stack::new(HostId(1));
+    // Dialup-era TCP used a 536-byte MSS and small windows: a full-size
+    // 1460-byte MSS slow-start burst overruns a modem's ~10 KB buffer
+    // several segments per window, which Reno cannot repair without RTO
+    // storms. (In reality MSS is negotiated at SYN time; the builder knows
+    // the client's class and configures both ends directly.)
+    let dialup = user.connection == ConnectionClass::Modem56k;
+    let data_mss = if dialup { 536 } else { rv_transport::DEFAULT_MSS };
+    let s_data_cfg = TcpConfig {
+        mss: data_mss,
+        ..TcpConfig::default()
+    };
+    let c_data_cfg = TcpConfig {
+        mss: data_mss,
+        recv_capacity: if dialup { 8 * 1024 } else { 32 * 1024 },
+        ..client_data_tcp_config()
+    };
+    let s_ctrl = server_stack.tcp_socket(ports::CTRL, TcpConfig::default());
+    let s_data = server_stack.tcp_socket(ports::DATA_TCP, s_data_cfg);
+    let s_udp = server_stack.udp_socket(ports::DATA_UDP);
+    server_stack.tcp(s_ctrl).listen();
+    server_stack.tcp(s_data).listen();
+    let c_ctrl = client_stack.tcp_socket(ports::CLIENT_CTRL, TcpConfig::default());
+    let c_data = client_stack.tcp_socket(ports::CLIENT_DATA, c_data_cfg);
+    let c_udp = client_stack.udp_socket(ports::CLIENT_UDP);
+
+    // --- server ---
+    let mut catalog = Catalog::new();
+    catalog.add(clip.clone());
+    let server_cfg = ServerConfig {
+        prefers_udp: site.prefers_udp,
+        ..ServerConfig::default()
+    };
+    let real_server = RealServer::new(
+        server_cfg,
+        catalog,
+        s_ctrl,
+        s_data,
+        s_udp,
+        session_seed ^ 0x5EED,
+    );
+
+    // --- client ---
+    let url = format!("rtsp://{}/{}", site.name.replace('/', "."), clip.name);
+    let mut client_cfg = ClientConfig::new(
+        &url,
+        Addr::new(HostId(1), ports::CTRL),
+        Addr::new(HostId(1), ports::DATA_TCP),
+    );
+    client_cfg.transport_pref = user.transport_pref;
+    client_cfg.firewall = user.firewall;
+    // Users picked a RealPlayer connection-speed *preset*, not their true
+    // line rate: "56k modem" regardless of how degraded the phone line
+    // was, "DSL/cable 384k", "LAN". Servers therefore overdrive weak
+    // lines — a major source of the paper's poor modem results.
+    client_cfg.max_bandwidth_bps = match user.connection {
+        ConnectionClass::Modem56k => 42_000,
+        // DSL/cable users picked the preset below their tier
+        // (RealPlayer offered 256k, 384k, and 512k broadband presets).
+        ConnectionClass::DslCable => {
+            if user.access_down_bps < 384_000.0 {
+                256_000
+            } else if user.access_down_bps < 512_000.0 {
+                384_000
+            } else {
+                512_000
+            }
+        }
+        ConnectionClass::T1Lan => 1_544_000,
+    };
+    client_cfg.cpu_power = user.pc.cpu_power();
+    client_cfg.watch_limit = watch_limit;
+    let tracer = TracerClient::new(client_cfg, c_ctrl, c_data, c_udp);
+
+    SessionWorld::new(net, client_stack, server_stack, real_server, tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::build_population;
+    use crate::servers::server_roster;
+    use rv_media::ContentKind;
+    use rv_sim::SimTime;
+    use rv_tracer::SessionOutcome;
+
+    #[test]
+    fn built_world_plays_a_session() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let pop = build_population(&mut rng, 1.0);
+        let user = pop
+            .participants
+            .iter()
+            .find(|u| u.connection == ConnectionClass::DslCable)
+            .expect("some DSL user");
+        let roster = server_roster();
+        let site = &roster[9]; // US/CNN
+        let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
+        let mut world =
+            build_session_world(user, site, &clip, SimDuration::from_secs(30), 42);
+        let m = world.run(SimTime::from_secs(120));
+        assert_eq!(m.outcome, SessionOutcome::Played);
+        assert!(m.frames_played > 30, "played {}", m.frames_played);
+    }
+
+    #[test]
+    fn modem_user_slower_than_lan_user() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let pop = build_population(&mut rng, 1.0);
+        let modem = pop
+            .participants
+            .iter()
+            .find(|u| u.connection == ConnectionClass::Modem56k)
+            .unwrap();
+        let lan = pop
+            .participants
+            .iter()
+            .find(|u| {
+                u.connection == ConnectionClass::T1Lan
+                    && u.pc.cpu_power() > 0.5
+                    && u.firewall == rv_rtsp::FirewallPolicy::Open
+            })
+            .unwrap();
+        let roster = server_roster();
+        let site = &roster[9];
+        let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
+
+        let mut w1 = build_session_world(modem, site, &clip, SimDuration::from_secs(40), 7);
+        let m1 = w1.run(SimTime::from_secs(150));
+        let mut w2 = build_session_world(lan, site, &clip, SimDuration::from_secs(40), 7);
+        let m2 = w2.run(SimTime::from_secs(150));
+        assert!(
+            m1.bandwidth_kbps < m2.bandwidth_kbps,
+            "modem {} vs lan {}",
+            m1.bandwidth_kbps,
+            m2.bandwidth_kbps
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! The instrumented streaming client (the RealTracer equivalent).
+//!
+//! Drives one clip session end to end: control-connection setup, DESCRIBE
+//! with the player's bandwidth setting, transport negotiation (honoring the
+//! user's preference and firewall), PLAY, data reception through the
+//! [`rv_player::Player`], periodic receiver reports on UDP sessions, and
+//! TEARDOWN after the watch limit — recording the per-clip statistics the
+//! study analyzes.
+
+use rv_media::{Clip, MediaPacket, StreamDepacketizer};
+use rv_net::Addr;
+use rv_player::{Player, PlayoutConfig, PlayoutEvent, PlayoutState};
+use rv_rtsp::{
+    ClientEvent, ClientSession, Decoder, FirewallPolicy, TransportKind, TransportPreference,
+    TransportSpec,
+};
+use rv_server::{ReceiverReport, REPORT_PARAM};
+use rv_sim::{SimDuration, SimTime};
+use rv_transport::{Stack, TcpHandle, UdpHandle};
+
+use crate::metrics::{finalize, SessionMetrics, SessionOutcome};
+
+/// Client-side configuration for one session.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The clip URL, e.g. `rtsp://server/news1.rm`.
+    pub url: String,
+    /// The user's transport preference (RealPlayer default: Auto).
+    pub transport_pref: TransportPreference,
+    /// The client-side firewall.
+    pub firewall: FirewallPolicy,
+    /// The RealPlayer "connection speed" setting, bits/second.
+    pub max_bandwidth_bps: u32,
+    /// Decode-speed factor of the user's PC (1.0 = typical new PC).
+    pub cpu_power: f64,
+    /// How long to watch before moving on (RealTracer default: 1 minute).
+    pub watch_limit: SimDuration,
+    /// Abort a session that has not finished by this wall age.
+    pub session_timeout: SimDuration,
+    /// Playout engine parameters.
+    pub playout: PlayoutConfig,
+    /// Local UDP data port.
+    pub udp_port: u16,
+    /// Server control endpoint.
+    pub server_ctrl: Addr,
+    /// Server TCP data endpoint.
+    pub server_data: Addr,
+    /// Receiver-report interval for UDP sessions.
+    pub report_interval: SimDuration,
+}
+
+impl ClientConfig {
+    /// Sensible defaults given the two server endpoints.
+    pub fn new(url: &str, server_ctrl: Addr, server_data: Addr) -> Self {
+        ClientConfig {
+            url: url.to_string(),
+            transport_pref: TransportPreference::Auto,
+            firewall: FirewallPolicy::Open,
+            max_bandwidth_bps: 300_000,
+            cpu_power: 1.0,
+            watch_limit: SimDuration::from_secs(60),
+            session_timeout: SimDuration::from_secs(120),
+            playout: PlayoutConfig::default(),
+            udp_port: 5002,
+            server_ctrl,
+            server_data,
+            report_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Where the client is in its session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Connecting,
+    Describing,
+    SettingUp,
+    ConnectingData,
+    Starting,
+    Playing,
+    TearingDown,
+    Done,
+}
+
+/// The instrumented client.
+#[derive(Debug)]
+pub struct TracerClient {
+    cfg: ClientConfig,
+    session: ClientSession,
+    decoder: Decoder,
+    ctrl: TcpHandle,
+    data_tcp: TcpHandle,
+    udp: UdpHandle,
+    player: Player,
+    depkt: StreamDepacketizer,
+    phase: Phase,
+    transport: Option<TransportKind>,
+    clip: Option<Clip>,
+    start_time: Option<SimTime>,
+    play_start: Option<SimTime>,
+    last_report: SimTime,
+    events: Vec<PlayoutEvent>,
+    last_rung: u8,
+    outcome: Option<SessionOutcome>,
+    metrics: Option<SessionMetrics>,
+}
+
+impl TracerClient {
+    /// Creates a client over pre-created sockets (`ctrl` and `data_tcp`
+    /// unconnected TCP sockets, `udp` bound to `cfg.udp_port`).
+    pub fn new(cfg: ClientConfig, ctrl: TcpHandle, data_tcp: TcpHandle, udp: UdpHandle) -> Self {
+        let player = Player::new(cfg.playout, cfg.cpu_power);
+        TracerClient {
+            session: ClientSession::new(&cfg.url),
+            cfg,
+            decoder: Decoder::new(),
+            ctrl,
+            data_tcp,
+            udp,
+            player,
+            depkt: StreamDepacketizer::new(),
+            phase: Phase::Idle,
+            transport: None,
+            clip: None,
+            start_time: None,
+            play_start: None,
+            last_report: SimTime::ZERO,
+            events: Vec::new(),
+            last_rung: 0,
+            outcome: None,
+            metrics: None,
+        }
+    }
+
+    /// `true` when the session has fully finished.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// The finished session's record (once done).
+    pub fn metrics(&self) -> Option<&SessionMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// The playout events recorded so far (played and dropped frames).
+    pub fn events(&self) -> &[PlayoutEvent] {
+        &self.events
+    }
+
+    /// The negotiated data transport, once known.
+    pub fn transport(&self) -> Option<TransportKind> {
+        self.transport
+    }
+
+    /// Advances the client at `now`.
+    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) {
+        if self.phase == Phase::Done {
+            return;
+        }
+        if self.phase == Phase::Idle {
+            self.start(now, stack);
+        }
+        // Safety timeout: a wedged session still yields a record.
+        if let Some(start) = self.start_time {
+            if now.saturating_since(start) >= self.cfg.session_timeout {
+                self.finish(now, self.outcome.unwrap_or(SessionOutcome::Failed));
+                return;
+            }
+        }
+
+        self.pump_control(now, stack);
+        if self.phase == Phase::Connecting && stack.tcp(self.ctrl).is_established() {
+            let msg = self
+                .session
+                .describe()
+                .with_header("Bandwidth", &self.cfg.max_bandwidth_bps.to_string());
+            stack.tcp(self.ctrl).send(&msg.encode());
+            self.phase = Phase::Describing;
+        }
+        if self.phase == Phase::ConnectingData && stack.tcp(self.data_tcp).is_established() {
+            let msg = self.session.play();
+            stack.tcp(self.ctrl).send(&msg.encode());
+            self.phase = Phase::Starting;
+        }
+        if self.phase == Phase::Playing {
+            self.pump_data(now, stack);
+        }
+    }
+
+    fn start(&mut self, now: SimTime, stack: &mut Stack) {
+        self.start_time = Some(now);
+        if self.cfg.firewall == FirewallPolicy::BlockRtsp {
+            // The paper excluded these users; the record says why.
+            self.finish(now, SessionOutcome::Blocked);
+            return;
+        }
+        stack.tcp(self.ctrl).connect(self.cfg.server_ctrl, now);
+        self.phase = Phase::Connecting;
+    }
+
+    fn pump_control(&mut self, now: SimTime, stack: &mut Stack) {
+        let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
+        if !bytes.is_empty() {
+            self.decoder.feed(&bytes);
+        }
+        loop {
+            let msg = match self.decoder.next_message() {
+                Ok(Some(msg)) => msg,
+                Ok(None) => break,
+                Err(_) => {
+                    // A malformed control message cannot be resynchronized;
+                    // end the session rather than stalling to the timeout.
+                    self.finish(now, SessionOutcome::Failed);
+                    return;
+                }
+            };
+            // Replies to SET_PARAMETER reports are CSeq-mismatched by
+            // design; on_response classifies them as ProtocolError and the
+            // session state is unaffected.
+            match self.session.on_response(&msg) {
+                ClientEvent::Described(body) => {
+                    let name = self.cfg.url.rsplit('/').next().unwrap_or("clip");
+                    self.clip = Clip::parse_description(name, &body);
+                    let spec = self.pick_transport();
+                    let msg = self.session.setup(spec);
+                    stack.tcp(self.ctrl).send(&msg.encode());
+                    self.phase = Phase::SettingUp;
+                }
+                ClientEvent::Unavailable(_) => {
+                    self.finish(now, SessionOutcome::Unavailable);
+                    return;
+                }
+                ClientEvent::SetUp(spec) => {
+                    self.transport = Some(spec.kind);
+                    match spec.kind {
+                        TransportKind::Tcp => {
+                            stack.tcp(self.data_tcp).connect(self.cfg.server_data, now);
+                            self.phase = Phase::ConnectingData;
+                        }
+                        TransportKind::Udp => {
+                            let msg = self.session.play();
+                            stack.tcp(self.ctrl).send(&msg.encode());
+                            self.phase = Phase::Starting;
+                        }
+                    }
+                }
+                ClientEvent::Started => {
+                    self.play_start = Some(now);
+                    self.last_report = now;
+                    self.phase = Phase::Playing;
+                }
+                ClientEvent::TornDown => {
+                    self.finish(now, self.outcome.unwrap_or(SessionOutcome::Played));
+                    return;
+                }
+                ClientEvent::ProtocolError(_) => {
+                    // Tolerated: report replies and stale responses.
+                }
+            }
+        }
+    }
+
+    fn pick_transport(&self) -> TransportSpec {
+        let want_udp = match self.cfg.transport_pref {
+            TransportPreference::ForceUdp => true,
+            TransportPreference::ForceTcp => false,
+            TransportPreference::Auto => self.cfg.firewall != FirewallPolicy::BlockUdp,
+        };
+        if want_udp {
+            TransportSpec::udp(self.cfg.udp_port)
+        } else {
+            TransportSpec::tcp()
+        }
+    }
+
+    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) {
+        // UDP datagrams: one media packet each.
+        while let Some((_, data)) = stack.udp(self.udp).recv() {
+            if let Some((pkt, _)) = MediaPacket::decode(&data) {
+                self.last_rung = pkt.rung;
+                self.player.on_packet(now, pkt);
+            }
+        }
+        // TCP stream: depacketize.
+        let bytes = stack.tcp(self.data_tcp).recv(usize::MAX);
+        if !bytes.is_empty() {
+            self.depkt.feed(&bytes);
+            while let Some(pkt) = self.depkt.next_packet() {
+                self.last_rung = pkt.rung;
+                self.player.on_packet(now, pkt);
+            }
+        }
+
+        self.events.extend(self.player.poll(now));
+
+        // Receiver reports keep the server's UDP rate control fed.
+        if self.transport == Some(TransportKind::Udp)
+            && now.saturating_since(self.last_report) >= self.cfg.report_interval
+        {
+            let interval = now.saturating_since(self.last_report).as_secs_f64();
+            self.last_report = now;
+            let (loss, bytes) = self.player.take_interval();
+            let report = ReceiverReport {
+                loss_rate: loss,
+                recv_rate_bps: bytes as f64 * 8.0 / interval.max(0.1),
+            };
+            let msg = self.session.set_parameter(REPORT_PARAM, &report.encode());
+            stack.tcp(self.ctrl).send(&msg.encode());
+        }
+
+        // Watch limit reached or the clip ran out: tear down.
+        let watched_out = self
+            .play_start
+            .is_some_and(|s| now.saturating_since(s) >= self.cfg.watch_limit);
+        if watched_out || self.player.state() == PlayoutState::Ended {
+            self.outcome = Some(SessionOutcome::Played);
+            let msg = self.session.teardown();
+            stack.tcp(self.ctrl).send(&msg.encode());
+            self.phase = Phase::TearingDown;
+        }
+    }
+
+    fn finish(&mut self, now: SimTime, outcome: SessionOutcome) {
+        let protocol = self.transport.unwrap_or(TransportKind::Tcp);
+        let (encoded_fps, encoded_bps) = match &self.clip {
+            Some(clip) => {
+                let rung = (usize::from(self.last_rung)).min(clip.ladder.len() - 1);
+                let enc = &clip.ladder.rungs()[rung];
+                (enc.frame_rate, enc.total_bps)
+            }
+            None => (0.0, 0),
+        };
+        self.metrics = Some(finalize(
+            outcome,
+            protocol,
+            encoded_fps,
+            encoded_bps,
+            &self.events,
+            self.player.playout_stats(),
+            self.player.reassembly_stats(),
+            self.start_time.unwrap_or(now),
+            now,
+        ));
+        self.phase = Phase::Done;
+    }
+
+    /// When the client next needs polling.
+    pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        match self.phase {
+            Phase::Done => None,
+            // Steady tick: cheap, and robust against missed edges.
+            _ => Some(now + SimDuration::from_millis(20)),
+        }
+    }
+}

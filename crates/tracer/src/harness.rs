@@ -1,0 +1,187 @@
+//! Session harness: wires a server and a client into a simulated network
+//! and drives the whole world to completion.
+//!
+//! The study crate builds the topology (it knows geography and access-link
+//! classes); this harness owns the driver loop that both the study and the
+//! examples reuse.
+
+use rv_media::Clip;
+use rv_net::{Addr, HostId, LinkParams, NetBuilder, Network};
+use rv_server::{Catalog, RealServer, ServerConfig};
+use rv_sim::{earliest, SimDuration, SimRng, SimTime};
+use rv_transport::{Segment, Stack, TcpConfig};
+
+use crate::client::{ClientConfig, TracerClient};
+use crate::metrics::SessionMetrics;
+
+/// Standard port assignments for a session world.
+pub mod ports {
+    /// Server RTSP control port.
+    pub const CTRL: u16 = 554;
+    /// Server TCP data port.
+    pub const DATA_TCP: u16 = 555;
+    /// Server UDP data port.
+    pub const DATA_UDP: u16 = 6970;
+    /// Client UDP data port.
+    pub const CLIENT_UDP: u16 = 5002;
+    /// Client control source port.
+    pub const CLIENT_CTRL: u16 = 2000;
+    /// Client TCP data source port.
+    pub const CLIENT_DATA: u16 = 2001;
+}
+
+/// The receive-buffer configuration RealPlayer-era clients used for the
+/// data connection. The 32 KiB window matters: it bounds the in-flight
+/// data below typical bottleneck queue sizes, so a Reno sender fills the
+/// pipe without overflowing the queue several segments per window (which
+/// fast recovery cannot repair and which would otherwise collapse into
+/// RTO storms).
+pub fn client_data_tcp_config() -> TcpConfig {
+    TcpConfig {
+        recv_capacity: 32 * 1024,
+        ..TcpConfig::default()
+    }
+}
+
+/// Builds the canonical two-host streaming world: client and server joined
+/// by a symmetric duplex link, sockets on the standard [`ports`], one clip
+/// in the catalog, and a watch-for-a-minute client. `cfg_fn` customizes the
+/// client and server configurations before construction.
+///
+/// Tests, examples, and benches all build their worlds through this one
+/// function; richer topologies (the study's access/transit/server-access
+/// chains) are assembled in `rv-study`.
+pub fn two_host_world(
+    params: LinkParams,
+    clip: Clip,
+    seed: u64,
+    cfg_fn: impl FnOnce(&mut ClientConfig, &mut ServerConfig),
+) -> SessionWorld {
+    let mut b = NetBuilder::new();
+    let c = b.host();
+    let s = b.host();
+    b.duplex(c, s, params);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let net = b.build_with_payload::<Segment>(&mut rng);
+
+    let mut client_stack = Stack::new(HostId(0));
+    let mut server_stack = Stack::new(HostId(1));
+    let s_ctrl = server_stack.tcp_socket(ports::CTRL, TcpConfig::default());
+    let s_data = server_stack.tcp_socket(ports::DATA_TCP, TcpConfig::default());
+    let s_udp = server_stack.udp_socket(ports::DATA_UDP);
+    server_stack.tcp(s_ctrl).listen();
+    server_stack.tcp(s_data).listen();
+    let c_ctrl = client_stack.tcp_socket(ports::CLIENT_CTRL, TcpConfig::default());
+    let c_data = client_stack.tcp_socket(ports::CLIENT_DATA, client_data_tcp_config());
+    let c_udp = client_stack.udp_socket(ports::CLIENT_UDP);
+
+    let mut catalog = Catalog::new();
+    let url = format!("rtsp://server/{}", clip.name);
+    catalog.add(clip);
+    let mut server_cfg = ServerConfig::default();
+    let mut client_cfg = ClientConfig::new(
+        &url,
+        Addr::new(HostId(1), ports::CTRL),
+        Addr::new(HostId(1), ports::DATA_TCP),
+    );
+    cfg_fn(&mut client_cfg, &mut server_cfg);
+    let server = RealServer::new(server_cfg, catalog, s_ctrl, s_data, s_udp, seed);
+    let client = TracerClient::new(client_cfg, c_ctrl, c_data, c_udp);
+    SessionWorld::new(net, client_stack, server_stack, server, client)
+}
+
+/// One complete streaming world: network, two stacks, server, client.
+#[derive(Debug)]
+pub struct SessionWorld {
+    /// The simulated network (client = host 0, server = host 1 by the
+    /// conventions of the topology builders in rv-study).
+    pub net: Network<Segment>,
+    /// Client host's transport stack.
+    pub client_stack: Stack,
+    /// Server host's transport stack.
+    pub server_stack: Stack,
+    /// The streaming server.
+    pub server: RealServer,
+    /// The instrumented client.
+    pub client: TracerClient,
+    /// The world's clock: persists across `run` calls so a world can be
+    /// driven in increments.
+    pub now: SimTime,
+}
+
+impl SessionWorld {
+    /// Creates a world with its clock at zero.
+    pub fn new(
+        net: Network<Segment>,
+        client_stack: Stack,
+        server_stack: Stack,
+        server: RealServer,
+        client: TracerClient,
+    ) -> Self {
+        SessionWorld {
+            net,
+            client_stack,
+            server_stack,
+            server,
+            client,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Drives everything until the client finishes or `deadline` passes.
+    /// Returns the session record. May be called repeatedly with growing
+    /// deadlines; the clock picks up where it left off.
+    pub fn run(&mut self, deadline: SimTime) -> SessionMetrics {
+        let mut now = self.now;
+        loop {
+            // Settle all work at the current instant. The guard bounds
+            // pathological ping-pong at one instant.
+            for _ in 0..64 {
+                let mut moved = self.net.poll(now);
+                moved += self.client_stack.poll(now, &mut self.net);
+                moved += self.server_stack.poll(now, &mut self.net);
+                self.server.poll(now, &mut self.server_stack);
+                self.client.poll(now, &mut self.client_stack);
+                moved += self.client_stack.poll(now, &mut self.net);
+                moved += self.server_stack.poll(now, &mut self.net);
+                if moved == 0 {
+                    break;
+                }
+            }
+            if self.client.is_done() || now >= deadline {
+                self.now = now;
+                break;
+            }
+            let next = earliest([
+                self.net.next_wake(),
+                self.client_stack.next_wake(),
+                self.server_stack.next_wake(),
+                self.server.next_wake(now),
+                self.client.next_wake(now),
+            ]);
+            let step_floor = now + SimDuration::from_micros(1);
+            now = next.unwrap_or(deadline).min(deadline).max(step_floor);
+        }
+        self.client.metrics().cloned().unwrap_or_else(|| {
+            // Deadline hit before the client finished (should be rare: the
+            // client has its own session timeout). Preserve the negotiated
+            // transport if it got that far.
+            SessionMetrics::failed(
+                crate::metrics::SessionOutcome::Failed,
+                self.client
+                    .transport()
+                    .unwrap_or(rv_rtsp::TransportKind::Tcp),
+            )
+        })
+    }
+
+    /// Convenience: host ids for the conventional two-host layout.
+    pub fn client_host() -> HostId {
+        HostId(0)
+    }
+
+    /// The server's host id in the conventional layout.
+    pub fn server_host() -> HostId {
+        HostId(1)
+    }
+}

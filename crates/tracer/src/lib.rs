@@ -1,0 +1,22 @@
+//! # rv-tracer — the RealTracer equivalent
+//!
+//! The instrumented client at the heart of the study: [`TracerClient`]
+//! plays one clip end to end over the simulated network, recording the
+//! statistics RealTracer recorded (frame rate, jitter, bandwidth,
+//! transport, drops, rebuffers, CPU), summarized as [`SessionMetrics`].
+//! The [`rate`] model produces the 0–10 user quality ratings of Section
+//! V.C, and [`SessionWorld`] drives a complete server+network+client
+//! world to completion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod harness;
+mod metrics;
+mod rating;
+
+pub use client::{ClientConfig, TracerClient};
+pub use harness::{client_data_tcp_config, ports, two_host_world, SessionWorld};
+pub use metrics::{finalize, jitter_ms, SessionMetrics, SessionOutcome};
+pub use rating::{rate, system_score, RaterProfile};

@@ -1,0 +1,288 @@
+//! Session metrics: exactly the statistics RealTracer recorded per clip.
+//!
+//! The paper's definitions (Section V): measured frame rate is frames
+//! played per second of playout; jitter is the standard deviation of
+//! inter-frame playout times over the clip; bandwidth is the average
+//! application receive rate.
+
+use rv_player::{PlayoutEvent, PlayoutStats, ReassemblyStats};
+use rv_rtsp::TransportKind;
+use rv_sim::{SimDuration, SimTime};
+
+/// How the session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// Played to the watch limit (or clip end).
+    Played,
+    /// The server reported the clip unavailable (404).
+    Unavailable,
+    /// RTSP was blocked by a firewall; the session never started.
+    Blocked,
+    /// Some other protocol failure.
+    Failed,
+}
+
+/// The per-clip statistics record RealTracer uploaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMetrics {
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Data transport used.
+    pub protocol: TransportKind,
+    /// Encoded frame rate of the (final) stream rung.
+    pub encoded_fps: f64,
+    /// Encoded total bandwidth of the (final) rung, bits/second.
+    pub encoded_bps: u32,
+    /// Measured frame rate, frames/second of playout time.
+    pub frame_rate: f64,
+    /// Jitter: standard deviation of inter-frame playout gaps, ms
+    /// (`None` with fewer than three played frames).
+    pub jitter_ms: Option<f64>,
+    /// Average receive bandwidth over the session, Kbits/second.
+    pub bandwidth_kbps: f64,
+    /// Frames played.
+    pub frames_played: u64,
+    /// Frames dropped (late + decode).
+    pub frames_dropped: u64,
+    /// Packets lost (sequence-gap estimate).
+    pub packets_lost: u64,
+    /// Frames rescued by FEC.
+    pub frames_recovered: u64,
+    /// Rebuffer halts.
+    pub rebuffer_events: u64,
+    /// Wall time spent halted.
+    pub rebuffer_time: SimDuration,
+    /// Startup delay: wall time from session start to first played frame.
+    pub startup_delay: Option<SimDuration>,
+    /// Fraction of wall time the (modeled) CPU spent decoding.
+    pub cpu_utilization: f64,
+    /// Wall duration from session start to finish.
+    pub session_time: SimDuration,
+}
+
+impl SessionMetrics {
+    /// A record for a session that never produced data.
+    pub fn failed(outcome: SessionOutcome, protocol: TransportKind) -> Self {
+        SessionMetrics {
+            outcome,
+            protocol,
+            encoded_fps: 0.0,
+            encoded_bps: 0,
+            frame_rate: 0.0,
+            jitter_ms: None,
+            bandwidth_kbps: 0.0,
+            frames_played: 0,
+            frames_dropped: 0,
+            packets_lost: 0,
+            frames_recovered: 0,
+            rebuffer_events: 0,
+            rebuffer_time: SimDuration::ZERO,
+            startup_delay: None,
+            cpu_utilization: 0.0,
+            session_time: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Computes jitter: the standard deviation of inter-playout intervals, ms.
+///
+/// Returns `None` with fewer than three played frames (fewer than two
+/// intervals — a standard deviation needs at least two samples).
+pub fn jitter_ms(events: &[PlayoutEvent]) -> Option<f64> {
+    let played: Vec<SimTime> = events.iter().filter_map(|e| e.played_at).collect();
+    if played.len() < 3 {
+        return None;
+    }
+    let gaps: Vec<f64> = played
+        .windows(2)
+        .map(|w| w[1].saturating_since(w[0]).as_secs_f64() * 1e3)
+        .collect();
+    let n = gaps.len() as f64;
+    let mean = gaps.iter().sum::<f64>() / n;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n;
+    Some(var.sqrt())
+}
+
+/// Assembles the full metrics record at session end.
+#[allow(clippy::too_many_arguments)]
+pub fn finalize(
+    outcome: SessionOutcome,
+    protocol: TransportKind,
+    encoded_fps: f64,
+    encoded_bps: u32,
+    events: &[PlayoutEvent],
+    playout: PlayoutStats,
+    reassembly: ReassemblyStats,
+    session_start: SimTime,
+    session_end: SimTime,
+) -> SessionMetrics {
+    let session_time = session_end.saturating_since(session_start);
+    let playout_time = playout
+        .playback_started_at
+        .map(|s| session_end.saturating_since(s).saturating_sub(playout.rebuffer_time))
+        .unwrap_or(SimDuration::ZERO);
+    let frame_rate = if playout_time.is_zero() {
+        0.0
+    } else {
+        playout.frames_played as f64 / playout_time.as_secs_f64()
+    };
+    let bandwidth_kbps = if session_time.is_zero() {
+        0.0
+    } else {
+        reassembly.bytes_received as f64 * 8.0 / session_time.as_secs_f64() / 1e3
+    };
+    let first_play = events.iter().find_map(|e| e.played_at);
+    SessionMetrics {
+        outcome,
+        protocol,
+        encoded_fps,
+        encoded_bps,
+        frame_rate,
+        jitter_ms: jitter_ms(events),
+        bandwidth_kbps,
+        frames_played: playout.frames_played,
+        frames_dropped: playout.dropped_late + playout.dropped_decode,
+        packets_lost: reassembly.packets_lost,
+        frames_recovered: reassembly.frames_recovered,
+        rebuffer_events: playout.rebuffer_events,
+        rebuffer_time: playout.rebuffer_time,
+        startup_delay: first_play.map(|t| t.saturating_since(session_start)),
+        cpu_utilization: if session_time.is_zero() {
+            0.0
+        } else {
+            (playout.decode_busy.as_secs_f64() / session_time.as_secs_f64()).min(1.0)
+        },
+        session_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn played(at_ms: u64) -> PlayoutEvent {
+        PlayoutEvent {
+            frame_index: at_ms as u32,
+            rung: 0,
+            pts: SimDuration::from_millis(at_ms),
+            played_at: Some(SimTime::from_millis(at_ms)),
+            drop_reason: None,
+        }
+    }
+
+    #[test]
+    fn jitter_zero_for_perfectly_even_playout() {
+        let events: Vec<PlayoutEvent> = (0..20).map(|i| played(i * 100)).collect();
+        assert_eq!(jitter_ms(&events), Some(0.0));
+    }
+
+    #[test]
+    fn jitter_none_for_too_few_frames() {
+        assert_eq!(jitter_ms(&[]), None);
+        assert_eq!(jitter_ms(&[played(0), played(100)]), None);
+    }
+
+    #[test]
+    fn jitter_measures_variance() {
+        // Gaps of 50 and 150 ms around a 100 ms mean → stddev 50 ms.
+        let events = vec![played(0), played(50), played(200)];
+        let j = jitter_ms(&events).unwrap();
+        assert!((j - 50.0).abs() < 1e-9, "jitter {j}");
+    }
+
+    #[test]
+    fn jitter_ignores_dropped_frames() {
+        let mut events: Vec<PlayoutEvent> = (0..10).map(|i| played(i * 100)).collect();
+        events.insert(
+            5,
+            PlayoutEvent {
+                frame_index: 999,
+                rung: 0,
+                pts: SimDuration::from_millis(450),
+                played_at: None,
+                drop_reason: Some(rv_player::DropReason::Late),
+            },
+        );
+        assert_eq!(jitter_ms(&events), Some(0.0));
+    }
+
+    #[test]
+    fn finalize_computes_rates() {
+        let events: Vec<PlayoutEvent> = (0..100).map(|i| played(10_000 + i * 100)).collect();
+        let playout = PlayoutStats {
+            frames_played: 100,
+            playback_started_at: Some(SimTime::from_secs(10)),
+            ..PlayoutStats::default()
+        };
+        let reassembly = ReassemblyStats {
+            bytes_received: 75_000, // over 20 s → 30 kbps
+            ..ReassemblyStats::default()
+        };
+        let m = finalize(
+            SessionOutcome::Played,
+            TransportKind::Udp,
+            15.0,
+            80_000,
+            &events,
+            playout,
+            reassembly,
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
+        // 100 frames over 10 s of playout.
+        assert!((m.frame_rate - 10.0).abs() < 1e-9);
+        assert!((m.bandwidth_kbps - 30.0).abs() < 1e-9);
+        assert_eq!(m.startup_delay, Some(SimDuration::from_secs(10)));
+        assert_eq!(m.jitter_ms, Some(0.0));
+    }
+
+    #[test]
+    fn finalize_handles_never_started() {
+        let m = finalize(
+            SessionOutcome::Played,
+            TransportKind::Tcp,
+            15.0,
+            80_000,
+            &[],
+            PlayoutStats::default(),
+            ReassemblyStats::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
+        assert_eq!(m.frame_rate, 0.0);
+        assert_eq!(m.startup_delay, None);
+    }
+
+    #[test]
+    fn rebuffer_time_excluded_from_playout_time() {
+        let playout = PlayoutStats {
+            frames_played: 50,
+            playback_started_at: Some(SimTime::from_secs(10)),
+            rebuffer_time: SimDuration::from_secs(5),
+            rebuffer_events: 1,
+            ..PlayoutStats::default()
+        };
+        let m = finalize(
+            SessionOutcome::Played,
+            TransportKind::Udp,
+            15.0,
+            80_000,
+            &[],
+            playout,
+            ReassemblyStats::default(),
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
+        // 50 frames over (10 - 5) s.
+        assert!((m.frame_rate - 10.0).abs() < 1e-9);
+        assert_eq!(m.rebuffer_events, 1);
+    }
+
+    #[test]
+    fn failed_record_is_empty() {
+        let m = SessionMetrics::failed(SessionOutcome::Unavailable, TransportKind::Tcp);
+        assert_eq!(m.outcome, SessionOutcome::Unavailable);
+        assert_eq!(m.frames_played, 0);
+        assert_eq!(m.jitter_ms, None);
+    }
+}

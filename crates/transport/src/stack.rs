@@ -1,0 +1,319 @@
+//! Per-host socket stack: owns a host's sockets, demultiplexes inbound
+//! packets, and pumps outbound segments into the network.
+
+use rv_net::{Addr, HostId, Network, Packet};
+use rv_sim::{earliest, SimTime};
+
+use crate::segment::Segment;
+use crate::tcp::{TcpConfig, TcpSocket, TcpState};
+use crate::udp::UdpSocket;
+
+/// Handle to a TCP socket within a [`Stack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHandle(usize);
+
+/// Handle to a UDP socket within a [`Stack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHandle(usize);
+
+/// The transport stack of one host.
+#[derive(Debug)]
+pub struct Stack {
+    host: HostId,
+    tcp: Vec<TcpSocket>,
+    udp: Vec<UdpSocket>,
+    /// Inbound packets that matched no socket.
+    dropped_no_socket: u64,
+}
+
+impl Stack {
+    /// Creates an empty stack for `host`.
+    pub fn new(host: HostId) -> Self {
+        Stack {
+            host,
+            tcp: Vec::new(),
+            udp: Vec::new(),
+            dropped_no_socket: 0,
+        }
+    }
+
+    /// The host this stack belongs to.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Creates a TCP socket bound to `port`.
+    pub fn tcp_socket(&mut self, port: u16, cfg: TcpConfig) -> TcpHandle {
+        let local = Addr::new(self.host, port);
+        self.tcp.push(TcpSocket::new(local, cfg));
+        TcpHandle(self.tcp.len() - 1)
+    }
+
+    /// Creates a UDP socket bound to `port`.
+    pub fn udp_socket(&mut self, port: u16) -> UdpHandle {
+        let local = Addr::new(self.host, port);
+        self.udp.push(UdpSocket::new(local));
+        UdpHandle(self.udp.len() - 1)
+    }
+
+    /// Access a TCP socket.
+    pub fn tcp(&mut self, h: TcpHandle) -> &mut TcpSocket {
+        &mut self.tcp[h.0]
+    }
+
+    /// Shared access to a TCP socket.
+    pub fn tcp_ref(&self, h: TcpHandle) -> &TcpSocket {
+        &self.tcp[h.0]
+    }
+
+    /// Access a UDP socket.
+    pub fn udp(&mut self, h: UdpHandle) -> &mut UdpSocket {
+        &mut self.udp[h.0]
+    }
+
+    /// Shared access to a UDP socket.
+    pub fn udp_ref(&self, h: UdpHandle) -> &UdpSocket {
+        &self.udp[h.0]
+    }
+
+    /// Packets dropped for want of a matching socket.
+    pub fn dropped_no_socket(&self) -> u64 {
+        self.dropped_no_socket
+    }
+
+    /// Receives all delivered packets from the network, dispatches them to
+    /// sockets, then transmits everything the sockets produce. Returns the
+    /// number of packets handled.
+    pub fn poll(&mut self, now: SimTime, net: &mut Network<Segment>) -> usize {
+        let mut handled = 0;
+
+        while let Some(pkt) = net.recv(self.host) {
+            handled += 1;
+            self.dispatch(now, pkt);
+        }
+
+        for sock in &mut self.tcp {
+            for pkt in sock.poll(now) {
+                net.send(now, pkt);
+                handled += 1;
+            }
+        }
+        for sock in &mut self.udp {
+            for pkt in sock.poll(now) {
+                net.send(now, pkt);
+                handled += 1;
+            }
+        }
+        handled
+    }
+
+    fn dispatch(&mut self, now: SimTime, pkt: Packet<Segment>) {
+        match pkt.payload {
+            Segment::Tcp(seg) => {
+                // Prefer an exact (local port, remote addr) match, then a
+                // listener on the port.
+                let exact = self.tcp.iter_mut().find(|s| {
+                    s.local().port == pkt.dst.port && s.remote() == Some(pkt.src)
+                });
+                let sock = match exact {
+                    Some(s) => Some(s),
+                    None => self.tcp.iter_mut().find(|s| {
+                        s.local().port == pkt.dst.port && s.state() == TcpState::Listen
+                    }),
+                };
+                match sock {
+                    Some(s) => s.on_segment(now, pkt.src, seg),
+                    None => self.dropped_no_socket += 1,
+                }
+            }
+            Segment::Udp(dgram) => {
+                match self
+                    .udp
+                    .iter_mut()
+                    .find(|s| s.local().port == pkt.dst.port)
+                {
+                    Some(s) => s.on_datagram(pkt.src, dgram.data),
+                    None => self.dropped_no_socket += 1,
+                }
+            }
+        }
+    }
+
+    /// When any socket next needs attention (retransmission timers).
+    pub fn next_wake(&self) -> Option<SimTime> {
+        earliest(self.tcp.iter().map(|s| s.next_wake()))
+    }
+
+    /// `true` if any socket has deferred work a poll would emit.
+    pub fn has_pending_work(&self) -> bool {
+        self.tcp.iter().any(|s| s.has_pending_work())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_net::{LinkParams, NetBuilder};
+    use rv_sim::{Clock, SimDuration, SimRng, StepOutcome};
+
+    /// Builds two hosts joined by symmetric links and returns
+    /// (network, client stack, server stack).
+    fn world(params: LinkParams) -> (Network<Segment>, Stack, Stack) {
+        let mut b = NetBuilder::new();
+        let c = b.host();
+        let s = b.host();
+        b.duplex(c, s, params);
+        let mut rng = SimRng::seed_from_u64(99);
+        let net = b.build_with_payload::<Segment>(&mut rng);
+        (net, Stack::new(HostId(0)), Stack::new(HostId(1)))
+    }
+
+    /// Drives network + both stacks until `deadline` or quiescence.
+    fn drive(
+        net: &mut Network<Segment>,
+        a: &mut Stack,
+        b: &mut Stack,
+        clock: &mut Clock,
+        deadline: SimTime,
+    ) {
+        rv_sim::run_until(clock, deadline, |now| {
+            let mut work = net.poll(now);
+            work += a.poll(now, net);
+            work += b.poll(now, net);
+            if work > 0 {
+                StepOutcome::Worked
+            } else if let Some(t) = earliest([net.next_wake(), a.next_wake(), b.next_wake()]) {
+                StepOutcome::IdleUntil(t)
+            } else {
+                StepOutcome::Quiescent
+            }
+        });
+    }
+
+    #[test]
+    fn tcp_over_simulated_network_end_to_end() {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(30));
+        let (mut net, mut cs, mut ss) = world(params);
+        let ch = cs.tcp_socket(2000, TcpConfig::default());
+        let sh = ss.tcp_socket(554, TcpConfig::default());
+        ss.tcp(sh).listen();
+        cs.tcp(ch).connect(Addr::new(HostId(1), 554), SimTime::ZERO);
+
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 241) as u8).collect();
+        cs.tcp(ch).send(&payload);
+
+        let mut clock = Clock::new();
+        let mut received = Vec::new();
+        for step in 1..300 {
+            drive(
+                &mut net,
+                &mut cs,
+                &mut ss,
+                &mut clock,
+                SimTime::from_millis(step * 100),
+            );
+            received.extend(ss.tcp(sh).recv(usize::MAX));
+            if received.len() == payload.len() {
+                break;
+            }
+        }
+        assert_eq!(received, payload);
+        // ~60 ms RTT should be visible in the client's SRTT.
+        let srtt = cs.tcp(ch).srtt().expect("rtt measured");
+        assert!((srtt.as_millis() as i64 - 60).abs() < 30, "srtt {srtt}");
+    }
+
+    #[test]
+    fn tcp_recovers_over_lossy_link() {
+        let params = LinkParams::lan()
+            .rate(500_000.0)
+            .delay(SimDuration::from_millis(20))
+            .loss(0.05);
+        let (mut net, mut cs, mut ss) = world(params);
+        let ch = cs.tcp_socket(2000, TcpConfig::default());
+        let sh = ss.tcp_socket(554, TcpConfig::default());
+        ss.tcp(sh).listen();
+        cs.tcp(ch).connect(Addr::new(HostId(1), 554), SimTime::ZERO);
+
+        let payload = vec![0xABu8; 60_000];
+        cs.tcp(ch).send(&payload);
+
+        let mut clock = Clock::new();
+        let mut received = Vec::new();
+        for step in 1..600 {
+            drive(
+                &mut net,
+                &mut cs,
+                &mut ss,
+                &mut clock,
+                SimTime::from_millis(step * 100),
+            );
+            received.extend(ss.tcp(sh).recv(usize::MAX));
+            if received.len() == payload.len() {
+                break;
+            }
+        }
+        assert_eq!(received.len(), payload.len(), "transfer completed despite loss");
+        assert!(received.iter().all(|b| *b == 0xAB));
+        let stats = cs.tcp(ch).stats();
+        assert!(stats.retransmits > 0, "loss should force retransmissions");
+    }
+
+    #[test]
+    fn udp_datagrams_flow_and_loss_is_tolerated() {
+        let params = LinkParams::lan()
+            .rate(500_000.0)
+            .delay(SimDuration::from_millis(10))
+            .loss(0.1);
+        let (mut net, mut cs, mut ss) = world(params);
+        let cu = cs.udp_socket(5000);
+        let su = ss.udp_socket(5001);
+
+        let mut clock = Clock::new();
+        for i in 0..200u16 {
+            ss.udp(su)
+                .send_to(Addr::new(HostId(0), 5000), i.to_be_bytes().to_vec());
+        }
+        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(30));
+
+        let mut got = 0;
+        while cs.udp(cu).recv().is_some() {
+            got += 1;
+        }
+        assert!(got > 150 && got < 200, "got {got}: loss should drop some but not most");
+    }
+
+    #[test]
+    fn packets_to_unbound_ports_are_counted() {
+        let params = LinkParams::lan();
+        let (mut net, mut cs, mut ss) = world(params);
+        let cu = cs.udp_socket(5000);
+        cs.udp(cu).send_to(Addr::new(HostId(1), 9999), vec![1]);
+        let mut clock = Clock::new();
+        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(1));
+        assert_eq!(ss.dropped_no_socket(), 1);
+    }
+
+    #[test]
+    fn two_tcp_connections_multiplex_on_one_host() {
+        let params = LinkParams::lan().rate(1e7).delay(SimDuration::from_millis(5));
+        let (mut net, mut cs, mut ss) = world(params);
+        let c1 = cs.tcp_socket(2000, TcpConfig::default());
+        let c2 = cs.tcp_socket(2001, TcpConfig::default());
+        let s1 = ss.tcp_socket(554, TcpConfig::default());
+        let s2 = ss.tcp_socket(555, TcpConfig::default());
+        ss.tcp(s1).listen();
+        ss.tcp(s2).listen();
+        cs.tcp(c1).connect(Addr::new(HostId(1), 554), SimTime::ZERO);
+        cs.tcp(c2).connect(Addr::new(HostId(1), 555), SimTime::ZERO);
+        cs.tcp(c1).send(b"control");
+        cs.tcp(c2).send(b"data");
+
+        let mut clock = Clock::new();
+        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(5));
+        assert_eq!(ss.tcp(s1).recv(64), b"control".to_vec());
+        assert_eq!(ss.tcp(s2).recv(64), b"data".to_vec());
+    }
+}

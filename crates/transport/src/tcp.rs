@@ -1,0 +1,1032 @@
+//! A from-scratch TCP implementation (Reno congestion control).
+//!
+//! Implements what mattered for 2001-era streaming dynamics:
+//!
+//! * three-way handshake, FIN close, RST abort;
+//! * byte-stream send/receive buffers with cumulative ACKs and bounded
+//!   out-of-order reassembly;
+//! * slow start, congestion avoidance, fast retransmit + fast recovery
+//!   (Reno), RTO per RFC 6298 (SRTT/RTTVAR, Karn's rule, exponential
+//!   backoff);
+//! * receiver flow control via advertised windows (with window-update ACKs
+//!   when the application drains a closed window).
+//!
+//! Deliberately omitted, as irrelevant to the reproduced figures: SACK,
+//! Nagle, delayed ACKs, zero-window probes, and wire-format encoding (the
+//! simulator carries structured segments; sizes still include real header
+//! overhead).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rv_net::{Addr, Packet};
+use rv_sim::{SimDuration, SimTime};
+
+use crate::segment::{Segment, TcpFlags, TcpSegment, DEFAULT_MSS};
+
+/// Connection state, RFC 793 reduced to the transitions the simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open: waiting for a SYN.
+    Listen,
+    /// Active open: SYN sent, waiting for SYN+ACK.
+    SynSent,
+    /// SYN received, SYN+ACK sent, waiting for the final ACK.
+    SynRcvd,
+    /// Data flows.
+    Established,
+    /// We sent a FIN and await its ACK.
+    FinSent,
+}
+
+/// Tunable parameters. Defaults model a 2001-era BSD-ish stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size (application bytes per segment).
+    pub mss: u32,
+    /// Send buffer capacity in bytes (unsent + unacked).
+    pub send_capacity: usize,
+    /// Receive buffer capacity in bytes; the advertised-window ceiling.
+    pub recv_capacity: usize,
+    /// Initial congestion window, in segments.
+    pub initial_cwnd_segments: u32,
+    /// Initial slow-start threshold in bytes.
+    pub initial_ssthresh: u32,
+    /// RTO floor (RFC 2988 recommends 1 s; common stacks used lower).
+    pub min_rto: SimDuration,
+    /// RTO ceiling.
+    pub max_rto: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: DEFAULT_MSS,
+            send_capacity: 256 * 1024,
+            recv_capacity: 64 * 1024,
+            initial_cwnd_segments: 2,
+            initial_ssthresh: 64 * 1024,
+            min_rto: SimDuration::from_millis(1000),
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Lifetime counters for one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Data segments transmitted (first time).
+    pub segments_sent: u64,
+    /// Segments retransmitted (timeout or fast retransmit).
+    pub retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Fast retransmits triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Application bytes acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Application bytes delivered to the local application.
+    pub bytes_delivered: u64,
+}
+
+/// A TCP connection endpoint.
+#[derive(Debug)]
+pub struct TcpSocket {
+    cfg: TcpConfig,
+    local: Addr,
+    remote: Option<Addr>,
+    state: TcpState,
+
+    // --- send side ---
+    /// Initial send sequence.
+    iss: u64,
+    /// Oldest unacknowledged sequence.
+    snd_una: u64,
+    /// Next sequence to transmit.
+    snd_nxt: u64,
+    /// Sequence number of `send_buf[0]`.
+    buf_seq: u64,
+    send_buf: VecDeque<u8>,
+    /// Congestion window, bytes (f64 so congestion-avoidance fractions accumulate).
+    cwnd: f64,
+    ssthresh: f64,
+    /// Peer's advertised window.
+    rwnd: u32,
+    dup_acks: u32,
+    in_fast_recovery: bool,
+    /// `snd_nxt` when fast recovery began (Reno exit point).
+    recover: u64,
+
+    // --- retransmission timing ---
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    rto_deadline: Option<SimTime>,
+    /// One in-flight RTT measurement: (sequence end, send time). Karn's
+    /// rule: invalidated by any retransmission.
+    rtt_sample: Option<(u64, SimTime)>,
+
+    // --- receive side ---
+    rcv_nxt: u64,
+    recv_buf: VecDeque<u8>,
+    /// Out-of-order segments keyed by sequence.
+    ooo: BTreeMap<u64, Vec<u8>>,
+    ooo_bytes: usize,
+    peer_fin: bool,
+
+    // --- control ---
+    /// Our FIN's sequence number once sending was requested and data drained.
+    fin_seq: Option<u64>,
+    close_requested: bool,
+    /// Pure ACKs owed to the peer: one per received data/FIN segment, each
+    /// snapshotting (rcv_nxt, window) *at receipt time*. Emitting the
+    /// snapshots — rather than the current values — reproduces real
+    /// receiver behavior: in-order bursts yield distinct cumulative ACKs,
+    /// out-of-order segments yield true duplicates (fast retransmit depends
+    /// on the distinction).
+    pending_acks: VecDeque<(u64, u32)>,
+    /// Set when loss recovery wants the head-of-line segment re-sent; the
+    /// next poll() performs it.
+    pending_retransmit: bool,
+    stats: TcpStats,
+}
+
+impl TcpSocket {
+    /// Creates a closed socket bound to `local`.
+    pub fn new(local: Addr, cfg: TcpConfig) -> Self {
+        TcpSocket {
+            cfg,
+            local,
+            remote: None,
+            state: TcpState::Closed,
+            iss: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            buf_seq: 1,
+            send_buf: VecDeque::new(),
+            cwnd: f64::from(cfg.initial_cwnd_segments * cfg.mss),
+            ssthresh: f64::from(cfg.initial_ssthresh),
+            rwnd: cfg.recv_capacity as u32,
+            dup_acks: 0,
+            in_fast_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(3), // RFC 6298 initial RTO
+            rto_deadline: None,
+            rtt_sample: None,
+            rcv_nxt: 0,
+            recv_buf: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            peer_fin: false,
+            fin_seq: None,
+            close_requested: false,
+            pending_acks: VecDeque::new(),
+            pending_retransmit: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// The local endpoint.
+    pub fn local(&self) -> Addr {
+        self.local
+    }
+
+    /// The connected peer, if any.
+    pub fn remote(&self) -> Option<Addr> {
+        self.remote
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Current congestion window in bytes (for instrumentation).
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd as u32
+    }
+
+    /// Current smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Passive open.
+    pub fn listen(&mut self) {
+        assert_eq!(self.state, TcpState::Closed, "listen on non-closed socket");
+        self.state = TcpState::Listen;
+    }
+
+    /// Active open toward `remote` at time `now`.
+    pub fn connect(&mut self, remote: Addr, now: SimTime) {
+        assert_eq!(self.state, TcpState::Closed, "connect on non-closed socket");
+        self.remote = Some(remote);
+        self.state = TcpState::SynSent;
+        self.snd_una = self.iss;
+        self.snd_nxt = self.iss; // SYN emitted by poll()
+        self.buf_seq = self.iss + 1;
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    /// `true` once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established || self.state == TcpState::FinSent
+    }
+
+    /// `true` when the connection is fully closed or reset.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// Bytes of send-buffer space available.
+    pub fn send_capacity_left(&self) -> usize {
+        self.cfg.send_capacity - self.send_buf.len()
+    }
+
+    /// Queues application data; returns bytes accepted.
+    pub fn send(&mut self, data: &[u8]) -> usize {
+        if self.close_requested {
+            return 0;
+        }
+        let n = data.len().min(self.send_capacity_left());
+        self.send_buf.extend(&data[..n]);
+        n
+    }
+
+    /// Bytes queued but not yet acknowledged.
+    pub fn unacked_and_unsent(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// `true` when every queued byte has been acknowledged.
+    pub fn all_sent_and_acked(&self) -> bool {
+        self.send_buf.is_empty() && self.snd_una == self.snd_nxt
+    }
+
+    /// Requests graceful close after queued data drains.
+    pub fn close(&mut self) {
+        self.close_requested = true;
+    }
+
+    /// Reads up to `max` bytes of in-order received data.
+    pub fn recv(&mut self, max: usize) -> Vec<u8> {
+        let was_closed = self.advertised_window() == 0;
+        let n = max.min(self.recv_buf.len());
+        let out: Vec<u8> = self.recv_buf.drain(..n).collect();
+        self.stats.bytes_delivered += out.len() as u64;
+        if was_closed && self.advertised_window() > 0 && !out.is_empty() {
+            // Window update so a stalled sender can resume.
+            self.queue_ack();
+        }
+        out
+    }
+
+    /// Bytes readable right now.
+    pub fn recv_available(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// `true` once the peer closed and all its data has been read.
+    pub fn recv_finished(&self) -> bool {
+        self.peer_fin && self.recv_buf.is_empty()
+    }
+
+    fn queue_ack(&mut self) {
+        if self.pending_acks.len() < 64 {
+            self.pending_acks
+                .push_back((self.rcv_nxt, self.advertised_window()));
+        }
+    }
+
+    fn advertised_window(&self) -> u32 {
+        // Only in-order buffered data consumes window: charging the
+        // out-of-order store would shrink the advertisement on every
+        // reordered segment and make duplicate ACKs unrecognizable as such.
+        (self.cfg.recv_capacity.saturating_sub(self.recv_buf.len())) as u32
+    }
+
+    /// Sequence space currently in flight.
+    fn flight_size(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Processes an inbound segment.
+    pub fn on_segment(&mut self, now: SimTime, src: Addr, seg: TcpSegment) {
+        if seg.flags.rst {
+            self.state = TcpState::Closed;
+            return;
+        }
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::Listen => {
+                if seg.flags.syn {
+                    self.remote = Some(src);
+                    self.rcv_nxt = seg.seq + 1;
+                    self.state = TcpState::SynRcvd;
+                    self.snd_una = self.iss;
+                    self.snd_nxt = self.iss; // SYN+ACK emitted by poll()
+                    self.buf_seq = self.iss + 1;
+                    self.rto_deadline = Some(now + self.rto);
+                }
+            }
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.iss + 1 {
+                    self.rcv_nxt = seg.seq + 1;
+                    self.snd_una = seg.ack;
+                    self.rwnd = seg.window;
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                    self.queue_ack();
+                }
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.ack && seg.ack == self.iss + 1 {
+                    self.snd_una = seg.ack;
+                    self.rwnd = seg.window;
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                }
+                // Data can ride on the handshake-completing ACK.
+                self.process_payload(&seg);
+            }
+            TcpState::Established | TcpState::FinSent => {
+                if seg.flags.ack {
+                    self.process_ack(now, &seg);
+                }
+                self.process_payload(&seg);
+            }
+        }
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &TcpSegment) {
+        let prev_rwnd = self.rwnd;
+        self.rwnd = seg.window;
+        if seg.ack > self.snd_una && seg.ack <= self.snd_nxt {
+            // --- new data acknowledged ---
+            let newly_acked = seg.ack - self.snd_una;
+            self.snd_una = seg.ack;
+            self.dup_acks = 0;
+            self.stats.bytes_acked += newly_acked;
+
+            // Release acknowledged bytes from the buffer. The FIN occupies
+            // sequence space beyond the buffered data.
+            let data_acked = (seg.ack.min(self.buf_seq + self.send_buf.len() as u64))
+                .saturating_sub(self.buf_seq) as usize;
+            self.send_buf.drain(..data_acked);
+            self.buf_seq += data_acked as u64;
+
+            // RTT sampling (Karn: the sample is cleared on retransmission).
+            if let Some((end, sent_at)) = self.rtt_sample {
+                if seg.ack >= end {
+                    self.update_rtt(now.saturating_since(sent_at));
+                    self.rtt_sample = None;
+                }
+            }
+
+            if self.in_fast_recovery {
+                if seg.ack >= self.recover {
+                    self.in_fast_recovery = false;
+                    self.cwnd = self.ssthresh;
+                }
+                // Partial ACKs just deflate toward ssthresh (plain Reno).
+            } else if self.cwnd < self.ssthresh {
+                // Slow start.
+                self.cwnd += f64::from(self.cfg.mss);
+            } else {
+                // Congestion avoidance: +MSS per RTT.
+                let mss = f64::from(self.cfg.mss);
+                self.cwnd += mss * mss / self.cwnd;
+            }
+
+            if let Some(fin_seq) = self.fin_seq {
+                if self.state == TcpState::FinSent && seg.ack > fin_seq {
+                    self.state = TcpState::Closed;
+                }
+            }
+
+            // Rearm or clear the retransmission timer.
+            self.rto_deadline = if self.snd_una < self.snd_nxt {
+                Some(now + self.rto)
+            } else {
+                None
+            };
+        } else if seg.ack == self.snd_una
+            && self.flight_size() > 0
+            && seg.data.is_empty()
+            && seg.window == prev_rwnd
+        {
+            // --- duplicate ACK ---
+            self.dup_acks += 1;
+            if self.in_fast_recovery {
+                self.cwnd += f64::from(self.cfg.mss);
+            } else if self.dup_acks == 3 {
+                let mss = f64::from(self.cfg.mss);
+                self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0 * mss);
+                self.cwnd = self.ssthresh + 3.0 * mss;
+                self.in_fast_recovery = true;
+                self.recover = self.snd_nxt;
+                self.stats.fast_retransmits += 1;
+                self.pending_retransmit = true;
+                self.rtt_sample = None; // Karn
+            }
+        }
+    }
+
+    fn process_payload(&mut self, seg: &TcpSegment) {
+        let data_len = seg.data.len() as u64;
+        if data_len > 0 {
+            if seg.seq == self.rcv_nxt {
+                // All-or-nothing: a sender respecting our advertised window
+                // never overruns; a partial accept would silently discard a
+                // tail only an RTO could recover.
+                let room = self
+                    .cfg
+                    .recv_capacity
+                    .saturating_sub(self.recv_buf.len());
+                if seg.data.len() <= room {
+                    self.recv_buf.extend(&seg.data);
+                    self.rcv_nxt += data_len;
+                    self.absorb_ooo();
+                }
+            } else if seg.seq > self.rcv_nxt {
+                // Out of order: store if room, and never store duplicates.
+                let room = self
+                    .cfg
+                    .recv_capacity
+                    .saturating_sub(self.recv_buf.len() + self.ooo_bytes);
+                if seg.data.len() <= room && !self.ooo.contains_key(&seg.seq) {
+                    self.ooo_bytes += seg.data.len();
+                    self.ooo.insert(seg.seq, seg.data.clone());
+                }
+            }
+            // ACK every data segment (old/duplicate data is re-ACKed too —
+            // that is what makes duplicate ACKs visible to the sender).
+            self.queue_ack();
+        }
+        if seg.flags.fin {
+            let fin_seq = seg.seq + data_len;
+            if fin_seq == self.rcv_nxt && !self.peer_fin {
+                self.rcv_nxt += 1;
+                self.peer_fin = true;
+            }
+            self.queue_ack();
+        }
+    }
+
+    /// Pulls contiguous out-of-order segments into the receive buffer,
+    /// stopping when the in-order buffer is full.
+    fn absorb_ooo(&mut self) {
+        while let Some((&seq, data)) = self.ooo.first_key_value() {
+            if seq > self.rcv_nxt {
+                break;
+            }
+            let len = data.len();
+            if seq == self.rcv_nxt || seq + (len as u64) > self.rcv_nxt {
+                let skip = (self.rcv_nxt - seq) as usize;
+                let room = self.cfg.recv_capacity.saturating_sub(self.recv_buf.len());
+                if len - skip > room {
+                    break; // no room yet; keep it out-of-order
+                }
+                let (_, data) = self.ooo.pop_first().expect("checked nonempty");
+                self.ooo_bytes -= len;
+                self.rcv_nxt += (len - skip) as u64;
+                self.recv_buf.extend(&data[skip..]);
+            } else {
+                // Fully old segment: discard.
+                let (_, data) = self.ooo.pop_first().expect("checked nonempty");
+                self.ooo_bytes -= data.len();
+            }
+        }
+    }
+
+    fn update_rtt(&mut self, sample: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let delta = if sample > srtt { sample - srtt } else { srtt - sample };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |delta|; SRTT = 7/8 SRTT + 1/8 sample.
+                self.rttvar = (self.rttvar * 3) / 4 + delta / 4;
+                self.srtt = Some((srtt * 7) / 8 + sample / 8);
+            }
+        }
+        let srtt = self.srtt.expect("set above");
+        self.rto = (srtt + (self.rttvar * 4).max(SimDuration::from_millis(10)))
+            .clamp(self.cfg.min_rto, self.cfg.max_rto);
+    }
+
+    /// Produces segments ready to transmit at `now` (including handshake,
+    /// retransmissions due to timeout, new data, FIN, and pure ACKs).
+    pub fn poll(&mut self, now: SimTime) -> Vec<Packet<Segment>> {
+        let mut out = Vec::new();
+        let Some(remote) = self.remote else {
+            return out;
+        };
+
+        // Retransmission timeout.
+        if let Some(deadline) = self.rto_deadline {
+            if now >= deadline && self.state != TcpState::Closed {
+                self.on_timeout(now);
+            }
+        }
+
+        match self.state {
+            TcpState::SynSent => {
+                // Emit the SYN exactly once; a timeout rewinds snd_nxt to
+                // the ISS so poll() re-emits it. Emitting unconditionally
+                // would spin drivers that re-poll while work is produced.
+                if self.snd_nxt == self.iss {
+                    self.snd_nxt = self.iss + 1;
+                    out.push(self.make_packet(
+                        remote,
+                        TcpSegment {
+                            seq: self.iss,
+                            ack: 0,
+                            flags: TcpFlags::SYN,
+                            window: self.advertised_window(),
+                            data: vec![],
+                        },
+                    ));
+                }
+                return out;
+            }
+            TcpState::SynRcvd => {
+                if self.snd_nxt == self.iss {
+                    self.snd_nxt = self.iss + 1;
+                    out.push(self.make_packet(
+                        remote,
+                        TcpSegment {
+                            seq: self.iss,
+                            ack: self.rcv_nxt,
+                            flags: TcpFlags::SYN_ACK,
+                            window: self.advertised_window(),
+                            data: vec![],
+                        },
+                    ));
+                }
+                return out;
+            }
+            TcpState::Closed | TcpState::Listen => return out,
+            TcpState::Established | TcpState::FinSent => {}
+        }
+
+        // Fast-retransmit request from triple-dupack processing.
+        if self.pending_retransmit {
+            self.pending_retransmit = false;
+            if let Some(pkt) = self.retransmit_head(remote) {
+                out.push(pkt);
+                self.rto_deadline = Some(now + self.rto);
+            }
+        }
+
+        // New data within min(cwnd, rwnd). rwnd is respected strictly; a
+        // zero window stalls the sender until the receiver's window-update
+        // ACK (sent when the application drains) reopens it.
+        let window = (self.cwnd as u64).min(u64::from(self.rwnd));
+        loop {
+            let buffered_end = self.buf_seq + self.send_buf.len() as u64;
+            if self.snd_nxt >= buffered_end {
+                break;
+            }
+            if self.flight_size() >= window {
+                break;
+            }
+            let budget = window - self.flight_size();
+            let len = (buffered_end - self.snd_nxt)
+                .min(u64::from(self.cfg.mss))
+                .min(budget) as usize;
+            if len == 0 {
+                break;
+            }
+            let off = (self.snd_nxt - self.buf_seq) as usize;
+            let data: Vec<u8> = self.send_buf.range(off..off + len).copied().collect();
+            let seg = TcpSegment {
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::ACK,
+                window: self.advertised_window(),
+                data,
+            };
+            self.snd_nxt += len as u64;
+            if self.rtt_sample.is_none() {
+                self.rtt_sample = Some((self.snd_nxt, now));
+            }
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rto);
+            }
+            self.stats.segments_sent += 1;
+            self.pending_acks.clear(); // cumulative ack piggybacks on data
+            out.push(self.make_packet(remote, seg));
+        }
+
+        // FIN once all data is sent.
+        if self.close_requested
+            && self.fin_seq.is_none()
+            && self.snd_nxt == self.buf_seq + self.send_buf.len() as u64
+            && self.state == TcpState::Established
+        {
+            let seg = TcpSegment {
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: TcpFlags {
+                    fin: true,
+                    ack: true,
+                    syn: false,
+                    rst: false,
+                },
+                window: self.advertised_window(),
+                data: vec![],
+            };
+            self.fin_seq = Some(self.snd_nxt);
+            self.snd_nxt += 1;
+            self.state = TcpState::FinSent;
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rto);
+            }
+            self.pending_acks.clear();
+            out.push(self.make_packet(remote, seg));
+        }
+
+        // One pure ACK per received segment still owed, each carrying its
+        // receipt-time snapshot.
+        while let Some((ack, window)) = self.pending_acks.pop_front() {
+            out.push(self.make_packet(
+                remote,
+                TcpSegment {
+                    seq: self.snd_nxt,
+                    ack,
+                    flags: TcpFlags::ACK,
+                    window,
+                    data: vec![],
+                },
+            ));
+        }
+        out
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.stats.timeouts += 1;
+        let mss = f64::from(self.cfg.mss);
+        match self.state {
+            TcpState::SynSent | TcpState::SynRcvd => {
+                // Handshake retransmission: poll() re-emits the SYN/SYN+ACK.
+                self.snd_nxt = self.iss;
+            }
+            _ => {
+                self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0 * mss);
+                self.cwnd = mss;
+                self.in_fast_recovery = false;
+                self.dup_acks = 0;
+                self.rtt_sample = None; // Karn
+                self.pending_retransmit = true;
+            }
+        }
+        self.rto = (self.rto * 2).min(self.cfg.max_rto);
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    fn retransmit_head(&mut self, remote: Addr) -> Option<Packet<Segment>> {
+        if self.snd_una >= self.snd_nxt {
+            return None;
+        }
+        // Is the head of the unacked region the FIN?
+        if self.fin_seq == Some(self.snd_una) {
+            self.stats.retransmits += 1;
+            return Some(self.make_packet(
+                remote,
+                TcpSegment {
+                    seq: self.snd_una,
+                    ack: self.rcv_nxt,
+                    flags: TcpFlags {
+                        fin: true,
+                        ack: true,
+                        syn: false,
+                        rst: false,
+                    },
+                    window: self.advertised_window(),
+                    data: vec![],
+                },
+            ));
+        }
+        let off = (self.snd_una - self.buf_seq) as usize;
+        let avail = self.send_buf.len().saturating_sub(off);
+        let len = avail.min(self.cfg.mss as usize);
+        if len == 0 {
+            return None;
+        }
+        let data: Vec<u8> = self.send_buf.range(off..off + len).copied().collect();
+        self.stats.retransmits += 1;
+        Some(self.make_packet(
+            remote,
+            TcpSegment {
+                seq: self.snd_una,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::ACK,
+                window: self.advertised_window(),
+                data,
+            },
+        ))
+    }
+
+    fn make_packet(&self, remote: Addr, seg: TcpSegment) -> Packet<Segment> {
+        let size = seg.wire_size();
+        Packet::new(self.local, remote, size, Segment::Tcp(seg))
+    }
+
+    /// When the socket next needs polling (its retransmission timer).
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// `true` when the socket has work a poll would emit (pure ACKs or a
+    /// pending loss-recovery retransmission).
+    pub fn has_pending_work(&self) -> bool {
+        !self.pending_acks.is_empty() || self.pending_retransmit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_net::HostId;
+
+    fn addr(h: u32, p: u16) -> Addr {
+        Addr::new(HostId(h), p)
+    }
+
+    /// Delivers every packet both directions until quiescent, with no loss
+    /// and zero latency. Returns packets exchanged.
+    fn pump(now: SimTime, a: &mut TcpSocket, b: &mut TcpSocket) -> usize {
+        let mut exchanged = 0;
+        loop {
+            let mut progress = false;
+            for pkt in a.poll(now) {
+                if let Segment::Tcp(seg) = pkt.payload {
+                    b.on_segment(now, pkt.src, seg);
+                    exchanged += 1;
+                    progress = true;
+                }
+            }
+            for pkt in b.poll(now) {
+                if let Segment::Tcp(seg) = pkt.payload {
+                    a.on_segment(now, pkt.src, seg);
+                    exchanged += 1;
+                    progress = true;
+                }
+            }
+            if !progress {
+                return exchanged;
+            }
+        }
+    }
+
+    fn established_pair() -> (TcpSocket, TcpSocket) {
+        let mut client = TcpSocket::new(addr(0, 1000), TcpConfig::default());
+        let mut server = TcpSocket::new(addr(1, 554), TcpConfig::default());
+        server.listen();
+        client.connect(addr(1, 554), SimTime::ZERO);
+        pump(SimTime::ZERO, &mut client, &mut server);
+        assert!(client.is_established());
+        assert!(server.is_established());
+        (client, server)
+    }
+
+    #[test]
+    fn handshake_establishes_both_ends() {
+        established_pair();
+    }
+
+    #[test]
+    fn data_flows_in_order() {
+        let (mut c, mut s) = established_pair();
+        let msg = b"DESCRIBE rtsp://server/clip.rm RTSP/1.0\r\n\r\n";
+        assert_eq!(c.send(msg), msg.len());
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        assert_eq!(s.recv(4096), msg.to_vec());
+    }
+
+    #[test]
+    fn large_transfer_is_lossless_and_ordered() {
+        let (mut c, mut s) = established_pair();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut now = SimTime::from_millis(1);
+        while received.len() < data.len() {
+            sent += c.send(&data[sent..]);
+            pump(now, &mut c, &mut s);
+            received.extend(s.recv(usize::MAX));
+            now += SimDuration::from_millis(1);
+        }
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn lost_segment_is_fast_retransmitted() {
+        // A wide initial window so enough segments are in flight for three
+        // duplicate ACKs.
+        let cfg = TcpConfig {
+            initial_cwnd_segments: 8,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpSocket::new(addr(0, 1000), cfg);
+        let mut s = TcpSocket::new(addr(1, 554), TcpConfig::default());
+        s.listen();
+        c.connect(addr(1, 554), SimTime::ZERO);
+        pump(SimTime::ZERO, &mut c, &mut s);
+        let now = SimTime::from_millis(1);
+        let data = vec![7u8; 20 * 1460];
+        c.send(&data);
+        let pkts = c.poll(now);
+        assert!(pkts.len() >= 2, "need at least 2 in flight, got {}", pkts.len());
+        // Drop the first data segment, deliver the rest.
+        for pkt in pkts.into_iter().skip(1) {
+            if let Segment::Tcp(seg) = pkt.payload {
+                s.on_segment(now, pkt.src, seg);
+            }
+        }
+        // Server generates dup ACKs; feed them back plus keep pumping so the
+        // client can emit more segments, triggering >=3 dupacks.
+        for step in 0..50 {
+            let t = now + SimDuration::from_millis(step);
+            pump(t, &mut c, &mut s);
+            if c.stats().fast_retransmits > 0 {
+                break;
+            }
+        }
+        assert!(c.stats().fast_retransmits >= 1);
+        // Eventually everything arrives.
+        let mut got = Vec::new();
+        for step in 50..100 {
+            let t = now + SimDuration::from_millis(step);
+            pump(t, &mut c, &mut s);
+            got.extend(s.recv(usize::MAX));
+        }
+        assert_eq!(got.len(), data.len());
+        assert!(got.iter().all(|b| *b == 7));
+    }
+
+    #[test]
+    fn timeout_retransmits_and_backs_off() {
+        let (mut c, mut _s) = established_pair();
+        let now = SimTime::from_millis(1);
+        c.send(b"hello");
+        let first = c.poll(now);
+        assert_eq!(first.len(), 1);
+        // Peer never answers; jump past the RTO.
+        let later = now + SimDuration::from_secs(4);
+        let rexmit = c.poll(later);
+        assert_eq!(rexmit.len(), 1);
+        assert_eq!(c.stats().timeouts, 1);
+        assert_eq!(c.stats().retransmits, 1);
+        if let Segment::Tcp(seg) = &rexmit[0].payload {
+            assert_eq!(seg.data, b"hello".to_vec());
+        } else {
+            panic!("expected TCP segment");
+        }
+        // cwnd collapsed to one MSS.
+        assert_eq!(c.cwnd(), 1460);
+    }
+
+    #[test]
+    fn slow_start_doubles_cwnd_per_rtt() {
+        let (mut c, mut s) = established_pair();
+        let initial = c.cwnd();
+        c.send(&vec![0u8; 200_000]);
+        // One "RTT": emit a window, ACK it all.
+        let now = SimTime::from_millis(5);
+        pump(now, &mut c, &mut s);
+        s.recv(usize::MAX);
+        assert!(
+            c.cwnd() >= initial * 2 - 1460,
+            "cwnd {} initial {initial}",
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn receiver_window_limits_sender() {
+        let cfg = TcpConfig {
+            recv_capacity: 4096,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpSocket::new(addr(0, 1), TcpConfig::default());
+        let mut s = TcpSocket::new(addr(1, 2), cfg);
+        s.listen();
+        c.connect(addr(1, 2), SimTime::ZERO);
+        pump(SimTime::ZERO, &mut c, &mut s);
+
+        c.send(&vec![1u8; 64 * 1024]);
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        // Receiver never drained: at most its capacity is buffered.
+        assert!(s.recv_available() <= 4096);
+        // Drain and continue: transfer completes.
+        let mut total = s.recv(usize::MAX).len();
+        for step in 2..200 {
+            pump(SimTime::from_millis(step), &mut c, &mut s);
+            total += s.recv(usize::MAX).len();
+            if total == 64 * 1024 {
+                break;
+            }
+        }
+        assert_eq!(total, 64 * 1024);
+    }
+
+    #[test]
+    fn fin_closes_cleanly() {
+        let (mut c, mut s) = established_pair();
+        c.send(b"bye");
+        c.close();
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        assert_eq!(s.recv(16), b"bye".to_vec());
+        assert!(s.recv_finished());
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn rst_aborts() {
+        let (mut c, _s) = established_pair();
+        let rst = TcpSegment {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..TcpFlags::default()
+            },
+            window: 0,
+            data: vec![],
+        };
+        let mut c2 = c;
+        c2.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
+        assert!(c2.is_closed());
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let (mut c, mut s) = established_pair();
+        let now = SimTime::from_millis(1);
+        c.send(&vec![9u8; 5 * 1460]);
+        let pkts = c.poll(now);
+        // Deliver in reverse order.
+        for pkt in pkts.into_iter().rev() {
+            if let Segment::Tcp(seg) = pkt.payload {
+                s.on_segment(now, pkt.src, seg);
+            }
+        }
+        pump(now, &mut c, &mut s);
+        let got = s.recv(usize::MAX);
+        assert!(got.len() >= 2 * 1460, "got {}", got.len());
+        assert!(got.iter().all(|b| *b == 9));
+    }
+
+    #[test]
+    fn srtt_converges_to_path_rtt() {
+        let (mut c, mut s) = established_pair();
+        // Simulate a 100 ms RTT by delaying delivery of ACKs.
+        let mut now = SimTime::from_millis(10);
+        for _ in 0..20 {
+            c.send(&vec![0u8; 1460]);
+            let pkts = c.poll(now);
+            let reply_at = now + SimDuration::from_millis(100);
+            for pkt in pkts {
+                if let Segment::Tcp(seg) = pkt.payload {
+                    s.on_segment(reply_at, pkt.src, seg);
+                }
+            }
+            for pkt in s.poll(reply_at) {
+                if let Segment::Tcp(seg) = pkt.payload {
+                    c.on_segment(reply_at, pkt.src, seg);
+                }
+            }
+            s.recv(usize::MAX);
+            now = reply_at + SimDuration::from_millis(1);
+        }
+        let srtt = c.srtt().expect("rtt measured");
+        assert!(
+            (srtt.as_millis() as i64 - 100).abs() <= 15,
+            "srtt {srtt}"
+        );
+    }
+
+    #[test]
+    fn send_respects_buffer_capacity() {
+        let cfg = TcpConfig {
+            send_capacity: 1000,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpSocket::new(addr(0, 1), cfg);
+        assert_eq!(c.send(&vec![0u8; 600]), 600);
+        assert_eq!(c.send(&vec![0u8; 600]), 400);
+        assert_eq!(c.send(&[1, 2, 3]), 0);
+    }
+}

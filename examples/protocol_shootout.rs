@@ -1,0 +1,74 @@
+//! TCP vs UDP data transport across a sweep of path conditions — the
+//! question behind the paper's Figures 16–18 and 24: does RealVideo's UDP
+//! mode behave like TCP, and does either deliver better video?
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout
+//! ```
+
+use rv_media::{Clip, ContentKind};
+use rv_net::LinkParams;
+use rv_rtsp::TransportPreference;
+use rv_sim::{SimDuration, SimTime};
+use rv_stats::table;
+use rv_tracer::two_host_world;
+
+/// One path condition to test.
+struct Path {
+    name: &'static str,
+    rate_bps: f64,
+    delay_ms: u64,
+    loss: f64,
+}
+
+fn run_session(path: &Path, pref: TransportPreference, seed: u64) -> rv_tracer::SessionMetrics {
+    let params = LinkParams::lan()
+        .rate(path.rate_bps)
+        .delay(SimDuration::from_millis(path.delay_ms))
+        .loss(path.loss)
+        .queue(64 * 1024);
+    let clip = Clip::new("shootout.rm", SimDuration::from_secs(300), ContentKind::Sports);
+    let max_bw = (path.rate_bps * 0.9) as u32;
+    two_host_world(params, clip, seed, |c, _| {
+        c.transport_pref = pref;
+        c.max_bandwidth_bps = max_bw;
+    })
+    .run(SimTime::from_secs(150))
+}
+
+fn main() {
+    let paths = [
+        Path { name: "clean broadband", rate_bps: 500_000.0, delay_ms: 30, loss: 0.0 },
+        Path { name: "lossy broadband", rate_bps: 500_000.0, delay_ms: 60, loss: 0.02 },
+        Path { name: "transoceanic", rate_bps: 300_000.0, delay_ms: 150, loss: 0.01 },
+        Path { name: "modem", rate_bps: 45_000.0, delay_ms: 120, loss: 0.005 },
+    ];
+
+    let mut rows = Vec::new();
+    for path in &paths {
+        for (label, pref) in [
+            ("UDP", TransportPreference::ForceUdp),
+            ("TCP", TransportPreference::ForceTcp),
+        ] {
+            let m = run_session(path, pref, 0xBEEF);
+            rows.push(vec![
+                path.name.to_string(),
+                label.to_string(),
+                format!("{:.1}", m.frame_rate),
+                m.jitter_ms.map_or("-".into(), |j| format!("{j:.0}")),
+                format!("{:.0}", m.bandwidth_kbps),
+                m.packets_lost.to_string(),
+                m.rebuffer_events.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["path", "transport", "fps", "jitter(ms)", "kbps", "lost", "rebuffers"],
+            &rows
+        )
+    );
+    println!("The paper's finding: UDP and TCP deliver comparable video quality and");
+    println!("bandwidth — RealVideo's UDP mode is congestion-responsive (Figs 17, 18, 24).");
+}

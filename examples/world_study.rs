@@ -1,0 +1,45 @@
+//! Replays a scaled-down version of the June 2001 measurement campaign and
+//! prints the study's headline findings.
+//!
+//! ```text
+//! cargo run --release --example world_study            # 10% of sessions
+//! cargo run --release --example world_study -- 0.5     # half of them
+//! ```
+
+use realvideo_core::figure;
+use rv_study::{run_campaign, StudyParams};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.1)
+        .clamp(0.01, 1.0);
+
+    eprintln!("replaying the June 2001 campaign at scale {scale}...");
+    let data = run_campaign(StudyParams {
+        scale,
+        ..StudyParams::default()
+    });
+
+    println!(
+        "{} participants, {} sessions, {} played, {} rated, {} unavailable\n",
+        data.participants,
+        data.records.len(),
+        data.played().count(),
+        data.rated().count(),
+        data.records.iter().filter(|r| !r.available).count(),
+    );
+
+    for id in ["fig11", "fig16", "fig20", "fig26"] {
+        let f = figure(id, &data).expect("known figure");
+        println!("--- {}: {} ---", f.id, f.title);
+        // Print the headline line(s) only; `repro` prints full plots.
+        for line in f.body.lines().take(3) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    println!("run `cargo run --release -p realvideo-core --bin repro -- all` for every figure");
+}

@@ -1,0 +1,14 @@
+//! # realvideo — reproduction of *An Empirical Study of RealVideo
+//! Performance Across the Internet* (Wang, Claypool, Zuo — 2001)
+//!
+//! This crate is the workspace's front door: it re-exports the public API
+//! of [`realvideo_core`] (which in turn exposes every subsystem) so the
+//! examples and integration tests in this repository have a single import
+//! root.
+//!
+//! See `README.md` for the architecture tour and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+#![forbid(unsafe_code)]
+
+pub use realvideo_core::*;

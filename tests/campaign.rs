@@ -1,0 +1,172 @@
+//! Cross-crate integration: the full campaign pipeline, from world model
+//! through sessions to figures, checked against the paper's headline
+//! claims at reduced scale.
+
+use realvideo_core::{all_figures, figure};
+use rv_rtsp::TransportKind;
+use rv_stats::Cdf;
+use rv_study::{run_campaign, ConnectionClass, StudyParams, UserRegion};
+
+fn campaign() -> rv_study::StudyData {
+    run_campaign(StudyParams {
+        scale: 0.08,
+        ..StudyParams::default()
+    })
+}
+
+#[test]
+fn campaign_structure_matches_study() {
+    let data = campaign();
+    assert_eq!(data.participants, 63);
+    let countries: std::collections::BTreeSet<_> =
+        data.records.iter().map(|r| r.user_country).collect();
+    assert_eq!(countries.len(), 12, "12 user countries");
+    let servers: std::collections::BTreeSet<_> =
+        data.records.iter().map(|r| r.server_name).collect();
+    assert!(servers.len() >= 9, "most of the 11 servers visited");
+}
+
+#[test]
+fn unavailability_is_about_ten_percent() {
+    let data = campaign();
+    let unavailable = data.records.iter().filter(|r| !r.available).count();
+    let frac = unavailable as f64 / data.records.len() as f64;
+    assert!((0.04..0.20).contains(&frac), "unavailable fraction {frac}");
+}
+
+#[test]
+fn overall_frame_rate_shape_matches_figure_11() {
+    let data = campaign();
+    let fps: Vec<f64> = data.played().map(|r| r.metrics.frame_rate).collect();
+    let cdf = Cdf::from_samples(&fps).expect("played sessions");
+    // Paper: mean 10 fps, ~25% below 3 fps, ~25% at or above 15 fps,
+    // <1% at full-motion rates. Tolerances are generous: reduced scale.
+    assert!((6.0..13.0).contains(&cdf.mean()), "mean fps {}", cdf.mean());
+    assert!(
+        (0.10..0.40).contains(&cdf.at(3.0)),
+        "below 3 fps: {}",
+        cdf.at(3.0)
+    );
+    let at_least_15 = 1.0 - cdf.at(15.0 - 1e-9);
+    assert!((0.08..0.40).contains(&at_least_15), ">=15 fps: {at_least_15}");
+    let full_motion = 1.0 - cdf.at(24.0 - 1e-9);
+    assert!(full_motion < 0.05, "full motion fraction {full_motion}");
+}
+
+#[test]
+fn modem_is_clearly_worse_than_broadband() {
+    let data = campaign();
+    let mean = |class: ConnectionClass| {
+        let v: Vec<f64> = data
+            .played()
+            .filter(|r| r.connection == class)
+            .map(|r| r.metrics.frame_rate)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let modem = mean(ConnectionClass::Modem56k);
+    let dsl = mean(ConnectionClass::DslCable);
+    let lan = mean(ConnectionClass::T1Lan);
+    assert!(modem < dsl * 0.6, "modem {modem} vs dsl {dsl}");
+    // Paper: DSL/cable roughly matches T1/LAN.
+    assert!(
+        (dsl - lan).abs() < dsl.max(lan) * 0.5,
+        "dsl {dsl} vs lan {lan}"
+    );
+}
+
+#[test]
+fn jitter_shape_matches_figure_20() {
+    let data = campaign();
+    let jitter: Vec<f64> = data.played().filter_map(|r| r.metrics.jitter_ms).collect();
+    let cdf = Cdf::from_samples(&jitter).expect("jitter samples");
+    // Paper: just over 50% imperceptible (<=50 ms), ~15% >=300 ms.
+    assert!(
+        (0.30..0.70).contains(&cdf.at(50.0)),
+        "imperceptible fraction {}",
+        cdf.at(50.0)
+    );
+    let bad = 1.0 - cdf.at(300.0);
+    assert!((0.05..0.40).contains(&bad), "heavy-jitter fraction {bad}");
+}
+
+#[test]
+fn transport_split_is_roughly_half_and_half() {
+    let data = campaign();
+    let total = data.played().count();
+    let udp = data
+        .played()
+        .filter(|r| r.metrics.protocol == TransportKind::Udp)
+        .count();
+    let frac = udp as f64 / total as f64;
+    // Paper: ~56% UDP / 44% TCP.
+    assert!((0.38..0.70).contains(&frac), "UDP fraction {frac}");
+}
+
+#[test]
+fn udp_bandwidth_tracks_tcp_bandwidth() {
+    let data = campaign();
+    let mean_bw = |udp: bool| {
+        let v: Vec<f64> = data
+            .played()
+            .filter(|r| (r.metrics.protocol == TransportKind::Udp) == udp)
+            .map(|r| r.metrics.bandwidth_kbps)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (udp, tcp) = (mean_bw(true), mean_bw(false));
+    // Figure 18: comparable means (application-layer congestion control).
+    assert!(
+        udp / tcp > 0.5 && udp / tcp < 2.0,
+        "udp {udp} kbps vs tcp {tcp} kbps"
+    );
+}
+
+#[test]
+fn australia_nz_users_see_the_worst_frame_rates() {
+    let data = campaign();
+    let below3 = |region: UserRegion| {
+        let v: Vec<f64> = data
+            .played()
+            .filter(|r| r.user_region == region)
+            .map(|r| r.metrics.frame_rate)
+            .collect();
+        v.iter().filter(|f| **f < 3.0).count() as f64 / v.len().max(1) as f64
+    };
+    let aus = below3(UserRegion::AustraliaNz);
+    let europe = below3(UserRegion::Europe);
+    // Figure 15's ordering.
+    assert!(aus > europe, "aus/nz {aus} vs europe {europe}");
+}
+
+#[test]
+fn ratings_center_near_five() {
+    let data = campaign();
+    let ratings: Vec<f64> = data.rated().map(|r| f64::from(r.rating.unwrap())).collect();
+    assert!(ratings.len() > 30, "enough rated clips: {}", ratings.len());
+    let mean = ratings.iter().sum::<f64>() / ratings.len() as f64;
+    assert!((3.5..6.5).contains(&mean), "mean rating {mean}");
+}
+
+#[test]
+fn every_figure_renders_from_campaign_data() {
+    let data = campaign();
+    let figures = all_figures(&data);
+    assert_eq!(figures.len(), 26);
+    for f in &figures {
+        assert!(!f.body.trim().is_empty(), "{} is empty", f.id);
+    }
+    // Spot-check one known body.
+    let f16 = figure("fig16", &data).unwrap();
+    assert!(f16.body.contains("UDP") && f16.body.contains("TCP"));
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let a = campaign();
+    let b = campaign();
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.metrics, y.metrics);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration below the campaign level: protocol machinery,
+//! media pipeline, and adaptation behavior wired through real networks.
+
+use rv_media::{Clip, ContentKind, SureStream};
+use rv_net::{CongestionParams, LinkParams};
+use rv_rtsp::TransportPreference;
+use rv_server::ServerConfig;
+use rv_sim::{SimDuration, SimTime};
+use rv_tracer::{two_host_world, ClientConfig, SessionMetrics};
+
+/// Builds and runs one session over the given link, returning metrics and
+/// the final server stats.
+fn run(
+    params: LinkParams,
+    clip: Clip,
+    seed: u64,
+    cfg_fn: impl FnOnce(&mut ClientConfig, &mut ServerConfig),
+) -> (SessionMetrics, rv_server::ServerStats) {
+    let mut world = two_host_world(params, clip, seed, cfg_fn);
+    let metrics = world.run(SimTime::from_secs(200));
+    (metrics, world.server.stats())
+}
+
+fn broadband() -> LinkParams {
+    LinkParams::lan()
+        .rate(500_000.0)
+        .delay(SimDuration::from_millis(40))
+        .queue(64 * 1024)
+}
+
+#[test]
+fn surestream_outperforms_single_rate_on_constrained_path() {
+    // A 100 kbps path. SureStream steps down to the 80 kbps rung; a
+    // 300 kbps single-rate clip must be thinned to a fraction of its frames.
+    let constrained = LinkParams::lan()
+        .rate(100_000.0)
+        .delay(SimDuration::from_millis(50))
+        .queue(32 * 1024);
+    let adaptive = Clip::new("a.rm", SimDuration::from_secs(300), ContentKind::News);
+    let single = Clip::with_ladder(
+        "s.rm",
+        SimDuration::from_secs(300),
+        ContentKind::News,
+        SureStream::single(300_000),
+    );
+    let set_bw = |c: &mut ClientConfig, _: &mut ServerConfig| {
+        c.max_bandwidth_bps = 112_000;
+    };
+    let (m_adaptive, _) = run(constrained, adaptive, 11, set_bw);
+    let (m_single, stats_single) = run(constrained, single, 11, set_bw);
+    assert!(
+        m_adaptive.frame_rate > m_single.frame_rate * 1.5,
+        "adaptive {} vs single {}",
+        m_adaptive.frame_rate,
+        m_single.frame_rate
+    );
+    assert!(
+        stats_single.frames_thinned > 0,
+        "single-rate must thin on a constrained path"
+    );
+}
+
+#[test]
+fn fec_recovers_frames_on_lossy_udp_path() {
+    let lossy = LinkParams::lan()
+        .rate(400_000.0)
+        .delay(SimDuration::from_millis(40))
+        .loss(0.02)
+        .queue(64 * 1024);
+    let clip = Clip::new("f.rm", SimDuration::from_secs(300), ContentKind::News);
+    let (with_fec, _) = run(lossy, clip.clone(), 13, |_, s| s.fec_group = 8);
+    let (without_fec, _) = run(lossy, clip, 13, |_, s| s.fec_group = 0);
+    assert!(with_fec.frames_recovered > 0, "FEC should recover frames");
+    assert_eq!(without_fec.frames_recovered, 0);
+    assert!(
+        with_fec.frames_played >= without_fec.frames_played,
+        "FEC {} vs none {}",
+        with_fec.frames_played,
+        without_fec.frames_played
+    );
+}
+
+#[test]
+fn congested_path_triggers_downswitch() {
+    let congested = LinkParams::lan()
+        .rate(350_000.0)
+        .delay(SimDuration::from_millis(60))
+        .queue(48 * 1024)
+        .cross_traffic(
+            CongestionParams {
+                mean_level: 0.5,
+                variability: 0.25,
+                mean_epoch: SimDuration::from_secs(5),
+                burst_prob: 0.2,
+            },
+            0.05,
+        );
+    let clip = Clip::new("c.rm", SimDuration::from_secs(300), ContentKind::Sports);
+    let (m, stats) = run(congested, clip, 17, |c, _| {
+        c.max_bandwidth_bps = 384_000;
+    });
+    assert!(
+        stats.switches_down > 0,
+        "congestion must force a rung switch (stats: {stats:?})"
+    );
+    assert!(m.frames_played > 50, "stream survives: {}", m.frames_played);
+}
+
+#[test]
+fn prebuffer_trades_startup_delay_for_smoothness() {
+    // Pure delay variance: heavy cross traffic but NO loss, so the rate
+    // controller never crashes and the comparison isolates what the buffer
+    // does — absorb capacity dips. (With loss in the mix, the deep sender's
+    // higher fill rate triggers more rate-control episodes and the effect
+    // inverts; see the ablation benches for that interaction.)
+    let jittery = LinkParams::lan()
+        .rate(500_000.0)
+        .delay(SimDuration::from_millis(60))
+        .queue(256 * 1024)
+        .cross_traffic(CongestionParams::heavy(), 0.0);
+    let clip = Clip::new("p.rm", SimDuration::from_secs(300), ContentKind::News);
+    let deep = |c: &mut ClientConfig, s: &mut ServerConfig| {
+        c.playout.prebuffer = SimDuration::from_secs(12);
+        s.buffer_lead = SimDuration::from_secs(18);
+        c.max_bandwidth_bps = 300_000;
+    };
+    let shallow = |c: &mut ClientConfig, s: &mut ServerConfig| {
+        c.playout.prebuffer = SimDuration::from_secs(1);
+        s.buffer_lead = SimDuration::from_secs(2);
+        c.max_bandwidth_bps = 300_000;
+    };
+    let (m_deep, _) = run(jittery, clip.clone(), 19, deep);
+    let (m_shallow, _) = run(jittery, clip, 19, shallow);
+    assert!(
+        m_deep.startup_delay > m_shallow.startup_delay,
+        "deep buffer starts later"
+    );
+    let j_deep = m_deep.jitter_ms.expect("jitter");
+    let j_shallow = m_shallow.jitter_ms.expect("jitter");
+    assert!(
+        j_deep < j_shallow,
+        "deep buffer smooths playout: {j_deep} vs {j_shallow}"
+    );
+}
+
+#[test]
+fn transport_negotiation_end_to_end() {
+    let clip = Clip::new("n.rm", SimDuration::from_secs(300), ContentKind::Talk);
+    // Client forces TCP.
+    let (m, _) = run(broadband(), clip.clone(), 23, |c, _| {
+        c.transport_pref = TransportPreference::ForceTcp;
+    });
+    assert_eq!(m.protocol, rv_rtsp::TransportKind::Tcp);
+    // Server refuses UDP.
+    let (m, _) = run(broadband(), clip.clone(), 23, |_, s| {
+        s.prefers_udp = false;
+    });
+    assert_eq!(m.protocol, rv_rtsp::TransportKind::Tcp);
+    // Default: UDP.
+    let (m, _) = run(broadband(), clip, 23, |_, _| {});
+    assert_eq!(m.protocol, rv_rtsp::TransportKind::Udp);
+}
+
+#[test]
+fn clip_duration_ends_short_sessions() {
+    // A 20-second clip ends before the 60-second watch limit.
+    let clip = Clip::new("short.rm", SimDuration::from_secs(20), ContentKind::News);
+    let (m, _) = run(broadband(), clip, 29, |_, _| {});
+    assert_eq!(m.outcome, rv_tracer::SessionOutcome::Played);
+    // Session time ~= prebuffer + clip, clearly under the watch limit.
+    assert!(
+        m.session_time < SimDuration::from_secs(55),
+        "session {} should end with the clip",
+        m.session_time
+    );
+    assert!(m.frames_played > 50);
+}
