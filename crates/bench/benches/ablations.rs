@@ -60,8 +60,12 @@ fn bench_surestream_vs_single(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_ladder");
     g.sample_size(10);
-    g.bench_function("surestream", |b| b.iter(|| std::hint::black_box(run(&adaptive))));
-    g.bench_function("single_rate", |b| b.iter(|| std::hint::black_box(run(&single))));
+    g.bench_function("surestream", |b| {
+        b.iter(|| std::hint::black_box(run(&adaptive)))
+    });
+    g.bench_function("single_rate", |b| {
+        b.iter(|| std::hint::black_box(run(&single)))
+    });
     g.finish();
 }
 

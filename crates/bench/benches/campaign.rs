@@ -1,0 +1,63 @@
+//! Executor benchmarks for the plan/execute split: the serial executor
+//! against the threaded executor on the same plan. The acceptance target
+//! is ≥ 2× wall-clock speedup with 4 workers on a 4-core runner at scale
+//! 0.2; each bench also prints the sessions/sec summary line so the
+//! numbers are visible in plain bench output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use rv_study::{
+    plan_campaign, run_campaign, CampaignExecutor, SerialExecutor, StudyParams, ThreadedExecutor,
+};
+
+const SCALE: f64 = 0.2;
+
+fn params(jobs: usize) -> StudyParams {
+    StudyParams {
+        scale: SCALE,
+        jobs,
+        ..StudyParams::default()
+    }
+}
+
+/// Serial vs. threaded execution of one shared plan.
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let plan = plan_campaign(params(1));
+    let sessions = plan.jobs.len() as u64;
+
+    let mut g = c.benchmark_group("campaign_parallel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(sessions));
+    g.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(SerialExecutor.execute(&plan)))
+    });
+    for workers in [2, 4, 8] {
+        g.bench_function(format!("threaded_{workers}"), |b| {
+            b.iter(|| std::hint::black_box(ThreadedExecutor::new(workers).execute(&plan)))
+        });
+    }
+    g.finish();
+
+    // One end-to-end run per executor, printing the summary line the
+    // binaries emit — this is where sessions/sec shows up in bench logs.
+    // Skipped when cargo runs this target in test mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    for jobs in [1, 4] {
+        let data = run_campaign(params(jobs));
+        println!("campaign_parallel summary (jobs={jobs}): {}", data.summary);
+    }
+}
+
+/// Plan-phase cost alone: must stay negligible next to execution.
+fn bench_plan_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_plan");
+    g.bench_function("plan_full_scale", |b| {
+        b.iter(|| std::hint::black_box(plan_campaign(StudyParams::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign_parallel, bench_plan_phase);
+criterion_main!(benches);

@@ -129,13 +129,9 @@ fn bench_tcp_bulk(c: &mut Criterion) {
                 cs.poll(now, &mut net);
                 ss.poll(now, &mut net);
                 received += ss.tcp(sh).recv(usize::MAX).len();
-                now = rv_sim::earliest([
-                    net.next_wake(),
-                    cs.next_wake(),
-                    ss.next_wake(),
-                ])
-                .unwrap_or(now + SimDuration::from_millis(1))
-                .max(now + SimDuration::from_micros(100));
+                now = rv_sim::earliest([net.next_wake(), cs.next_wake(), ss.next_wake()])
+                    .unwrap_or(now + SimDuration::from_millis(1))
+                    .max(now + SimDuration::from_micros(100));
             }
             assert_eq!(received, payload.len());
             std::hint::black_box(received)
@@ -155,7 +151,9 @@ fn bench_network_forwarding(c: &mut Criterion) {
             let z = bld.host();
             let r1 = bld.router();
             let r2 = bld.router();
-            let fast = LinkParams::lan().rate(1e9).delay(SimDuration::from_millis(1));
+            let fast = LinkParams::lan()
+                .rate(1e9)
+                .delay(SimDuration::from_millis(1));
             bld.duplex(a, r1, fast);
             bld.duplex(r1, r2, fast);
             bld.duplex(r2, z, fast);

@@ -138,8 +138,7 @@ pub fn render_summaries(dim: GroupBy, summaries: &[GroupSummary]) -> String {
                 format!("{:.1}", s.mean_fps),
                 format!("{:.1}", s.median_fps),
                 format!("{:.0}%", s.below_3fps * 100.0),
-                s.median_jitter_ms
-                    .map_or("-".into(), |j| format!("{j:.0}")),
+                s.median_jitter_ms.map_or("-".into(), |j| format!("{j:.0}")),
                 format!("{:.0}", s.mean_kbps),
                 s.mean_rating.map_or("-".into(), |r| format!("{r:.1}")),
             ]

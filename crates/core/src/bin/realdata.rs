@@ -2,11 +2,14 @@
 //! Notes section describes.
 //!
 //! ```text
-//! realdata summary [--scale S] [--seed N]    # campaign-wide statistics
-//! realdata by <dimension> [--scale S]        # group summary table
-//! realdata csv [--scale S]                   # per-session CSV export
-//! realdata dimensions                        # list group-by dimensions
+//! realdata summary [--scale S] [--seed N] [--jobs J]   # campaign-wide statistics
+//! realdata by <dimension> [--scale S]                  # group summary table
+//! realdata csv [--scale S]                             # per-session CSV export
+//! realdata dimensions                                  # list group-by dimensions
 //! ```
+//!
+//! `--jobs J` fans session simulation across J worker threads; every
+//! table and CSV row is bit-identical for every J.
 
 use realvideo_core::analysis::{csv_header, csv_row, render_summaries, summarize_by, GroupBy};
 use rv_study::{run_campaign, StudyParams};
@@ -37,6 +40,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed wants an integer"));
             }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|j| *j >= 1)
+                    .unwrap_or_else(|| die("--jobs wants a positive integer"));
+            }
             "dimensions" => {
                 for g in GroupBy::ALL {
                     println!("{}", g.name());
@@ -47,9 +58,9 @@ fn main() {
                 command = Some(cmd.to_string());
                 if cmd == "by" {
                     i += 1;
-                    let name = args
-                        .get(i)
-                        .unwrap_or_else(|| die("`by` wants a dimension; see `realdata dimensions`"));
+                    let name = args.get(i).unwrap_or_else(|| {
+                        die("`by` wants a dimension; see `realdata dimensions`")
+                    });
                     dimension = Some(
                         GroupBy::parse(name)
                             .unwrap_or_else(|| die(&format!("unknown dimension {name:?}"))),
@@ -61,17 +72,15 @@ fn main() {
         i += 1;
     }
     let Some(command) = command else {
-        die("usage: realdata <summary|by <dim>|csv|dimensions> [--scale S] [--seed N]");
+        die("usage: realdata <summary|by <dim>|csv|dimensions> [--scale S] [--seed N] [--jobs J]");
     };
 
-    eprintln!("running campaign: seed={} scale={}...", params.seed, params.scale);
-    let data = run_campaign(params);
     eprintln!(
-        "{} sessions, {} played, {} rated\n",
-        data.records.len(),
-        data.played().count(),
-        data.rated().count()
+        "running campaign: seed={} scale={} jobs={}...",
+        params.seed, params.scale, params.jobs
     );
+    let data = run_campaign(params);
+    eprintln!("{}\n", data.summary);
 
     match command.as_str() {
         "summary" => {

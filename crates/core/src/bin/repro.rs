@@ -2,10 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro all [--scale S] [--seed N]     # every figure
-//! repro fig11 fig16 [--scale S]        # specific figures
-//! repro list                           # figure index
+//! repro all [--scale S] [--seed N] [--jobs J]   # every figure
+//! repro fig11 fig16 [--scale S]                 # specific figures
+//! repro list                                    # figure index
 //! ```
+//!
+//! `--jobs J` fans session simulation across J worker threads. The
+//! figures are bit-identical for every J; only the wall time changes.
 
 use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
 use rv_study::{run_campaign, StudyParams};
@@ -32,6 +35,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed wants an integer"));
             }
+            "--jobs" => {
+                i += 1;
+                params.jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|j| *j >= 1)
+                    .unwrap_or_else(|| die("--jobs wants a positive integer"));
+            }
             "list" => {
                 println!("available figures:");
                 for id in FIGURE_IDS {
@@ -54,15 +65,15 @@ fn main() {
         "running campaign: seed={} scale={} ({} of the paper's ~2,900 sessions)...",
         params.seed,
         params.scale,
-        if params.scale >= 1.0 { "all" } else { "a fraction" }
+        if params.scale >= 1.0 {
+            "all"
+        } else {
+            "a fraction"
+        }
     );
     let data = run_campaign(params);
-    eprintln!(
-        "campaign done: {} sessions, {} played, {} rated\n",
-        data.records.len(),
-        data.played().count(),
-        data.rated().count()
-    );
+    eprintln!("{}", data.summary);
+    eprintln!("campaign done: {} rated\n", data.rated().count());
 
     for id in ids {
         if id == "dump" {
@@ -75,7 +86,10 @@ fn main() {
                     r.connection,
                     r.pc.cpu_power(),
                     r.server_name,
-                    match m.protocol { rv_rtsp::TransportKind::Udp => "udp", _ => "tcp" },
+                    match m.protocol {
+                        rv_rtsp::TransportKind::Udp => "udp",
+                        _ => "tcp",
+                    },
                     m.encoded_bps / 1000,
                     m.frame_rate,
                     m.jitter_ms.map(|j| format!("{j:.0}")).unwrap_or("-".into()),

@@ -9,7 +9,7 @@
 use rv_media::{Clip, ContentKind};
 use rv_rtsp::TransportKind;
 use rv_sim::{SimDuration, SimTime};
-use rv_stats::{bar_chart, cdf_plot, linear_fit, pearson, table, Cdf, CategoryCount};
+use rv_stats::{bar_chart, cdf_plot, linear_fit, pearson, table, CategoryCount, Cdf};
 use rv_study::{
     build_population, server_roster, ConnectionClass, PcClass, ServerRegion, SessionRecord,
     StudyData, UserRegion,
@@ -122,10 +122,7 @@ fn cdf_figure(
         plots.push((name.clone(), cdf.series_on_grid(lo, hi, 56)));
     }
     let mut header = vec!["series", "n", "mean", "median"];
-    let thr_labels: Vec<String> = thresholds
-        .iter()
-        .map(|t| format!("F({t}{unit})"))
-        .collect();
+    let thr_labels: Vec<String> = thresholds.iter().map(|t| format!("F({t}{unit})")).collect();
     header.extend(thr_labels.iter().map(String::as_str));
     body.push_str(&table(&header, &stats_rows));
     body.push('\n');
@@ -177,13 +174,8 @@ fn fig1() -> FigureOutput {
         SimDuration::from_secs(300),
         ContentKind::News,
     );
-    let mut world = rv_study::build_session_world(
-        user,
-        site,
-        &clip,
-        SimDuration::from_secs(70),
-        0xF161_0001,
-    );
+    let mut world =
+        rv_study::build_session_world(user, site, &clip, SimDuration::from_secs(70), 0xF161_0001);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut prev_bytes = 0u64;
@@ -231,7 +223,13 @@ fn fig1() -> FigureOutput {
          Playout begins after {playback_start} s of buffering (paper: ~13 s).\n\n"
     );
     body.push_str(&table(
-        &["t(s)", "coded bw (kbps)", "current bw (kbps)", "coded fps", "current fps"],
+        &[
+            "t(s)",
+            "coded bw (kbps)",
+            "current bw (kbps)",
+            "coded fps",
+            "current fps",
+        ],
         &rows,
     ));
     FigureOutput {
@@ -287,11 +285,7 @@ fn fig6(data: &StudyData) -> FigureOutput {
     }
 }
 
-fn bar_figure(
-    id: &'static str,
-    title: &'static str,
-    counts: &CategoryCount,
-) -> FigureOutput {
+fn bar_figure(id: &'static str, title: &'static str, counts: &CategoryCount) -> FigureOutput {
     let items: Vec<(&str, f64)> = counts
         .by_count_ascending()
         .into_iter()
@@ -309,7 +303,11 @@ fn fig7(data: &StudyData) -> FigureOutput {
     for r in &data.records {
         counts.add(r.user_country.name());
     }
-    bar_figure("fig7", "Video clips played by users from each country", &counts)
+    bar_figure(
+        "fig7",
+        "Video clips played by users from each country",
+        &counts,
+    )
 }
 
 fn fig8(data: &StudyData) -> FigureOutput {
@@ -317,7 +315,11 @@ fn fig8(data: &StudyData) -> FigureOutput {
     for r in &data.records {
         counts.add(r.server_country.name());
     }
-    bar_figure("fig8", "Video clips served by RealServers from each country", &counts)
+    bar_figure(
+        "fig8",
+        "Video clips served by RealServers from each country",
+        &counts,
+    )
 }
 
 fn fig9(data: &StudyData) -> FigureOutput {
@@ -325,7 +327,11 @@ fn fig9(data: &StudyData) -> FigureOutput {
     for r in data.records.iter().filter(|r| r.user_state.is_some()) {
         counts.add(r.user_state.expect("filtered"));
     }
-    bar_figure("fig9", "Video clips played by U.S. users from each state", &counts)
+    bar_figure(
+        "fig9",
+        "Video clips played by U.S. users from each state",
+        &counts,
+    )
 }
 
 fn fig10(data: &StudyData) -> FigureOutput {
@@ -340,9 +346,7 @@ fn fig10(data: &StudyData) -> FigureOutput {
     let mut items: Vec<(&str, f64)> = attempted
         .by_name()
         .into_iter()
-        .map(|(name, total)| {
-            (name, unavailable.get(name) as f64 / total as f64)
-        })
+        .map(|(name, total)| (name, unavailable.get(name) as f64 / total as f64))
         .collect();
     items.sort_by(|a, b| a.0.cmp(b.0));
     let overall = unavailable.total() as f64 / attempted.total() as f64;
@@ -453,7 +457,10 @@ fn fig16(data: &StudyData) -> FigureOutput {
         udp * 100.0,
         (1.0 - udp) * 100.0,
         bar_chart(
-            &[("UDP", counts.get("UDP") as f64), ("TCP", counts.get("TCP") as f64)],
+            &[
+                ("UDP", counts.get("UDP") as f64),
+                ("TCP", counts.get("TCP") as f64)
+            ],
             48
         )
     );
@@ -470,8 +477,14 @@ fn by_protocol(
 ) -> Vec<(String, Vec<f64>)> {
     let by = split_by(data, |r| r.metrics.protocol == TransportKind::Udp, value);
     vec![
-        ("TCP".to_string(), by.get(&false).cloned().unwrap_or_default()),
-        ("UDP".to_string(), by.get(&true).cloned().unwrap_or_default()),
+        (
+            "TCP".to_string(),
+            by.get(&false).cloned().unwrap_or_default(),
+        ),
+        (
+            "UDP".to_string(),
+            by.get(&true).cloned().unwrap_or_default(),
+        ),
     ]
 }
 
@@ -659,7 +672,12 @@ fn fig27(data: &StudyData) -> FigureOutput {
 fn fig28(data: &StudyData) -> FigureOutput {
     let pairs: Vec<(f64, f64)> = data
         .rated()
-        .map(|r| (r.metrics.bandwidth_kbps, f64::from(r.rating.expect("rated"))))
+        .map(|r| {
+            (
+                r.metrics.bandwidth_kbps,
+                f64::from(r.rating.expect("rated")),
+            )
+        })
         .collect();
     let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
@@ -681,7 +699,13 @@ fn fig28(data: &StudyData) -> FigureOutput {
     );
     // Scatter summary: mean rating per bandwidth bin.
     let mut rows = Vec::new();
-    for (lo, hi) in [(0.0, 50.0), (50.0, 100.0), (100.0, 200.0), (200.0, 350.0), (350.0, 600.0)] {
+    for (lo, hi) in [
+        (0.0, 50.0),
+        (50.0, 100.0),
+        (100.0, 200.0),
+        (200.0, 350.0),
+        (350.0, 600.0),
+    ] {
         let bin: Vec<f64> = pairs
             .iter()
             .filter(|(bw, _)| *bw >= lo && *bw < hi)
@@ -692,7 +716,11 @@ fn fig28(data: &StudyData) -> FigureOutput {
         } else {
             format!("{:.2}", bin.iter().sum::<f64>() / bin.len() as f64)
         };
-        rows.push(vec![format!("{lo:.0}-{hi:.0}"), bin.len().to_string(), mean]);
+        rows.push(vec![
+            format!("{lo:.0}-{hi:.0}"),
+            bin.len().to_string(),
+            mean,
+        ]);
     }
     body.push_str(&table(&["bandwidth (kbps)", "n", "mean rating"], &rows));
     FigureOutput {
@@ -711,8 +739,11 @@ fn aggregate(data: &StudyData) -> FigureOutput {
     let unavailable = data.records.iter().filter(|r| !r.available).count();
     let countries: std::collections::BTreeSet<&str> =
         data.records.iter().map(|r| r.user_country.name()).collect();
-    let server_countries: std::collections::BTreeSet<&str> =
-        data.records.iter().map(|r| r.server_country.name()).collect();
+    let server_countries: std::collections::BTreeSet<&str> = data
+        .records
+        .iter()
+        .map(|r| r.server_country.name())
+        .collect();
     let servers: std::collections::BTreeSet<&str> =
         data.records.iter().map(|r| r.server_name).collect();
     let blocked: usize = data
@@ -721,10 +752,26 @@ fn aggregate(data: &StudyData) -> FigureOutput {
         .filter(|r| r.metrics.outcome == SessionOutcome::Blocked)
         .count();
     let rows = vec![
-        vec!["participants".into(), data.participants.to_string(), "63".into()],
-        vec!["clip plays (sessions)".into(), total.to_string(), "~2855".into()],
-        vec!["clips watched & rated".into(), rated.to_string(), "~388".into()],
-        vec!["user countries".into(), countries.len().to_string(), "12".into()],
+        vec![
+            "participants".into(),
+            data.participants.to_string(),
+            "63".into(),
+        ],
+        vec![
+            "clip plays (sessions)".into(),
+            total.to_string(),
+            "~2855".into(),
+        ],
+        vec![
+            "clips watched & rated".into(),
+            rated.to_string(),
+            "~388".into(),
+        ],
+        vec![
+            "user countries".into(),
+            countries.len().to_string(),
+            "12".into(),
+        ],
         vec!["servers".into(), servers.len().to_string(), "11".into()],
         vec![
             "server countries".into(),
@@ -736,17 +783,17 @@ fn aggregate(data: &StudyData) -> FigureOutput {
             format!("{:.3}", unavailable as f64 / total as f64),
             "~0.10".into(),
         ],
-        vec![
-            "played successfully".into(),
-            played.to_string(),
-            "-".into(),
-        ],
+        vec!["played successfully".into(), played.to_string(), "-".into()],
         vec![
             "firewall-excluded volunteers".into(),
             data.excluded_users.to_string(),
             "\"several\"".into(),
         ],
-        vec!["blocked sessions recorded".into(), blocked.to_string(), "0".into()],
+        vec![
+            "blocked sessions recorded".into(),
+            blocked.to_string(),
+            "0".into(),
+        ],
     ];
     FigureOutput {
         id: "agg",

@@ -18,23 +18,23 @@ pub mod figures;
 
 pub use figures::{all_figures, figure, FigureOutput, FIGURE_IDS};
 
-/// The simulation kernel.
-pub use rv_sim as sim;
-/// The packet-level network.
-pub use rv_net as net;
-/// TCP and UDP transports.
-pub use rv_transport as transport;
-/// The RTSP control plane.
-pub use rv_rtsp as rtsp;
 /// Clips, SureStream, packetization.
 pub use rv_media as media;
-/// The streaming server.
-pub use rv_server as server;
+/// The packet-level network.
+pub use rv_net as net;
 /// The buffered player.
 pub use rv_player as player;
-/// The instrumented client and metrics.
-pub use rv_tracer as tracer;
-/// The world model and campaign.
-pub use rv_study as study;
+/// The RTSP control plane.
+pub use rv_rtsp as rtsp;
+/// The streaming server.
+pub use rv_server as server;
+/// The simulation kernel.
+pub use rv_sim as sim;
 /// CDFs, histograms, rendering.
 pub use rv_stats as stats;
+/// The world model and campaign.
+pub use rv_study as study;
+/// The instrumented client and metrics.
+pub use rv_tracer as tracer;
+/// TCP and UDP transports.
+pub use rv_transport as transport;

@@ -125,7 +125,7 @@ impl SureStream {
     /// Panics on an empty rung list.
     pub fn new(mut rungs: Vec<Encoding>) -> Self {
         assert!(!rungs.is_empty(), "SureStream needs at least one rung");
-        rungs.sort_by(|a, b| a.total_bps.cmp(&b.total_bps));
+        rungs.sort_by_key(|r| r.total_bps);
         SureStream { rungs }
     }
 
@@ -327,7 +327,10 @@ mod tests {
     fn standard_ladder_has_six_rungs() {
         let l = SureStream::standard();
         assert_eq!(l.len(), 6);
-        assert!(l.rungs().windows(2).all(|w| w[0].total_bps < w[1].total_bps));
+        assert!(l
+            .rungs()
+            .windows(2)
+            .all(|w| w[0].total_bps < w[1].total_bps));
     }
 
     #[test]
@@ -349,7 +352,11 @@ mod tests {
         assert!(Clip::parse_description("x", b"garbage line\n").is_none());
         assert!(Clip::parse_description("x", b"c=news\nd=notanumber\n").is_none());
         assert!(Clip::parse_description("x", b"c=news\nd=1000\n").is_none()); // no rungs
-        assert!(Clip::parse_description("x", b"c=noexist\nd=1000\ns=total:1;audio:1;fps:1;dim:1x1;ki:1\n").is_none());
+        assert!(Clip::parse_description(
+            "x",
+            b"c=noexist\nd=1000\ns=total:1;audio:1;fps:1;dim:1x1;ki:1\n"
+        )
+        .is_none());
     }
 
     #[test]

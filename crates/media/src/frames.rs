@@ -63,7 +63,7 @@ impl FrameSchedule {
             let frame_bytes = mean_bytes / action;
 
             while t < scene_end {
-                let key = index % encoding.keyframe_interval == 0;
+                let key = index.is_multiple_of(encoding.keyframe_interval);
                 // Keyframes cost ~3x a delta frame; delta frames vary ±30 %.
                 let size = if key {
                     frame_bytes * 3.0
@@ -167,7 +167,10 @@ mod tests {
         let s = schedule(80_000, ContentKind::News, 120);
         let encoded = s.encoded_fps();
         let actual = s.actual_fps();
-        assert!(actual <= encoded + 0.01, "actual {actual} encoded {encoded}");
+        assert!(
+            actual <= encoded + 0.01,
+            "actual {actual} encoded {encoded}"
+        );
         assert!(actual > encoded * 0.35, "actual {actual} too low");
     }
 
@@ -194,16 +197,31 @@ mod tests {
     #[test]
     fn keyframes_appear_at_interval() {
         let s = schedule(80_000, ContentKind::Music, 60);
-        let keys: Vec<u32> = s.frames().iter().filter(|f| f.key).map(|f| f.index).collect();
+        let keys: Vec<u32> = s
+            .frames()
+            .iter()
+            .filter(|f| f.key)
+            .map(|f| f.index)
+            .collect();
         assert!(!keys.is_empty());
         assert_eq!(keys[0], 0);
         for k in &keys {
             assert_eq!(k % 60, 0);
         }
         // Keyframes are bigger than their neighbors on average.
-        let key_mean: f64 = s.frames().iter().filter(|f| f.key).map(|f| f.size as f64).sum::<f64>()
+        let key_mean: f64 = s
+            .frames()
+            .iter()
+            .filter(|f| f.key)
+            .map(|f| f.size as f64)
+            .sum::<f64>()
             / keys.len() as f64;
-        let delta_mean: f64 = s.frames().iter().filter(|f| !f.key).map(|f| f.size as f64).sum::<f64>()
+        let delta_mean: f64 = s
+            .frames()
+            .iter()
+            .filter(|f| !f.key)
+            .map(|f| f.size as f64)
+            .sum::<f64>()
             / (s.len() - keys.len()) as f64;
         assert!(key_mean > delta_mean * 2.0);
     }

@@ -207,12 +207,7 @@ mod tests {
     use crate::packet::{Addr, HostId};
 
     fn pkt(size: u32) -> Packet<u32> {
-        Packet::new(
-            Addr::new(HostId(0), 1),
-            Addr::new(HostId(1), 2),
-            size,
-            0,
-        )
+        Packet::new(Addr::new(HostId(0), 1), Addr::new(HostId(1), 2), size, 0)
     }
 
     fn link(params: LinkParams) -> Link<u32> {

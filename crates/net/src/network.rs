@@ -105,7 +105,10 @@ impl<P> Network<P> {
         let mut at = self.host_node(src);
         for lid in &route {
             let link = &self.links[lid.0 as usize];
-            assert_eq!(link.from, at, "route hop does not start where previous ended");
+            assert_eq!(
+                link.from, at,
+                "route hop does not start where previous ended"
+            );
             at = link.to;
         }
         assert_eq!(at, self.host_node(dst), "route does not end at destination");
@@ -343,8 +346,14 @@ mod tests {
     #[test]
     fn bidirectional_traffic_does_not_interfere() {
         let (mut net, a, b) = two_hosts(LinkParams::lan().rate(1e9));
-        net.send(SimTime::ZERO, Packet::new(Addr::new(a, 1), Addr::new(b, 1), 100, 1u32));
-        net.send(SimTime::ZERO, Packet::new(Addr::new(b, 1), Addr::new(a, 1), 100, 2u32));
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(a, 1), Addr::new(b, 1), 100, 1u32),
+        );
+        net.send(
+            SimTime::ZERO,
+            Packet::new(Addr::new(b, 1), Addr::new(a, 1), 100, 2u32),
+        );
         net.poll(SimTime::from_millis(100));
         assert_eq!(net.recv(b).unwrap().payload, 1);
         assert_eq!(net.recv(a).unwrap().payload, 2);

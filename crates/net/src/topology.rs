@@ -107,7 +107,12 @@ impl NetBuilder {
         // Create links, remembering adjacency for routing.
         let mut adj: Vec<Vec<(u32, LinkId)>> = vec![Vec::new(); self.net_nodes as usize];
         for (from, to, params) in &self.links {
-            let lid = net.add_link(node_ids[*from as usize], node_ids[*to as usize], *params, rng.fork(u64::from(*from) << 32 | u64::from(*to)));
+            let lid = net.add_link(
+                node_ids[*from as usize],
+                node_ids[*to as usize],
+                *params,
+                rng.fork(u64::from(*from) << 32 | u64::from(*to)),
+            );
             adj[*from as usize].push((*to, lid));
         }
 
@@ -171,7 +176,9 @@ mod tests {
         let client = b.host();
         let r1 = b.router();
         let r2 = b.router();
-        let fast = LinkParams::lan().rate(1e9).delay(SimDuration::from_millis(1));
+        let fast = LinkParams::lan()
+            .rate(1e9)
+            .delay(SimDuration::from_millis(1));
         b.duplex(server, r1, fast);
         b.duplex(r1, r2, fast);
         b.duplex(r2, client, fast);

@@ -13,9 +13,7 @@
 mod playout;
 mod reassembly;
 
-pub use playout::{
-    DropReason, Playout, PlayoutConfig, PlayoutEvent, PlayoutState, PlayoutStats,
-};
+pub use playout::{DropReason, Playout, PlayoutConfig, PlayoutEvent, PlayoutState, PlayoutStats};
 pub use reassembly::{Assembler, CompleteFrame, ReassemblyStats};
 
 use rv_media::MediaPacket;
@@ -57,9 +55,11 @@ impl Player {
     pub fn poll(&mut self, now: SimTime) -> Vec<PlayoutEvent> {
         let events = self.playout.poll(now);
         // Partial frames whose deadline passed will never play; drop them.
-        if let Some(last) = events.iter().rev().find_map(|e| {
-            e.played_at.is_some().then_some(e.pts)
-        }) {
+        if let Some(last) = events
+            .iter()
+            .rev()
+            .find_map(|e| e.played_at.is_some().then_some(e.pts))
+        {
             self.assembler
                 .expire_before(last.saturating_sub(SimDuration::from_secs(1)));
         }

@@ -167,9 +167,7 @@ impl Playout {
     /// Media span buffered ahead of the cursor.
     pub fn buffered_span(&self) -> SimDuration {
         match self.buffer.last_key_value() {
-            Some((&last, _)) => {
-                SimDuration::from_micros(last).saturating_sub(self.cursor)
-            }
+            Some((&last, _)) => SimDuration::from_micros(last).saturating_sub(self.cursor),
             None => SimDuration::ZERO,
         }
     }
@@ -234,10 +232,7 @@ impl Playout {
         let mut events = Vec::new();
         let clock = self.media_clock(now);
 
-        loop {
-            let Some((&pts_us, _)) = self.buffer.first_key_value() else {
-                break;
-            };
+        while let Some((&pts_us, _)) = self.buffer.first_key_value() {
             let pts = SimDuration::from_micros(pts_us);
             if pts > clock {
                 break;
@@ -274,7 +269,10 @@ impl Playout {
                 continue;
             }
             let decode = (self.cfg.decode_base
-                + self.cfg.decode_per_kib.mul_f64(f64::from(frame.size) / 1024.0))
+                + self
+                    .cfg
+                    .decode_per_kib
+                    .mul_f64(f64::from(frame.size) / 1024.0))
             .mul_f64(1.0 / self.cpu_power);
             self.decode_ready_at = play_at + decode;
             self.stats.decode_busy += decode;
@@ -387,11 +385,17 @@ mod tests {
         assert_eq!(p.state(), PlayoutState::Buffering);
         // 2 s of media arrive instantly.
         for i in 0..21 {
-            p.push_frame(SimTime::from_millis(10), frame(i * 100, SimTime::from_millis(10)));
+            p.push_frame(
+                SimTime::from_millis(10),
+                frame(i * 100, SimTime::from_millis(10)),
+            );
         }
         p.poll(SimTime::from_millis(20));
         assert_eq!(p.state(), PlayoutState::Playing);
-        assert_eq!(p.stats().playback_started_at, Some(SimTime::from_millis(20)));
+        assert_eq!(
+            p.stats().playback_started_at,
+            Some(SimTime::from_millis(20))
+        );
     }
 
     #[test]
@@ -431,7 +435,10 @@ mod tests {
         let arrival = SimTime::from_millis(2100 + 200);
         p.push_frame(arrival, frame(2100, arrival));
         let events = p.poll(SimTime::from_millis(2400));
-        let late = events.iter().find(|e| e.pts == SimDuration::from_millis(2100)).unwrap();
+        let late = events
+            .iter()
+            .find(|e| e.pts == SimDuration::from_millis(2100))
+            .unwrap();
         assert_eq!(late.played_at, Some(arrival));
     }
 
@@ -443,7 +450,10 @@ mod tests {
         let arrival = SimTime::from_millis(2100 + 900); // 900 ms late
         p.push_frame(arrival, frame(2100, arrival));
         let events = p.poll(SimTime::from_secs(4));
-        let e = events.iter().find(|e| e.pts == SimDuration::from_millis(2100)).unwrap();
+        let e = events
+            .iter()
+            .find(|e| e.pts == SimDuration::from_millis(2100))
+            .unwrap();
         assert_eq!(e.drop_reason, Some(DropReason::Late));
         assert!(p.stats().dropped_late >= 1);
     }

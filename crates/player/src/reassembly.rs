@@ -317,7 +317,8 @@ impl Assembler {
             }
         }
         // Old FEC groups with no live frames can go too.
-        self.groups.retain(|_, g| !g.frames.is_empty() || g.parity.is_none());
+        self.groups
+            .retain(|_, g| !g.frames.is_empty() || g.parity.is_none());
     }
 }
 
@@ -412,7 +413,11 @@ mod tests {
         assert_eq!(done.len(), 1, "parity should complete the frame");
         assert_eq!(a.stats().frames_recovered, 1);
         // Size approximates the original.
-        assert!(done[0].size >= 2800 && done[0].size <= 3200, "size {}", done[0].size);
+        assert!(
+            done[0].size >= 2800 && done[0].size <= 3200,
+            "size {}",
+            done[0].size
+        );
     }
 
     #[test]

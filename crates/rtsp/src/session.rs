@@ -148,9 +148,7 @@ impl ClientSession {
         };
         if cseq != Some(want) {
             // A reply to SET_PARAMETER or a stale response: ignore politely.
-            return ClientEvent::ProtocolError(format!(
-                "CSeq mismatch: want {want} got {cseq:?}"
-            ));
+            return ClientEvent::ProtocolError(format!("CSeq mismatch: want {want} got {cseq:?}"));
         }
         self.pending = None;
 
@@ -250,15 +248,16 @@ impl ServerSession {
         let respond = |status: Status| Message::response(status).with_header("CSeq", &cseq);
 
         match method {
-            Method::Options => respond(Status::OK)
-                .with_header("Public", "DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN, SET_PARAMETER"),
+            Method::Options => respond(Status::OK).with_header(
+                "Public",
+                "DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN, SET_PARAMETER",
+            ),
             Method::Describe => match handler.describe(url) {
                 Some(body) => respond(Status::OK).with_body(body),
                 None => respond(Status::NOT_FOUND),
             },
             Method::Setup => {
-                let Some(requested) = msg.header("Transport").and_then(TransportSpec::parse)
-                else {
+                let Some(requested) = msg.header("Transport").and_then(TransportSpec::parse) else {
                     return respond(Status::UNSUPPORTED_TRANSPORT);
                 };
                 match handler.setup(url, requested) {
@@ -447,7 +446,10 @@ mod tests {
         let (mut client, mut server) = full_handshake(&mut h);
         let msg = client.set_parameter("x-loss-rate", "0.031");
         server.on_request(&mut h, &msg);
-        assert_eq!(h.params, vec![("x-loss-rate".to_string(), "0.031".to_string())]);
+        assert_eq!(
+            h.params,
+            vec![("x-loss-rate".to_string(), "0.031".to_string())]
+        );
         // Still playing: feedback must not disturb the session.
         assert_eq!(client.state(), ClientState::Playing);
     }

@@ -220,7 +220,11 @@ mod tests {
     #[test]
     fn forced_udp_fails_behind_firewall() {
         assert_eq!(
-            negotiate(TransportPreference::ForceUdp, FirewallPolicy::BlockUdp, true),
+            negotiate(
+                TransportPreference::ForceUdp,
+                FirewallPolicy::BlockUdp,
+                true
+            ),
             Err(NegotiationError::UdpImpossible)
         );
         assert_eq!(
@@ -246,7 +250,11 @@ mod tests {
     #[test]
     fn forced_tcp_always_works_when_rtsp_passes() {
         assert_eq!(
-            negotiate(TransportPreference::ForceTcp, FirewallPolicy::BlockUdp, true),
+            negotiate(
+                TransportPreference::ForceTcp,
+                FirewallPolicy::BlockUdp,
+                true
+            ),
             Ok(TransportKind::Tcp)
         );
     }

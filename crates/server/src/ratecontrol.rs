@@ -255,7 +255,10 @@ mod tests {
         // Slow-start doubles per clean report until the configured ceiling.
         let r1 = c.on_report(
             SimTime::from_secs(1),
-            ReceiverReport { loss_rate: 0.0, recv_rate_bps: 20_000.0 },
+            ReceiverReport {
+                loss_rate: 0.0,
+                recv_rate_bps: 20_000.0,
+            },
             SimDuration::from_millis(80),
         );
         assert!((r1 - 40_000.0).abs() < 1.0, "doubled: {r1}");
@@ -263,10 +266,16 @@ mod tests {
         for i in 2..8 {
             let rate = c.on_report(
                 SimTime::from_secs(i),
-                ReceiverReport { loss_rate: 0.0, recv_rate_bps: last },
+                ReceiverReport {
+                    loss_rate: 0.0,
+                    recv_rate_bps: last,
+                },
                 SimDuration::from_millis(80),
             );
-            assert!(rate >= last, "never decreases on clean reports: {rate} vs {last}");
+            assert!(
+                rate >= last,
+                "never decreases on clean reports: {rate} vs {last}"
+            );
             last = rate;
         }
         // ...and saturates at the ceiling.
@@ -325,7 +334,10 @@ mod tests {
         assert_eq!(c.allowed_bps(), 350_000.0);
         c.on_report(
             SimTime::from_secs(1),
-            ReceiverReport { loss_rate: 0.1, recv_rate_bps: 100_000.0 },
+            ReceiverReport {
+                loss_rate: 0.1,
+                recv_rate_bps: 100_000.0,
+            },
             SimDuration::from_millis(100),
         );
         assert_eq!(c.allowed_bps(), 350_000.0);
@@ -382,7 +394,10 @@ mod tests {
         tb.set_rate(80_000.0);
         // At 80 kbps, 1000 bytes refill in 100 ms (old rate would give 100).
         let t1 = t0 + SimDuration::from_millis(100);
-        assert!(tb.try_consume(t1, 1000), "new rate should refill 1000 bytes in 100ms");
+        assert!(
+            tb.try_consume(t1, 1000),
+            "new rate should refill 1000 bytes in 100ms"
+        );
         assert!(!tb.try_consume(t1, 100));
     }
 }

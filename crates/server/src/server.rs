@@ -15,11 +15,9 @@
 //!   exceeds the available rate (Scalable Video Technology),
 //! * protects UDP data with one XOR-parity packet per FEC group.
 
+use rv_media::{packetize_frame, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
 use rv_net::Addr;
 use rv_rtsp::{Decoder, ServerHandler, ServerSession, Status, TransportKind, TransportSpec};
-use rv_media::{
-    packetize_frame, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind,
-};
 use rv_sim::{SimDuration, SimTime};
 use rv_transport::{Stack, TcpHandle, UdpHandle};
 
@@ -257,7 +255,12 @@ impl RealServer {
     /// Debug snapshot: (rung, next_frame, schedule len, sent_until ms).
     pub fn debug_stream(&self) -> Option<(usize, usize, usize, u64)> {
         self.stream.as_ref().map(|s| {
-            (s.rung, s.next_frame, s.schedule.len(), s.sent_until.as_millis())
+            (
+                s.rung,
+                s.next_frame,
+                s.schedule.len(),
+                s.sent_until.as_millis(),
+            )
         })
     }
 
@@ -440,8 +443,7 @@ impl RealServer {
         let audio_bps = stream.clip.ladder.rungs()[stream.rung].audio_bps;
         let audio_bytes =
             (f64::from(audio_bps) * self.cfg.audio_interval.as_secs_f64() / 8.0) as u16;
-        while stream.next_audio <= horizon && stream.next_audio < stream.clip.duration
-        {
+        while stream.next_audio <= horizon && stream.next_audio < stream.clip.duration {
             let pkt = MediaPacket {
                 kind: PacketKind::Audio,
                 key: false,

@@ -1,0 +1,168 @@
+//! A self-contained ChaCha12 keystream generator.
+//!
+//! The simulator previously pinned its RNG to `rand_chacha::ChaCha12Rng`;
+//! this module is the same construction implemented in-tree so the
+//! workspace has no external runtime dependencies and the stream cannot
+//! shift under a dependency upgrade. Determinism is defined by this file
+//! alone: same key, same keystream, forever.
+//!
+//! The generator is the IETF ChaCha block function reduced to 12 rounds
+//! (6 double rounds) with a 64-bit block counter, which is more than
+//! enough keystream (2^70 bytes) for any campaign.
+
+/// ChaCha block constants: "expand 32-byte k".
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha12 keystream generator with buffered block output.
+#[derive(Debug, Clone)]
+pub(crate) struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u8; 64],
+    pos: usize,
+}
+
+impl ChaCha12 {
+    /// Creates a generator from a 256-bit key (little-endian words).
+    pub(crate) fn from_key(key_bytes: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                key_bytes[4 * i],
+                key_bytes[4 * i + 1],
+                key_bytes[4 * i + 2],
+                key_bytes[4 * i + 3],
+            ]);
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buf: [0; 64],
+            pos: 64,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CONSTANTS);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        // s[14], s[15]: nonce, fixed at zero (one stream per key).
+        let mut w = s;
+        for _ in 0..6 {
+            // Column round.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (i, word) in w.iter().enumerate() {
+            let out = word.wrapping_add(s[i]).to_le_bytes();
+            self.buf[4 * i..4 * i + 4].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+
+    /// Next 32 bits of keystream.
+    pub(crate) fn next_u32(&mut self) -> u32 {
+        if self.pos + 4 > 64 {
+            self.refill();
+        }
+        let v = u32::from_le_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        v
+    }
+
+    /// Next 64 bits of keystream (low word first, as rand_chacha did).
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+
+    /// Fills `dest` with keystream bytes.
+    pub(crate) fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.pos >= 64 {
+                self.refill();
+            }
+            let n = (dest.len() - written).min(64 - self.pos);
+            dest[written..written + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            written += n;
+        }
+    }
+}
+
+#[inline]
+fn quarter(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    w[a] = w[a].wrapping_add(w[b]);
+    w[d] = (w[d] ^ w[a]).rotate_left(16);
+    w[c] = w[c].wrapping_add(w[d]);
+    w[b] = (w[b] ^ w[c]).rotate_left(12);
+    w[a] = w[a].wrapping_add(w[b]);
+    w[d] = (w[d] ^ w[a]).rotate_left(8);
+    w[c] = w[c].wrapping_add(w[d]);
+    w[b] = (w[b] ^ w[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_stream() {
+        let mut a = ChaCha12::from_key([7; 32]);
+        let mut b = ChaCha12::from_key([7; 32]);
+        for _ in 0..200 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut a = ChaCha12::from_key([1; 32]);
+        let mut b = ChaCha12::from_key([2; 32]);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream_across_blocks() {
+        let mut a = ChaCha12::from_key([9; 32]);
+        let mut b = ChaCha12::from_key([9; 32]);
+        // 200 bytes spans multiple 64-byte blocks.
+        let mut bytes = [0u8; 200];
+        a.fill_bytes(&mut bytes);
+        for chunk in bytes.chunks_exact(4) {
+            let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            assert_eq!(w, b.next_u32());
+        }
+    }
+
+    #[test]
+    fn keystream_bits_look_balanced() {
+        // A crude sanity check, not a statistical test: the population
+        // count over 64 KiB of keystream must sit near 50 %.
+        let mut g = ChaCha12::from_key([3; 32]);
+        let mut ones = 0u64;
+        for _ in 0..8192 {
+            ones += u64::from(g.next_u64().count_ones());
+        }
+        let frac = ones as f64 / (8192.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "ones fraction {frac}");
+    }
+}

@@ -38,7 +38,7 @@ impl Clock {
 
     /// Advances by a duration.
     pub fn advance_by(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 }
 

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chacha;
 mod clock;
 mod event;
 mod rng;

@@ -1,30 +1,66 @@
 //! Deterministic random number generation for the simulation.
 //!
 //! Every stochastic decision in the simulator draws from a [`SimRng`], which
-//! wraps a seeded ChaCha-based generator. Given the same seed, every run of
-//! the simulation — and therefore every regenerated figure — is bit-identical.
+//! wraps a seeded ChaCha12 keystream (implemented in-tree, see `chacha.rs`).
+//! Given the same seed, every run of the simulation — and therefore every
+//! regenerated figure — is bit-identical.
 //!
-//! [`SimRng::fork`] derives independent child generators for subsystems so
-//! that adding draws in one component does not perturb the stream seen by
-//! another (a classic reproducibility hazard in monolithic-RNG simulators).
+//! Two derivation mechanisms keep subsystem streams independent:
+//!
+//! * [`SimRng::fork`] derives a child generator from the *parent's state*
+//!   and a label — adding draws in one component does not perturb the
+//!   stream seen by another (a classic reproducibility hazard in
+//!   monolithic-RNG simulators). Forking consumes parent state, so fork
+//!   order matters.
+//! * [`SimRng::derive`] derives a stream from a *seed value*, a label, and
+//!   an index through a SplitMix64 finalizer chain. No state is consumed
+//!   and no ordering exists: `derive(seed, "availability", k)` yields the
+//!   same stream whether it is the first derivation or the millionth,
+//!   which is what lets campaign jobs be planned serially and executed on
+//!   any number of threads with bit-identical results.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
-
+use crate::chacha::ChaCha12;
 use crate::time::SimDuration;
 
 /// A deterministic, forkable random number generator.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    inner: ChaCha12,
+}
+
+/// One round of the SplitMix64 output finalizer: a bijective mixer with
+/// full avalanche (every input bit flips each output bit with probability
+/// ~1/2). The standard constants are from Steele et al.'s SplitMix64.
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, for [`SimRng::derive`].
+fn label_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed to a 256-bit key via the SplitMix64 sequence.
+        let mut key = [0u8; 32];
+        let mut z = seed;
+        for chunk in key.chunks_exact_mut(8) {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            chunk.copy_from_slice(&splitmix64(z).to_le_bytes());
+        }
         SimRng {
-            inner: ChaCha12Rng::seed_from_u64(seed),
+            inner: ChaCha12::from_key(key),
         }
     }
 
@@ -42,7 +78,57 @@ impl SimRng {
             seed[i] ^= *b;
         }
         SimRng {
-            inner: ChaCha12Rng::from_seed(seed),
+            inner: ChaCha12::from_key(seed),
+        }
+    }
+
+    /// Collision-resistant, order-independent seed derivation: maps
+    /// `(seed, label, index)` to a new 64-bit seed through a SplitMix64
+    /// finalizer chain.
+    ///
+    /// Unlike [`fork`](SimRng::fork) this consumes no generator state, so
+    /// the result depends only on the three inputs — the property the
+    /// campaign planner relies on to hand every session job a
+    /// self-contained seed that is identical no matter which worker, in
+    /// which order, at which scale, eventually runs the job.
+    pub fn derive_seed(seed: u64, label: &str, index: u64) -> u64 {
+        let mut h = splitmix64(seed);
+        h = splitmix64(h ^ label_hash(label));
+        splitmix64(h ^ splitmix64(index))
+    }
+
+    /// A generator seeded with [`derive_seed`](SimRng::derive_seed): one
+    /// independent stream per `(seed, label, index)` triple.
+    pub fn derive(seed: u64, label: &str, index: u64) -> SimRng {
+        SimRng::seed_from_u64(SimRng::derive_seed(seed, label, index))
+    }
+
+    /// Next 32 bits of the stream.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Next 64 bits of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    /// Uniform integer in `[0, n)` by rejection sampling (no modulo bias).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below() needs a positive bound");
+        // Reject the low `2^64 mod n` values so every residue is equally
+        // likely.
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            if v >= zone {
+                return v % n;
+            }
         }
     }
 
@@ -52,12 +138,13 @@ impl SimRng {
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample_from(self)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random bits scaled into [0, 1), the standard construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
@@ -67,7 +154,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -148,18 +235,67 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Types [`SimRng::range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi)` when `inclusive` is false, `[lo, hi]`
+    /// when true. Callers guarantee a non-empty range.
+    fn sample_uniform(rng: &mut SimRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Range forms accepted by [`SimRng::range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from this range.
+    fn sample_from(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut SimRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "empty sample range"
+                );
+                // Work in the unsigned 64-bit offset space to cover the
+                // signed types without overflow.
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                if span == 0 || span > u128::from(u64::MAX) {
+                    // Full 64-bit domain: every value is fair.
+                    return (lo as i128).wrapping_add(rng.next_u64() as i128) as $t;
+                }
+                let off = rng.below(span as u64);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut SimRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let u = rng.unit() as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
     }
 }
 
@@ -200,12 +336,63 @@ mod tests {
     }
 
     #[test]
+    fn derive_is_order_independent_and_stateless() {
+        // Same triple, same stream — regardless of any other derivations
+        // or draws happening in between.
+        let mut a = SimRng::derive(9, "availability", 17);
+        let _noise = SimRng::derive(9, "availability", 3).next_u64();
+        let mut scratch = SimRng::derive(9, "session", 17);
+        scratch.next_u64();
+        let mut b = SimRng::derive(9, "availability", 17);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derive_separates_labels_indices_and_seeds() {
+        let base = SimRng::derive_seed(5, "session", 10);
+        assert_ne!(base, SimRng::derive_seed(5, "session", 11));
+        assert_ne!(base, SimRng::derive_seed(5, "rating", 10));
+        assert_ne!(base, SimRng::derive_seed(6, "session", 10));
+        // Low-bit diffusion: adjacent indices differ in roughly half their
+        // bits, not just the low ones (the weakness of the old ad-hoc mix).
+        let a = SimRng::derive_seed(5, "session", 10);
+        let b = SimRng::derive_seed(5, "session", 11);
+        let flipped = (a ^ b).count_ones();
+        assert!(
+            (16..=48).contains(&flipped),
+            "avalanche too weak: {flipped} bits"
+        );
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut rng = SimRng::seed_from_u64(3);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
         assert!(!rng.chance(-0.5));
         assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn range_covers_bounds_inclusively_and_exclusively() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut saw_hi = false;
+        for _ in 0..200 {
+            let v = rng.range(0..=3u32);
+            assert!(v <= 3);
+            saw_hi |= v == 3;
+        }
+        assert!(saw_hi, "inclusive range never produced its upper bound");
+        for _ in 0..200 {
+            assert!(rng.range(0..3u32) < 3);
+        }
+        // Signed ranges.
+        for _ in 0..200 {
+            let v = rng.range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
     }
 
     #[test]
@@ -278,10 +465,22 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(31);
         let mean = SimDuration::from_millis(100);
         let n = 5_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exp_duration(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
         let sample_mean = total / n as f64;
         assert!((sample_mean - 0.1).abs() < 0.01, "mean {sample_mean}");
+    }
+
+    #[test]
+    fn unit_is_in_range_and_uniform_ish() {
+        let mut rng = SimRng::seed_from_u64(37);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

@@ -38,8 +38,7 @@ impl Cdf {
             return self.sorted[0];
         }
         let q = q.min(1.0);
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[idx - 1]
     }
 
@@ -158,7 +157,10 @@ mod tests {
     #[test]
     fn series_at_fixed_points() {
         let c = cdf(&[1.0, 2.0]);
-        assert_eq!(c.series_at(&[0.0, 1.5, 3.0]), vec![(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]);
+        assert_eq!(
+            c.series_at(&[0.0, 1.5, 3.0]),
+            vec![(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+        );
     }
 
     #[test]

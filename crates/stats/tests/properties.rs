@@ -1,7 +1,7 @@
 //! Property-based tests for statistical invariants.
 
 use proptest::prelude::*;
-use rv_stats::{linear_fit, pearson, Cdf, CategoryCount, Histogram, Summary};
+use rv_stats::{linear_fit, pearson, CategoryCount, Cdf, Histogram, Summary};
 
 fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..200)

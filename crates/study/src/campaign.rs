@@ -1,19 +1,24 @@
 //! The campaign runner: replays the June 2001 study end to end.
 //!
-//! Every participant walks the playlist, playing their Figure-5 number of
-//! clips; each play checks clip availability (Figure 10), builds a session
-//! world, streams for the watch limit, and records a [`SessionRecord`].
-//! The first `clips_to_rate` successfully played clips also receive a
-//! 0–10 rating from the user's rating profile.
+//! Running a campaign is two phases. The **plan phase**
+//! ([`plan_campaign`](crate::plan_campaign)) is a pure serial pass that
+//! fixes every clip-play attempt — strata, availability verdict (Figure
+//! 10), rating slot, session seed — before any packet is simulated. The
+//! **execute phase** ([`CampaignExecutor`](crate::CampaignExecutor)) runs
+//! those jobs on one thread or many and reassembles the
+//! [`SessionRecord`]s in canonical plan order. Output is a pure function
+//! of [`StudyParams::seed`] and [`StudyParams::scale`]; the worker count
+//! changes wall time only, never a byte of the data.
 
-use rv_sim::{SimDuration, SimRng, SimTime};
-use rv_tracer::{rate, SessionMetrics, SessionOutcome};
+use std::sync::Arc;
 
+use rv_sim::{SimDuration, SimTime};
+use rv_tracer::{SessionMetrics, SessionOutcome};
+
+use crate::executor::{CampaignExecutor, SerialExecutor, ThreadedExecutor};
 use crate::geography::{Country, ServerRegion, UserRegion};
-use crate::playlist::{build_playlist, PlaylistEntry};
-use crate::population::{build_population, ConnectionClass, PcClass, UserProfile};
-use crate::servers::{server_roster, ServerSite};
-use crate::worldbuild::build_session_world;
+use crate::plan::plan_campaign;
+use crate::population::{ConnectionClass, PcClass};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +33,10 @@ pub struct StudyParams {
     pub watch_limit: SimDuration,
     /// Wall-clock budget per session before the harness gives up.
     pub session_deadline: SimTime,
+    /// Worker threads for the execute phase. 1 runs serially; N fans
+    /// sessions across N threads. Never changes the output, only the
+    /// wall time.
+    pub jobs: usize,
 }
 
 impl Default for StudyParams {
@@ -37,6 +46,7 @@ impl Default for StudyParams {
             scale: 1.0,
             watch_limit: SimDuration::from_secs(60),
             session_deadline: SimTime::from_secs(150),
+            jobs: 1,
         }
     }
 }
@@ -72,8 +82,9 @@ pub struct SessionRecord {
     pub server_country: Country,
     /// Server figure region.
     pub server_region: ServerRegion,
-    /// Clip name.
-    pub clip_name: String,
+    /// Clip name, interned: records share one allocation per playlist
+    /// slot instead of cloning a `String` per session.
+    pub clip_name: Arc<str>,
     /// `false` when the clip was unavailable at request time.
     pub available: bool,
     /// Measured session statistics.
@@ -90,15 +101,65 @@ impl SessionRecord {
     }
 }
 
+/// What a campaign run did and how fast: printed by the binaries so
+/// executor speedups are observable.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Jobs the plan phase materialized.
+    pub jobs_planned: usize,
+    /// Sessions that streamed to a `Played` outcome.
+    pub played: usize,
+    /// Attempts that found the clip unavailable (Figure 10).
+    pub unavailable: usize,
+    /// Worker threads the executor used.
+    pub workers: usize,
+    /// Jobs each worker ran.
+    pub per_worker: Vec<usize>,
+    /// Execute-phase wall time.
+    pub wall: std::time::Duration,
+}
+
+impl CampaignSummary {
+    /// Sessions simulated per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.jobs_planned as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign: {} jobs planned, {} played, {} unavailable | {} worker{} {:?} | {:.2?} wall, {:.1} sessions/sec",
+            self.jobs_planned,
+            self.played,
+            self.unavailable,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.per_worker,
+            self.wall,
+            self.sessions_per_sec(),
+        )
+    }
+}
+
 /// The complete study output.
 #[derive(Debug, Clone)]
 pub struct StudyData {
-    /// Every session attempt, in play order.
+    /// Every session attempt, in canonical plan order.
     pub records: Vec<SessionRecord>,
     /// Number of volunteers excluded for RTSP-blocking firewalls.
     pub excluded_users: u32,
     /// Number of analyzable participants.
     pub participants: u32,
+    /// Run accounting. Wall time and worker split vary run to run; the
+    /// `records` never do.
+    pub summary: CampaignSummary,
 }
 
 impl StudyData {
@@ -113,102 +174,35 @@ impl StudyData {
     }
 }
 
-/// Runs the whole campaign. Deterministic in `params.seed`.
+/// Plans and executes the whole campaign. The records are deterministic
+/// in `params.seed` and `params.scale`; `params.jobs` picks the executor.
 pub fn run_campaign(params: StudyParams) -> StudyData {
-    let mut rng = SimRng::seed_from_u64(params.seed);
-    let roster = server_roster();
-    let population = build_population(&mut rng.fork(1), params.scale);
-    let playlist = build_playlist(&roster, &mut rng.fork(2));
-    let mut availability_rng = rng.fork(3);
+    let plan = plan_campaign(params);
+    let start = std::time::Instant::now();
+    let (records, per_worker) = if params.jobs <= 1 {
+        (
+            SerialExecutor.execute(&plan),
+            SerialExecutor.worker_loads(&plan),
+        )
+    } else {
+        let exec = ThreadedExecutor::new(params.jobs);
+        (exec.execute(&plan), exec.worker_loads(&plan))
+    };
+    let wall = start.elapsed();
 
-    let mut records = Vec::new();
-    for user in &population.participants {
-        run_user(
-            &params,
-            user,
-            &roster,
-            &playlist,
-            &mut availability_rng,
-            &mut records,
-        );
-    }
+    let summary = CampaignSummary {
+        jobs_planned: plan.jobs.len(),
+        played: records.iter().filter(|r| r.played()).count(),
+        unavailable: records.iter().filter(|r| !r.available).count(),
+        workers: params.jobs.max(1),
+        per_worker,
+        wall,
+    };
     StudyData {
         records,
-        excluded_users: population.excluded.len() as u32,
-        participants: population.participants.len() as u32,
-    }
-}
-
-fn run_user(
-    params: &StudyParams,
-    user: &UserProfile,
-    roster: &[ServerSite],
-    playlist: &[PlaylistEntry],
-    availability_rng: &mut SimRng,
-    records: &mut Vec<SessionRecord>,
-) {
-    let mut rated = 0;
-    // Each user starts at a different playlist offset. RealTracer itself
-    // always started at the top, but rotating keeps scaled-down runs
-    // (scale < 1) representative of every server; at full scale the
-    // difference washes out over 98-clip cycles.
-    let offset = (user.id as usize * 7) % playlist.len();
-    for (clip_idx, entry) in playlist
-        .iter()
-        .cycle()
-        .skip(offset)
-        .take(user.clips_to_play as usize)
-        .enumerate()
-    {
-        let site = &roster[entry.server];
-        let available = !site.clip_unavailable(availability_rng);
-        let session_seed = params
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(user.id) << 20)
-            .wrapping_add(clip_idx as u64);
-
-        let (metrics, rating) = if available {
-            let mut world = build_session_world(
-                user,
-                site,
-                &entry.clip,
-                params.watch_limit,
-                session_seed,
-            );
-            let metrics = world.run(params.session_deadline);
-            let rating = if metrics.outcome == SessionOutcome::Played
-                && rated < user.clips_to_rate
-            {
-                rated += 1;
-                let mut rating_rng = SimRng::seed_from_u64(session_seed ^ 0x7A7E_5EED);
-                Some(rate(&metrics, &user.rater, &mut rating_rng))
-            } else {
-                None
-            };
-            (metrics, rating)
-        } else {
-            (
-                SessionMetrics::failed(SessionOutcome::Unavailable, rv_rtsp::TransportKind::Tcp),
-                None,
-            )
-        };
-
-        records.push(SessionRecord {
-            user_id: user.id,
-            user_country: user.country,
-            user_state: user.state,
-            user_region: user.region(),
-            connection: user.connection,
-            pc: user.pc,
-            server_name: site.name,
-            server_country: site.country,
-            server_region: site.region(),
-            clip_name: entry.clip.name.clone(),
-            available,
-            metrics,
-            rating,
-        });
+        excluded_users: plan.population.excluded.len() as u32,
+        participants: plan.population.participants.len() as u32,
+        summary,
     }
 }
 
@@ -254,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn both_protocols_appear(){
+    fn both_protocols_appear() {
         let data = quick_data();
         let udp = data
             .played()
@@ -276,5 +270,19 @@ mod tests {
             assert_eq!(x.metrics, y.metrics);
             assert_eq!(x.rating, y.rating);
         }
+    }
+
+    #[test]
+    fn summary_accounts_for_every_job() {
+        let data = quick_data();
+        let s = &data.summary;
+        assert_eq!(s.jobs_planned, data.records.len());
+        assert_eq!(s.played, data.played().count());
+        assert_eq!(s.per_worker.iter().sum::<usize>(), s.jobs_planned);
+        assert_eq!(s.workers, 1);
+        assert!(s.sessions_per_sec() > 0.0);
+        // The Display line carries the pieces the binaries print.
+        let line = s.to_string();
+        assert!(line.contains("sessions/sec"), "{line}");
     }
 }

@@ -1,0 +1,210 @@
+//! The execute phase: runs a [`CampaignPlan`]'s jobs and reassembles
+//! records in canonical plan order.
+//!
+//! Executors differ only in *how* jobs are scheduled — [`SerialExecutor`]
+//! runs them in plan order on the calling thread; [`ThreadedExecutor`]
+//! fans contiguous chunks out across `std::thread::scope` workers, each
+//! running its own single-threaded session simulations. Because every
+//! [`SessionJob`] carries a self-contained seed and verdict, the two
+//! produce bit-identical `Vec<SessionRecord>` for every seed, scale, and
+//! worker count; `tests/determinism.rs` enforces this across the crate
+//! boundary.
+
+use rv_sim::SimRng;
+use rv_tracer::{rate, SessionMetrics, SessionOutcome};
+
+use crate::campaign::SessionRecord;
+use crate::plan::{CampaignPlan, SessionJob};
+use crate::worldbuild::build_session_world;
+
+/// A strategy for running a plan's jobs.
+pub trait CampaignExecutor {
+    /// Runs every job, returning records in canonical plan order.
+    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord>;
+
+    /// Number of jobs each worker ran, for the campaign summary.
+    /// Indexed by worker; a serial executor reports one entry.
+    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize>;
+}
+
+/// Runs jobs one at a time on the calling thread, in plan order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl CampaignExecutor for SerialExecutor {
+    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord> {
+        plan.jobs.iter().map(|job| run_job(plan, job)).collect()
+    }
+
+    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize> {
+        vec![plan.jobs.len()]
+    }
+}
+
+/// Fans jobs across `workers` OS threads in contiguous chunks.
+///
+/// Each worker writes into its own disjoint slice of the output, so no
+/// locks are needed and canonical order is preserved by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedExecutor {
+    /// Number of worker threads (≥ 1).
+    pub workers: usize,
+}
+
+impl ThreadedExecutor {
+    /// An executor with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadedExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Chunk length that spreads `jobs` over the workers.
+    fn chunk_len(&self, jobs: usize) -> usize {
+        jobs.div_ceil(self.workers).max(1)
+    }
+}
+
+impl CampaignExecutor for ThreadedExecutor {
+    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord> {
+        if self.workers == 1 || plan.jobs.len() <= 1 {
+            return SerialExecutor.execute(plan);
+        }
+        let chunk = self.chunk_len(plan.jobs.len());
+        let mut slots: Vec<Option<SessionRecord>> = vec![None; plan.jobs.len()];
+        std::thread::scope(|scope| {
+            for (job_chunk, slot_chunk) in plan.jobs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(run_job(plan, job));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job slot filled"))
+            .collect()
+    }
+
+    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize> {
+        if self.workers == 1 || plan.jobs.len() <= 1 {
+            return vec![plan.jobs.len()];
+        }
+        let chunk = self.chunk_len(plan.jobs.len());
+        let mut loads: Vec<usize> = Vec::new();
+        let mut left = plan.jobs.len();
+        while left > 0 {
+            let n = left.min(chunk);
+            loads.push(n);
+            left -= n;
+        }
+        loads
+    }
+}
+
+/// Runs one job to a [`SessionRecord`]. Pure in `(plan, job)`: no shared
+/// mutable state, so any thread may run any job in any order.
+pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
+    let user = &plan.population.participants[job.user];
+    let site = &plan.roster[job.server];
+    let entry = &plan.playlist[job.playlist_slot];
+    let params = &plan.params;
+
+    let (metrics, rating) = if job.available {
+        let mut world = build_session_world(
+            user,
+            site,
+            &entry.clip,
+            params.watch_limit,
+            job.session_seed,
+        );
+        let metrics = world.run(params.session_deadline);
+        let rating = if job.rating_slot && metrics.outcome == SessionOutcome::Played {
+            let key = SessionJob::stream_key(job.user_id, job.clip_seq);
+            let mut rating_rng = SimRng::derive(params.seed, "rating", key);
+            Some(rate(&metrics, &user.rater, &mut rating_rng))
+        } else {
+            None
+        };
+        (metrics, rating)
+    } else {
+        (
+            SessionMetrics::failed(SessionOutcome::Unavailable, rv_rtsp::TransportKind::Tcp),
+            None,
+        )
+    };
+
+    SessionRecord {
+        user_id: user.id,
+        user_country: user.country,
+        user_state: user.state,
+        user_region: user.region(),
+        connection: user.connection,
+        pc: user.pc,
+        server_name: site.name,
+        server_country: site.country,
+        server_region: site.region(),
+        clip_name: plan.clip_names[job.playlist_slot].clone(),
+        available: job.available,
+        metrics,
+        rating,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::StudyParams;
+    use crate::plan::plan_campaign;
+
+    #[test]
+    fn threaded_matches_serial_bit_for_bit() {
+        let plan = plan_campaign(StudyParams {
+            scale: 0.02,
+            ..StudyParams::default()
+        });
+        let serial = SerialExecutor.execute(&plan);
+        for workers in [2, 3, 5] {
+            let parallel = ThreadedExecutor::new(workers).execute(&plan);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.user_id, p.user_id);
+                assert_eq!(s.clip_name, p.clip_name);
+                assert_eq!(s.available, p.available);
+                assert_eq!(s.metrics, p.metrics);
+                assert_eq!(s.rating, p.rating);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_loads_cover_all_jobs() {
+        let plan = plan_campaign(StudyParams {
+            scale: 0.02,
+            ..StudyParams::default()
+        });
+        for workers in [1, 2, 4, 7] {
+            let exec = ThreadedExecutor::new(workers);
+            let loads = exec.worker_loads(&plan);
+            assert_eq!(loads.iter().sum::<usize>(), plan.jobs.len());
+            assert!(loads.len() <= workers);
+        }
+    }
+
+    #[test]
+    fn records_share_interned_clip_names() {
+        let plan = plan_campaign(StudyParams {
+            scale: 0.01,
+            ..StudyParams::default()
+        });
+        let records = SerialExecutor.execute(&plan);
+        let first = &records[0];
+        // The record's name points into the plan's intern table, not a
+        // fresh allocation.
+        assert!(plan
+            .clip_names
+            .iter()
+            .any(|n| std::sync::Arc::ptr_eq(n, &first.clip_name)));
+    }
+}

@@ -277,7 +277,11 @@ mod tests {
     #[test]
     fn intra_us_is_cleanest() {
         let na = path_profile(Zone::Na, Zone::Na);
-        for (a, b) in [(Zone::As, Zone::As), (Zone::Eu, Zone::Oc), (Zone::Na, Zone::As)] {
+        for (a, b) in [
+            (Zone::As, Zone::As),
+            (Zone::Eu, Zone::Oc),
+            (Zone::Na, Zone::As),
+        ] {
             let p = path_profile(a, b);
             assert!(p.base_loss >= na.base_loss);
         }

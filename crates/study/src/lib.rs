@@ -5,25 +5,32 @@
 //! 63-participant population with its connection/PC/firewall mix
 //! ([`build_population`]), the eleven-server roster ([`server_roster`]),
 //! the 98-clip playlist ([`build_playlist`]), per-session world
-//! construction ([`build_session_world`]), and the campaign runner
-//! ([`run_campaign`]) that replays the whole June 2001 study and yields
-//! the [`SessionRecord`]s every figure is computed from.
+//! construction ([`build_session_world`]), and the campaign runner that
+//! replays the whole June 2001 study and yields the [`SessionRecord`]s
+//! every figure is computed from. Campaigns run in two phases: a pure
+//! plan pass ([`plan_campaign`]) materializes every session as a
+//! [`SessionJob`], and a [`CampaignExecutor`] (serial or threaded) runs
+//! them — bit-identically, whatever the thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod campaign;
+mod executor;
 pub mod geography;
+mod plan;
 mod playlist;
 mod population;
 mod servers;
 mod worldbuild;
 
-pub use campaign::{run_campaign, SessionRecord, StudyData, StudyParams};
+pub use campaign::{run_campaign, CampaignSummary, SessionRecord, StudyData, StudyParams};
+pub use executor::{run_job, CampaignExecutor, SerialExecutor, ThreadedExecutor};
 pub use geography::{
-    path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion,
-    UserRegion, Zone,
+    path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
+    Zone,
 };
+pub use plan::{plan_campaign, CampaignPlan, SessionJob};
 pub use playlist::{build_playlist, PlaylistEntry, PLAYLIST_LEN};
 pub use population::{
     build_population, ConnectionClass, PcClass, Population, UserProfile, COUNTRY_TARGETS,

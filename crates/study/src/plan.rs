@@ -1,0 +1,284 @@
+//! The plan phase: materializes a campaign as data before any packet flies.
+//!
+//! A [`CampaignPlan`] is a pure function of [`StudyParams`]: a serial pass
+//! over the population that fixes, for every clip-play attempt, the
+//! user/server/clip strata, the availability verdict, the rating-slot
+//! assignment, and a self-contained session seed. Because each of those is
+//! derived from `(seed, label, job key)` via [`SimRng::derive`] rather
+//! than drawn from a shared mutated generator, the plan — and therefore
+//! the campaign's output — is independent of the order in which jobs are
+//! later executed. That is the property that lets the execute phase run
+//! on any number of threads and still produce bit-identical results.
+//!
+//! Plans are also *prefix-stable across scale*: a job's availability and
+//! seed depend only on `(seed, user id, clip sequence number)`, so a
+//! scaled-down campaign (`scale < 1`) plans, for every user, an exact
+//! prefix of the jobs the full campaign would plan for that user.
+
+use std::sync::Arc;
+
+use rv_sim::SimRng;
+
+use crate::campaign::StudyParams;
+use crate::playlist::{build_playlist, PlaylistEntry};
+use crate::population::{build_population, Population};
+use crate::servers::{server_roster, ServerSite};
+
+/// One planned clip-play attempt: everything the execute phase needs to
+/// simulate the session, with no shared mutable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionJob {
+    /// Canonical position in plan order; records are reassembled by it.
+    pub index: usize,
+    /// Index into [`CampaignPlan::population`]'s participants.
+    pub user: usize,
+    /// The participant's stable id (also part of the seed derivation key).
+    pub user_id: u32,
+    /// Position of this attempt in the user's personal play sequence,
+    /// starting at 0. Scale-independent, unlike `index`.
+    pub clip_seq: u32,
+    /// Index into [`CampaignPlan::playlist`].
+    pub playlist_slot: usize,
+    /// Index into [`CampaignPlan::roster`].
+    pub server: usize,
+    /// Availability verdict (Figure 10), fixed at plan time from this
+    /// job's own derived stream.
+    pub available: bool,
+    /// Whether this attempt occupies one of the user's rating slots
+    /// (the first `clips_to_rate` *available* attempts). The executor
+    /// rates it only if the session actually plays.
+    pub rating_slot: bool,
+    /// Self-contained seed for the session world.
+    pub session_seed: u64,
+}
+
+impl SessionJob {
+    /// The derivation key for this job's RNG streams: user id in the high
+    /// half, play-sequence number in the low half. `clip_seq` is bounded
+    /// by the playlist-walk length (≤ a few thousand), so keys never
+    /// collide across users.
+    pub fn stream_key(user_id: u32, clip_seq: u32) -> u64 {
+        (u64::from(user_id) << 32) | u64::from(clip_seq)
+    }
+}
+
+/// A fully materialized campaign: world model plus every job to run.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// The parameters the plan was built from.
+    pub params: StudyParams,
+    /// The eleven-server roster.
+    pub roster: Vec<ServerSite>,
+    /// Participants and exclusions.
+    pub population: Population,
+    /// The 98-clip playlist.
+    pub playlist: Vec<PlaylistEntry>,
+    /// Interned clip names, one per playlist slot: records share these
+    /// instead of cloning a `String` per session.
+    pub clip_names: Vec<Arc<str>>,
+    /// Every clip-play attempt, in canonical (user, sequence) order.
+    pub jobs: Vec<SessionJob>,
+}
+
+impl CampaignPlan {
+    /// Number of jobs whose clip was available at plan time.
+    pub fn available_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.available).count()
+    }
+}
+
+/// Plans a campaign. Pure and serial: same `params`, same plan, bit for
+/// bit — and cheap, since nothing is simulated.
+pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let roster = server_roster();
+    let population = build_population(&mut rng.fork(1), params.scale);
+    let playlist = build_playlist(&roster, &mut rng.fork(2));
+    let clip_names: Vec<Arc<str>> = playlist
+        .iter()
+        .map(|e| Arc::from(e.clip.name.as_str()))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (user_idx, user) in population.participants.iter().enumerate() {
+        // Each user starts at a different playlist offset. RealTracer
+        // itself always started at the top, but rotating keeps scaled-down
+        // runs representative of every server; at full scale the
+        // difference washes out over 98-clip cycles.
+        let offset = (user.id as usize * 7) % playlist.len();
+        let mut rating_slots_left = user.clips_to_rate;
+        for clip_seq in 0..user.clips_to_play {
+            let playlist_slot = (offset + clip_seq as usize) % playlist.len();
+            let entry = &playlist[playlist_slot];
+            let site = &roster[entry.server];
+            let key = SessionJob::stream_key(user.id, clip_seq);
+            // The availability draw comes from this job's own stream, not
+            // a shared generator, so verdicts are order- and
+            // scale-independent.
+            let mut availability_rng = SimRng::derive(params.seed, "availability", key);
+            let available = !site.clip_unavailable(&mut availability_rng);
+            let rating_slot = available && rating_slots_left > 0;
+            if rating_slot {
+                rating_slots_left -= 1;
+            }
+            jobs.push(SessionJob {
+                index: jobs.len(),
+                user: user_idx,
+                user_id: user.id,
+                clip_seq,
+                playlist_slot,
+                server: entry.server,
+                available,
+                rating_slot,
+                session_seed: SimRng::derive_seed(params.seed, "session", key),
+            });
+        }
+    }
+
+    CampaignPlan {
+        params,
+        roster,
+        population,
+        playlist,
+        clip_names,
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn full_scale() -> CampaignPlan {
+        plan_campaign(StudyParams::default())
+    }
+
+    #[test]
+    fn same_seed_identical_plan() {
+        let a = plan_campaign(StudyParams::quick());
+        let b = plan_campaign(StudyParams::quick());
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.clip_names, b.clip_names);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = plan_campaign(StudyParams::quick());
+        let b = plan_campaign(StudyParams {
+            seed: 7,
+            ..StudyParams::quick()
+        });
+        assert_ne!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn plan_covers_every_participant_in_canonical_order() {
+        let plan = full_scale();
+        assert_eq!(plan.population.participants.len(), 63);
+        // Canonical order: jobs are grouped by user, sequence within each
+        // user ascends from zero, and `index` equals position.
+        let mut expected_seq: HashMap<u32, u32> = HashMap::new();
+        for (i, job) in plan.jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+            let seq = expected_seq.entry(job.user_id).or_insert(0);
+            assert_eq!(job.clip_seq, *seq, "user {} out of sequence", job.user_id);
+            *seq += 1;
+        }
+        assert_eq!(expected_seq.len(), 63);
+        // Full scale plans the paper's ~2,900 sessions.
+        assert!(
+            (2_500..3_300).contains(&plan.jobs.len()),
+            "{} jobs",
+            plan.jobs.len()
+        );
+    }
+
+    #[test]
+    fn scaled_plan_is_a_prefix_per_user_of_the_full_plan() {
+        let full = full_scale();
+        let scaled = plan_campaign(StudyParams {
+            scale: 0.25,
+            ..StudyParams::default()
+        });
+        let mut full_by_user: HashMap<u32, Vec<&SessionJob>> = HashMap::new();
+        for job in &full.jobs {
+            full_by_user.entry(job.user_id).or_default().push(job);
+        }
+        let mut scaled_by_user: HashMap<u32, Vec<&SessionJob>> = HashMap::new();
+        for job in &scaled.jobs {
+            scaled_by_user.entry(job.user_id).or_default().push(job);
+        }
+        assert_eq!(full_by_user.len(), scaled_by_user.len());
+        for (user_id, scaled_jobs) in &scaled_by_user {
+            let full_jobs = &full_by_user[user_id];
+            assert!(scaled_jobs.len() <= full_jobs.len());
+            assert!(!scaled_jobs.is_empty());
+            for (s, f) in scaled_jobs.iter().zip(full_jobs.iter()) {
+                // Everything except the global plan index matches the
+                // full-scale plan's corresponding job.
+                assert_eq!(s.user_id, f.user_id);
+                assert_eq!(s.clip_seq, f.clip_seq);
+                assert_eq!(s.playlist_slot, f.playlist_slot);
+                assert_eq!(s.server, f.server);
+                assert_eq!(s.available, f.available);
+                assert_eq!(s.rating_slot, f.rating_slot);
+                assert_eq!(s.session_seed, f.session_seed);
+            }
+        }
+    }
+
+    #[test]
+    fn availability_fraction_in_figure_10_band() {
+        let plan = full_scale();
+        let unavailable = plan.jobs.len() - plan.available_jobs();
+        let frac = unavailable as f64 / plan.jobs.len() as f64;
+        // Figure 10: overall clip unavailability averaged ≈ 10 %.
+        assert!((0.05..0.18).contains(&frac), "unavailable fraction {frac}");
+    }
+
+    #[test]
+    fn session_seeds_unique_over_full_scale_job_set() {
+        let plan = full_scale();
+        let mut seen = std::collections::HashSet::new();
+        for job in &plan.jobs {
+            assert!(
+                seen.insert(job.session_seed),
+                "seed collision at user {} seq {}",
+                job.user_id,
+                job.clip_seq
+            );
+        }
+        // And the seeds are well spread, not clustered in a few high or
+        // low bits the way the old `wrapping_mul`/`<< 20` mixing was:
+        // population-count over the whole set should straddle 32.
+        let mean_ones: f64 = plan
+            .jobs
+            .iter()
+            .map(|j| f64::from(j.session_seed.count_ones()))
+            .sum::<f64>()
+            / plan.jobs.len() as f64;
+        assert!((30.0..34.0).contains(&mean_ones), "mean ones {mean_ones}");
+    }
+
+    #[test]
+    fn rating_slots_respect_user_budgets() {
+        let plan = full_scale();
+        let mut slots: HashMap<u32, u32> = HashMap::new();
+        for job in &plan.jobs {
+            if job.rating_slot {
+                assert!(job.available, "rating slot on an unavailable job");
+                *slots.entry(job.user_id).or_insert(0) += 1;
+            }
+        }
+        for user in &plan.population.participants {
+            let got = slots.get(&user.id).copied().unwrap_or(0);
+            assert!(
+                got <= user.clips_to_rate,
+                "user {} has {got} slots, budget {}",
+                user.id,
+                user.clips_to_rate
+            );
+        }
+    }
+}

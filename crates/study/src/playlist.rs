@@ -65,8 +65,7 @@ pub fn build_playlist(roster: &[ServerSite], rng: &mut SimRng) -> Vec<PlaylistEn
     for (server_idx, (site, n)) in roster.iter().zip(&slots).enumerate() {
         let weights = content_weights(site);
         for k in 0..*n {
-            let content =
-                ContentKind::ALL[rng.weighted_index(&weights).expect("weights positive")];
+            let content = ContentKind::ALL[rng.weighted_index(&weights).expect("weights positive")];
             // "Even small clips lasting several minutes": 2–10 minutes.
             let minutes = rng.range(2.0..10.0);
             let name = format!(
@@ -79,7 +78,10 @@ pub fn build_playlist(roster: &[ServerSite], rng: &mut SimRng) -> Vec<PlaylistEn
             // broadband audiences only, and a sizable tail was single-rate.
             // Modem users hitting broadband-only clips is a major source of
             // the paper's slideshow-rate (<3 fps) modem sessions.
-            let ladder = match rng.weighted_index(&[0.6, 0.25, 0.1, 0.05]).expect("weights") {
+            let ladder = match rng
+                .weighted_index(&[0.6, 0.25, 0.1, 0.05])
+                .expect("weights")
+            {
                 0 => SureStream::standard(),
                 1 => SureStream::broadband_only(),
                 2 => SureStream::single(150_000),
@@ -171,6 +173,10 @@ mod tests {
         let list = playlist(8);
         let servers: std::collections::BTreeSet<usize> =
             list.iter().take(20).map(|e| e.server).collect();
-        assert!(servers.len() >= 6, "only {} servers in prefix", servers.len());
+        assert!(
+            servers.len() >= 6,
+            "only {} servers in prefix",
+            servers.len()
+        );
     }
 }

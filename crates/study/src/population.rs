@@ -253,9 +253,7 @@ pub fn build_population(rng: &mut SimRng, scale: f64) -> Population {
                     };
                     (rng.range(lo..hi), 28_800.0)
                 }
-                ConnectionClass::DslCable => {
-                    (rng.range(256_000.0..512_000.0), 128_000.0)
-                }
+                ConnectionClass::DslCable => (rng.range(256_000.0..512_000.0), 128_000.0),
                 ConnectionClass::T1Lan => (1_544_000.0, 1_544_000.0),
             };
             let transport_pref = if rng.chance(0.05) {
@@ -386,10 +384,7 @@ mod tests {
             assert_eq!(u.state.is_some(), u.country == Country::Us);
         }
         // Massachusetts dominates.
-        let ma = users
-            .iter()
-            .filter(|u| u.state == Some("MA"))
-            .count();
+        let ma = users.iter().filter(|u| u.state == Some("MA")).count();
         let us = users.iter().filter(|u| u.country == Country::Us).count();
         assert!(ma * 2 >= us / 2, "MA users {ma} of {us}");
     }

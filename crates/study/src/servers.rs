@@ -179,8 +179,7 @@ mod tests {
     #[test]
     fn mean_unavailability_is_about_ten_percent() {
         let roster = server_roster();
-        let mean: f64 =
-            roster.iter().map(|s| s.unavailability).sum::<f64>() / roster.len() as f64;
+        let mean: f64 = roster.iter().map(|s| s.unavailability).sum::<f64>() / roster.len() as f64;
         assert!((mean - 0.10).abs() < 0.03, "mean unavailability {mean}");
     }
 

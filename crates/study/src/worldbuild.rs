@@ -130,7 +130,11 @@ pub fn build_session_world(
     // storms. (In reality MSS is negotiated at SYN time; the builder knows
     // the client's class and configures both ends directly.)
     let dialup = user.connection == ConnectionClass::Modem56k;
-    let data_mss = if dialup { 536 } else { rv_transport::DEFAULT_MSS };
+    let data_mss = if dialup {
+        536
+    } else {
+        rv_transport::DEFAULT_MSS
+    };
     let s_data_cfg = TcpConfig {
         mss: data_mss,
         ..TcpConfig::default()
@@ -221,8 +225,7 @@ mod tests {
         let roster = server_roster();
         let site = &roster[9]; // US/CNN
         let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
-        let mut world =
-            build_session_world(user, site, &clip, SimDuration::from_secs(30), 42);
+        let mut world = build_session_world(user, site, &clip, SimDuration::from_secs(30), 42);
         let m = world.run(SimTime::from_secs(120));
         assert_eq!(m.outcome, SessionOutcome::Played);
         assert!(m.frames_played > 30, "played {}", m.frames_played);

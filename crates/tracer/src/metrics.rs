@@ -119,7 +119,11 @@ pub fn finalize(
     let session_time = session_end.saturating_since(session_start);
     let playout_time = playout
         .playback_started_at
-        .map(|s| session_end.saturating_since(s).saturating_sub(playout.rebuffer_time))
+        .map(|s| {
+            session_end
+                .saturating_since(s)
+                .saturating_sub(playout.rebuffer_time)
+        })
         .unwrap_or(SimDuration::ZERO);
     let frame_rate = if playout_time.is_zero() {
         0.0

@@ -207,7 +207,8 @@ mod tests {
     #[test]
     fn rater_profiles_are_diverse() {
         let mut rng = SimRng::seed_from_u64(4);
-        let profiles: Vec<RaterProfile> = (0..200).map(|_| RaterProfile::sample(&mut rng)).collect();
+        let profiles: Vec<RaterProfile> =
+            (0..200).map(|_| RaterProfile::sample(&mut rng)).collect();
         let audio_raters = profiles.iter().filter(|p| p.rates_audio_too).count();
         assert!(audio_raters > 40 && audio_raters < 160);
         let biases: Vec<f64> = profiles.iter().map(|p| p.bias).collect();

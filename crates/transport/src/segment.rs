@@ -62,9 +62,7 @@ pub struct TcpSegment {
 impl TcpSegment {
     /// Sequence space this segment occupies (data bytes, +1 for SYN, +1 for FIN).
     pub fn seq_len(&self) -> u64 {
-        self.data.len() as u64
-            + u64::from(self.flags.syn)
-            + u64::from(self.flags.fin)
+        self.data.len() as u64 + u64::from(self.flags.syn) + u64::from(self.flags.fin)
     }
 
     /// The sequence number following this segment.

@@ -112,14 +112,16 @@ impl Stack {
             Segment::Tcp(seg) => {
                 // Prefer an exact (local port, remote addr) match, then a
                 // listener on the port.
-                let exact = self.tcp.iter_mut().find(|s| {
-                    s.local().port == pkt.dst.port && s.remote() == Some(pkt.src)
-                });
+                let exact = self
+                    .tcp
+                    .iter_mut()
+                    .find(|s| s.local().port == pkt.dst.port && s.remote() == Some(pkt.src));
                 let sock = match exact {
                     Some(s) => Some(s),
-                    None => self.tcp.iter_mut().find(|s| {
-                        s.local().port == pkt.dst.port && s.state() == TcpState::Listen
-                    }),
+                    None => self
+                        .tcp
+                        .iter_mut()
+                        .find(|s| s.local().port == pkt.dst.port && s.state() == TcpState::Listen),
                 };
                 match sock {
                     Some(s) => s.on_segment(now, pkt.src, seg),
@@ -127,11 +129,7 @@ impl Stack {
                 }
             }
             Segment::Udp(dgram) => {
-                match self
-                    .udp
-                    .iter_mut()
-                    .find(|s| s.local().port == pkt.dst.port)
-                {
+                match self.udp.iter_mut().find(|s| s.local().port == pkt.dst.port) {
                     Some(s) => s.on_datagram(pkt.src, dgram.data),
                     None => self.dropped_no_socket += 1,
                 }
@@ -255,7 +253,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(received.len(), payload.len(), "transfer completed despite loss");
+        assert_eq!(
+            received.len(),
+            payload.len(),
+            "transfer completed despite loss"
+        );
         assert!(received.iter().all(|b| *b == 0xAB));
         let stats = cs.tcp(ch).stats();
         assert!(stats.retransmits > 0, "loss should force retransmissions");
@@ -276,13 +278,22 @@ mod tests {
             ss.udp(su)
                 .send_to(Addr::new(HostId(0), 5000), i.to_be_bytes().to_vec());
         }
-        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(30));
+        drive(
+            &mut net,
+            &mut cs,
+            &mut ss,
+            &mut clock,
+            SimTime::from_secs(30),
+        );
 
         let mut got = 0;
         while cs.udp(cu).recv().is_some() {
             got += 1;
         }
-        assert!(got > 150 && got < 200, "got {got}: loss should drop some but not most");
+        assert!(
+            got > 150 && got < 200,
+            "got {got}: loss should drop some but not most"
+        );
     }
 
     #[test]
@@ -292,13 +303,21 @@ mod tests {
         let cu = cs.udp_socket(5000);
         cs.udp(cu).send_to(Addr::new(HostId(1), 9999), vec![1]);
         let mut clock = Clock::new();
-        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(1));
+        drive(
+            &mut net,
+            &mut cs,
+            &mut ss,
+            &mut clock,
+            SimTime::from_secs(1),
+        );
         assert_eq!(ss.dropped_no_socket(), 1);
     }
 
     #[test]
     fn two_tcp_connections_multiplex_on_one_host() {
-        let params = LinkParams::lan().rate(1e7).delay(SimDuration::from_millis(5));
+        let params = LinkParams::lan()
+            .rate(1e7)
+            .delay(SimDuration::from_millis(5));
         let (mut net, mut cs, mut ss) = world(params);
         let c1 = cs.tcp_socket(2000, TcpConfig::default());
         let c2 = cs.tcp_socket(2001, TcpConfig::default());
@@ -312,7 +331,13 @@ mod tests {
         cs.tcp(c2).send(b"data");
 
         let mut clock = Clock::new();
-        drive(&mut net, &mut cs, &mut ss, &mut clock, SimTime::from_secs(5));
+        drive(
+            &mut net,
+            &mut cs,
+            &mut ss,
+            &mut clock,
+            SimTime::from_secs(5),
+        );
         assert_eq!(ss.tcp(s1).recv(64), b"control".to_vec());
         assert_eq!(ss.tcp(s2).recv(64), b"data".to_vec());
     }

@@ -447,10 +447,7 @@ impl TcpSocket {
                 // All-or-nothing: a sender respecting our advertised window
                 // never overruns; a partial accept would silently discard a
                 // tail only an RTO could recover.
-                let room = self
-                    .cfg
-                    .recv_capacity
-                    .saturating_sub(self.recv_buf.len());
+                let room = self.cfg.recv_capacity.saturating_sub(self.recv_buf.len());
                 if seg.data.len() <= room {
                     self.recv_buf.extend(&seg.data);
                     self.rcv_nxt += data_len;
@@ -514,7 +511,11 @@ impl TcpSocket {
                 self.rttvar = sample / 2;
             }
             Some(srtt) => {
-                let delta = if sample > srtt { sample - srtt } else { srtt - sample };
+                let delta = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
                 // RTTVAR = 3/4 RTTVAR + 1/4 |delta|; SRTT = 7/8 SRTT + 1/8 sample.
                 self.rttvar = (self.rttvar * 3) / 4 + delta / 4;
                 self.srtt = Some((srtt * 7) / 8 + sample / 8);
@@ -848,7 +849,11 @@ mod tests {
         let data = vec![7u8; 20 * 1460];
         c.send(&data);
         let pkts = c.poll(now);
-        assert!(pkts.len() >= 2, "need at least 2 in flight, got {}", pkts.len());
+        assert!(
+            pkts.len() >= 2,
+            "need at least 2 in flight, got {}",
+            pkts.len()
+        );
         // Drop the first data segment, deliver the rest.
         for pkt in pkts.into_iter().skip(1) {
             if let Segment::Tcp(seg) = pkt.payload {
@@ -1012,10 +1017,7 @@ mod tests {
             now = reply_at + SimDuration::from_millis(1);
         }
         let srtt = c.srtt().expect("rtt measured");
-        assert!(
-            (srtt.as_millis() as i64 - 100).abs() <= 15,
-            "srtt {srtt}"
-        );
+        assert!((srtt.as_millis() as i64 - 100).abs() <= 15, "srtt {srtt}");
     }
 
     #[test]

@@ -27,7 +27,11 @@ fn run_session(path: &Path, pref: TransportPreference, seed: u64) -> rv_tracer::
         .delay(SimDuration::from_millis(path.delay_ms))
         .loss(path.loss)
         .queue(64 * 1024);
-    let clip = Clip::new("shootout.rm", SimDuration::from_secs(300), ContentKind::Sports);
+    let clip = Clip::new(
+        "shootout.rm",
+        SimDuration::from_secs(300),
+        ContentKind::Sports,
+    );
     let max_bw = (path.rate_bps * 0.9) as u32;
     two_host_world(params, clip, seed, |c, _| {
         c.transport_pref = pref;
@@ -38,10 +42,30 @@ fn run_session(path: &Path, pref: TransportPreference, seed: u64) -> rv_tracer::
 
 fn main() {
     let paths = [
-        Path { name: "clean broadband", rate_bps: 500_000.0, delay_ms: 30, loss: 0.0 },
-        Path { name: "lossy broadband", rate_bps: 500_000.0, delay_ms: 60, loss: 0.02 },
-        Path { name: "transoceanic", rate_bps: 300_000.0, delay_ms: 150, loss: 0.01 },
-        Path { name: "modem", rate_bps: 45_000.0, delay_ms: 120, loss: 0.005 },
+        Path {
+            name: "clean broadband",
+            rate_bps: 500_000.0,
+            delay_ms: 30,
+            loss: 0.0,
+        },
+        Path {
+            name: "lossy broadband",
+            rate_bps: 500_000.0,
+            delay_ms: 60,
+            loss: 0.02,
+        },
+        Path {
+            name: "transoceanic",
+            rate_bps: 300_000.0,
+            delay_ms: 150,
+            loss: 0.01,
+        },
+        Path {
+            name: "modem",
+            rate_bps: 45_000.0,
+            delay_ms: 120,
+            loss: 0.005,
+        },
     ];
 
     let mut rows = Vec::new();
@@ -65,7 +89,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["path", "transport", "fps", "jitter(ms)", "kbps", "lost", "rebuffers"],
+            &[
+                "path",
+                "transport",
+                "fps",
+                "jitter(ms)",
+                "kbps",
+                "lost",
+                "rebuffers"
+            ],
             &rows
         )
     );

@@ -1,63 +1,84 @@
 // Re-runs one campaign session with per-second diagnostics to inspect
 // pacing, rung switching, thinning, and player buffer health.
+//
+// The session is taken from the campaign *plan*, so the world simulated
+// here is byte-for-byte the one the campaign runner would execute for
+// this (user, server) pair.
 
-use rv_sim::{SimDuration, SimRng, SimTime};
-use rv_study::{build_playlist, build_population, build_session_world, server_roster, ConnectionClass};
+use rv_sim::{SimDuration, SimTime};
+use rv_study::{build_session_world, plan_campaign, StudyParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_user: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(2);
     let want_server = args.get(1).cloned().unwrap_or_else(|| "CAN/CBC".into());
 
-    let seed = 0x2001_0604u64;
-    let mut rng = SimRng::seed_from_u64(seed);
-    let roster = server_roster();
-    let pop = build_population(&mut rng.fork(1), 0.05);
-    let playlist = build_playlist(&roster, &mut rng.fork(2));
-
-    let Some(user) = pop.participants.iter().find(|u| u.id == want_user) else {
+    let plan = plan_campaign(StudyParams {
+        scale: 0.05,
+        ..StudyParams::default()
+    });
+    let Some(user) = plan
+        .population
+        .participants
+        .iter()
+        .find(|u| u.id == want_user)
+    else {
         eprintln!("no participant with id {want_user} (ids are 0..62)");
         std::process::exit(2);
     };
     println!(
         "user {}: {:?} {:?} down={:.0} pref={:?} fw={:?} cpu={}",
-        user.id, user.country, user.connection, user.access_down_bps,
-        user.transport_pref, user.firewall, user.pc.cpu_power()
+        user.id,
+        user.country,
+        user.connection,
+        user.access_down_bps,
+        user.transport_pref,
+        user.firewall,
+        user.pc.cpu_power()
     );
-    assert!(user.connection != ConnectionClass::Modem56k || true);
 
-    let offset = (user.id as usize * 7) % playlist.len();
-    let visited: Vec<(usize, &rv_study::PlaylistEntry)> = playlist
+    let visited: Vec<&rv_study::SessionJob> =
+        plan.jobs.iter().filter(|j| j.user_id == user.id).collect();
+    let job = visited
         .iter()
-        .cycle()
-        .skip(offset)
-        .take(user.clips_to_play as usize)
-        .enumerate()
-        .collect();
-    let (clip_idx, entry) = visited
-        .iter()
-        .find(|(_, e)| roster[e.server].name == want_server)
+        .find(|j| plan.roster[j.server].name == want_server)
         .copied()
         .unwrap_or_else(|| {
-            let (i, e) = visited[0];
+            let j = visited[0];
             eprintln!(
                 "user {} never visits {want_server}; using {} instead",
-                user.id, roster[e.server].name
+                user.id, plan.roster[j.server].name
             );
-            (i, e)
+            j
         });
-    let site = &roster[entry.server];
-    let session_seed = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(u64::from(user.id) << 20)
-        .wrapping_add(clip_idx as u64);
-    println!("server {} clip {} content {:?} seed {session_seed}", site.name, entry.clip.name, entry.clip.content);
+    let site = &plan.roster[job.server];
+    let entry = &plan.playlist[job.playlist_slot];
+    println!(
+        "server {} clip {} content {:?} seed {} available {}",
+        site.name, entry.clip.name, entry.clip.content, job.session_seed, job.available
+    );
 
-    let mut w = build_session_world(user, site, &entry.clip, SimDuration::from_secs(60), session_seed);
+    let mut w = build_session_world(
+        user,
+        site,
+        &entry.clip,
+        SimDuration::from_secs(60),
+        job.session_seed,
+    );
     for sec in 1..=80u64 {
         w.run(SimTime::from_secs(sec));
-        let played = w.client.events().iter().filter(|e| e.played_at.is_some()).count();
-        let dropped = w.client.events().iter().filter(|e| e.drop_reason.is_some()).count();
+        let played = w
+            .client
+            .events()
+            .iter()
+            .filter(|e| e.played_at.is_some())
+            .count();
+        let dropped = w
+            .client
+            .events()
+            .iter()
+            .filter(|e| e.drop_reason.is_some())
+            .count();
         let s = w.server.stats();
         println!(
             "t={sec:2} rung={:?} allowed={:6.0} loss={:.4} sent_v={:4} thinned={:3} played={played:4} dropped={dropped}",
@@ -75,19 +96,34 @@ fn main() {
     println!("{m:#?}");
     println!("server: {:?}", w.server.stats());
     // Gap and lateness analysis.
-    let played: Vec<_> = w.client.events().iter().filter(|e| e.played_at.is_some()).collect();
-    let gaps: Vec<i64> = played.windows(2).map(|p| {
-        (p[1].played_at.unwrap().as_micros() as i64 - p[0].played_at.unwrap().as_micros() as i64) / 1000
-    }).collect();
+    let played: Vec<_> = w
+        .client
+        .events()
+        .iter()
+        .filter(|e| e.played_at.is_some())
+        .collect();
+    let gaps: Vec<i64> = played
+        .windows(2)
+        .map(|p| {
+            (p[1].played_at.unwrap().as_micros() as i64
+                - p[0].played_at.unwrap().as_micros() as i64)
+                / 1000
+        })
+        .collect();
     let mut sorted = gaps.clone();
     sorted.sort();
     if !sorted.is_empty() {
-        println!("gaps ms: min={} p25={} p50={} p75={} p90={} p99={} max={}",
-            sorted[0], sorted[sorted.len()/4], sorted[sorted.len()/2],
-            sorted[sorted.len()*3/4], sorted[sorted.len()*9/10],
-            sorted[sorted.len()*99/100], sorted[sorted.len()-1]);
+        println!(
+            "gaps ms: min={} p25={} p50={} p75={} p90={} p99={} max={}",
+            sorted[0],
+            sorted[sorted.len() / 4],
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() * 3 / 4],
+            sorted[sorted.len() * 9 / 10],
+            sorted[sorted.len() * 99 / 100],
+            sorted[sorted.len() - 1]
+        );
         let big: Vec<&i64> = sorted.iter().filter(|g| **g > 300).collect();
         println!("gaps>300ms: {} of {}", big.len(), sorted.len());
     }
-
 }

@@ -25,7 +25,11 @@ fn main() {
         .delay(SimDuration::from_millis(50))
         .queue(64 * 1024)
         .cross_traffic(congestion, 0.05);
-    let clip = Clip::new("concert.rm", SimDuration::from_secs(300), ContentKind::Music);
+    let clip = Clip::new(
+        "concert.rm",
+        SimDuration::from_secs(300),
+        ContentKind::Music,
+    );
     let mut world = two_host_world(params, clip, 0x5117, |c, _| {
         c.watch_limit = SimDuration::from_secs(90);
         c.max_bandwidth_bps = 512_000;

@@ -48,7 +48,10 @@ fn overall_frame_rate_shape_matches_figure_11() {
         cdf.at(3.0)
     );
     let at_least_15 = 1.0 - cdf.at(15.0 - 1e-9);
-    assert!((0.08..0.40).contains(&at_least_15), ">=15 fps: {at_least_15}");
+    assert!(
+        (0.08..0.40).contains(&at_least_15),
+        ">=15 fps: {at_least_15}"
+    );
     let full_motion = 1.0 - cdf.at(24.0 - 1e-9);
     assert!(full_motion < 0.05, "full motion fraction {full_motion}");
 }

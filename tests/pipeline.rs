@@ -113,10 +113,13 @@ fn prebuffer_trades_startup_delay_for_smoothness() {
     // does — absorb capacity dips. (With loss in the mix, the deep sender's
     // higher fill rate triggers more rate-control episodes and the effect
     // inverts; see the ablation benches for that interaction.)
+    // The queue must be deep enough (512 KiB ≈ 8 s at link rate) that the
+    // deep sender's higher fill rate doesn't overflow it — queue drops
+    // would re-introduce the rate-control confound this test excludes.
     let jittery = LinkParams::lan()
         .rate(500_000.0)
         .delay(SimDuration::from_millis(60))
-        .queue(256 * 1024)
+        .queue(512 * 1024)
         .cross_traffic(CongestionParams::heavy(), 0.0);
     let clip = Clip::new("p.rm", SimDuration::from_secs(300), ContentKind::News);
     let deep = |c: &mut ClientConfig, s: &mut ServerConfig| {
@@ -129,17 +132,26 @@ fn prebuffer_trades_startup_delay_for_smoothness() {
         s.buffer_lead = SimDuration::from_secs(2);
         c.max_bandwidth_bps = 300_000;
     };
-    let (m_deep, _) = run(jittery, clip.clone(), 19, deep);
-    let (m_shallow, _) = run(jittery, clip, 19, shallow);
+    // Any single seed can land on a lucky cross-traffic pattern for the
+    // shallow buffer, so compare mean jitter across several seeds.
+    let seeds = [19u64, 23, 29, 31, 37];
+    let mut j_deep_total = 0.0;
+    let mut j_shallow_total = 0.0;
+    for seed in seeds {
+        let (m_deep, _) = run(jittery, clip.clone(), seed, deep);
+        let (m_shallow, _) = run(jittery, clip.clone(), seed, shallow);
+        assert!(
+            m_deep.startup_delay > m_shallow.startup_delay,
+            "deep buffer starts later (seed {seed})"
+        );
+        j_deep_total += m_deep.jitter_ms.expect("jitter");
+        j_shallow_total += m_shallow.jitter_ms.expect("jitter");
+    }
     assert!(
-        m_deep.startup_delay > m_shallow.startup_delay,
-        "deep buffer starts later"
-    );
-    let j_deep = m_deep.jitter_ms.expect("jitter");
-    let j_shallow = m_shallow.jitter_ms.expect("jitter");
-    assert!(
-        j_deep < j_shallow,
-        "deep buffer smooths playout: {j_deep} vs {j_shallow}"
+        j_deep_total < j_shallow_total,
+        "deep buffer smooths playout on average: {} vs {}",
+        j_deep_total / seeds.len() as f64,
+        j_shallow_total / seeds.len() as f64
     );
 }
 

@@ -1,0 +1,252 @@
+//! Minimal in-tree benchmark harness, API-compatible with the subset of
+//! [criterion](https://docs.rs/criterion) this workspace uses.
+//!
+//! The real criterion crate cannot be built in the offline build
+//! environment, so this shim provides the same surface — `Criterion`,
+//! `criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotation — backed by a simple warmup-then-sample timing loop. It is
+//! good enough to compare implementations on the same machine (the only
+//! thing the repo's benches are used for); it does not do outlier
+//! rejection or statistical regression testing.
+//!
+//! When `cargo test` runs a `harness = false` bench target it passes
+//! `--test`; the shim detects that and skips all measurement so test runs
+//! stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Construct with [`Criterion::default`].
+pub struct Criterion {
+    /// Skip measurement entirely (set when invoked as `--test`).
+    skip: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let skip = args.iter().any(|a| a == "--test" || a == "--list");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            skip,
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Throughput annotation attached to a group: scales reported time into
+/// bytes/sec or elements/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size;
+        let throughput = self.throughput;
+        let crit = &mut *self.criterion;
+        let saved = crit.sample_size;
+        if let Some(n) = sample_size {
+            crit.sample_size = n;
+        }
+        run_one(crit, throughput, &full, f);
+        crit.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Number of iterations the closure must run when measuring.
+    iters: u64,
+    /// Measured elapsed time for `iters` iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the harness asks.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(criterion: &mut Criterion, throughput: Option<Throughput>, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if criterion.skip || !criterion.matches(id) {
+        return;
+    }
+    // Calibrate: grow the iteration count until one sample takes ~20 ms or
+    // the workload is clearly long-running.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    // Measure.
+    let samples = criterion.sample_size.max(2);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let lo = times[0];
+    let hi = times[times.len() - 1];
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}/s", human_bytes(n as f64 / median))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / median / 1e6)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} time: [{} {} {}]{extra}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.3} GiB", bps / (1u64 << 30) as f64)
+    } else if bps >= 1e6 {
+        format!("{:.3} MiB", bps / (1u64 << 20) as f64)
+    } else {
+        format!("{:.3} KiB", bps / 1024.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert!(human_time(2e-9).ends_with("ns"));
+        assert!(human_time(2e-6).ends_with("us"));
+        assert!(human_time(2e-3).ends_with("ms"));
+        assert!(human_time(2.0).ends_with('s'));
+        assert!(human_bytes(5e9).ends_with("GiB"));
+    }
+}

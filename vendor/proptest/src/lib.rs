@@ -1,0 +1,598 @@
+//! Minimal in-tree property-testing harness, API-compatible with the
+//! subset of [proptest](https://docs.rs/proptest) this workspace uses.
+//!
+//! The real proptest crate cannot be built in the offline build
+//! environment, so this shim provides the same surface — the `proptest!`
+//! macro, `Strategy`, `any::<T>()`, `Just`, `prop_oneof!`, the
+//! `prop::collection`/`prop::option`/`prop::bool` modules, and the
+//! `prop_assert*` macros — backed by purely random generation from a
+//! deterministic per-test RNG. It does not shrink failing inputs; a
+//! failure report prints the generating seed so the case can be replayed
+//! by pinning `PROPTEST_CASES`/`PROPTEST_SEED`.
+//!
+//! Each test runs `ProptestConfig::cases` random cases (default 64,
+//! overridable via the `PROPTEST_CASES` environment variable). Case seeds
+//! derive from a hash of the test name plus an optional `PROPTEST_SEED`,
+//! so runs are reproducible by default and perturbable on demand.
+
+#![forbid(unsafe_code)]
+
+/// Harness configuration, accepted via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generation RNG handed to strategies: SplitMix64, which is plenty
+/// for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = n.wrapping_neg() % n;
+        loop {
+            let v = self.next_u64();
+            if v >= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking tree: `generate`
+/// produces a value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<T, S: Strategy<Value = T> + ?Sized> Strategy for Box<S> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value every time.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Produces an unconstrained random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`, e.g. `any::<u32>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: property tests here never want NaN storms.
+        rng.unit() * 2e9 - 1e9
+    }
+}
+
+// Ranges are strategies: `0u64..1_000` and `1.0f64..2.0`.
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u128::from(u64::MAX) {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = if span > u128::from(u64::MAX) {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+// Tuples of strategies are strategies, e.g. `(1u32..3000, 0u64..5_000)`.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Collection, option, and bool strategy constructors, mirroring the
+/// upstream `prop::` module tree.
+pub mod prop {
+    /// Strategies for collections of random length.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Vec<T>` with lengths drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<T>` with sizes drawn from `len`.
+        ///
+        /// Sizes are best-effort: duplicate draws collapse, as upstream
+        /// proptest also permits when the domain is small.
+        pub fn btree_set<S>(element: S, len: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, len }
+        }
+
+        /// See [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.len.clone().generate(rng).max(self.len.start);
+                let mut out = std::collections::BTreeSet::new();
+                // Bounded attempts so tiny domains cannot loop forever.
+                for _ in 0..target.saturating_mul(8).max(8) {
+                    if out.len() >= target {
+                        break;
+                    }
+                    out.insert(self.element.generate(rng));
+                }
+                out
+            }
+        }
+    }
+
+    /// Strategies for `Option<T>`.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<T>`: `None` about a quarter of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.next_u64() & 3 == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Strategies for `bool`.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `bool`, `true` with probability `p`.
+        pub fn weighted(p: f64) -> WeightedBool {
+            WeightedBool { p }
+        }
+
+        /// See [`weighted`].
+        pub struct WeightedBool {
+            p: f64,
+        }
+
+        impl Strategy for WeightedBool {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.unit() < self.p
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a, used to derive per-test base seeds from the test path.
+#[doc(hidden)]
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let user: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    h ^ user
+}
+
+/// Runs the body closure over `config.cases` generated cases.
+#[doc(hidden)]
+pub fn run_cases<F>(test_path: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let base = seed_for(test_path);
+    for i in 0..u64::from(config.cases) {
+        let mut rng = TestRng::new(base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        if let Err(msg) = case(&mut rng) {
+            panic!("property failed at case {i} (base seed {base:#x}): {msg}");
+        }
+    }
+}
+
+/// Defines property tests. Mirrors proptest's macro of the same name for
+/// the syntax this repo uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn name(x in 0u32..10, mut v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config attribute.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                        let mut body = || -> ::std::result::Result<(), String> {
+                            $body
+                            Ok(())
+                        };
+                        body()
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config attribute: use the default.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}",
+                stringify!($lhs),
+                stringify!($rhs)
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {}",
+                stringify!($lhs),
+                stringify!($rhs)
+            ));
+        }
+    }};
+}
+
+/// Picks among strategies uniformly. Upstream supports weights; the
+/// unweighted form is the only one this repo uses.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The strategy built by [`prop_oneof!`].
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = Strategy::generate(&(-5i32..=5), &mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = Strategy::generate(&prop::collection::vec(0u8..10, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(x in 0u64..100, mut v in prop::collection::vec(any::<u8>(), 0..4)) {
+            v.push(0);
+            prop_assert!(x < 100);
+            prop_assert_eq!(*v.last().unwrap(), 0);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(b in prop::bool::weighted(1.0), o in prop::option::of(0u8..5)) {
+            prop_assert!(b);
+            if let Some(x) = o {
+                prop_assert!(x < 5, "got {x}");
+            }
+        }
+    }
+}
