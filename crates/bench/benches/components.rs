@@ -177,12 +177,99 @@ fn bench_network_forwarding(c: &mut Criterion) {
     g.finish();
 }
 
+/// The network hot path in isolation: the wake-scheduled poll loop, link
+/// drains, and route-interned forwarding, with no transport stack on top.
+///
+/// Two shapes, matching how sessions actually load the network:
+/// `bottleneck_bidir` saturates one duplex link with traffic both ways
+/// (data down, reports and ACKs up — every poll has queue work);
+/// `route_3hop_paced` trickles paced packets down a three-hop route so
+/// most polls find only one link due, which is exactly the case the
+/// due-time index over links exists to make cheap.
+fn bench_net_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_hotpath");
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("bottleneck_bidir", |b| {
+        b.iter(|| {
+            let mut bld = NetBuilder::new();
+            let a = bld.host();
+            let z = bld.host();
+            // A 2 Mbps bottleneck: the queue stays busy the whole run.
+            bld.duplex(
+                a,
+                z,
+                LinkParams::lan()
+                    .rate(2e6)
+                    .delay(SimDuration::from_millis(5))
+                    .queue(256 * 1024),
+            );
+            let mut rng = SimRng::seed_from_u64(11);
+            let mut net = bld.build_with_payload::<u32>(&mut rng);
+            let (down, up) = (
+                (Addr::new(HostId(1), 1), Addr::new(HostId(0), 1)),
+                (Addr::new(HostId(0), 1), Addr::new(HostId(1), 1)),
+            );
+            for i in 0..1_000u32 {
+                let t = SimTime::from_micros(u64::from(i) * 50);
+                net.send(t, Packet::new(down.0, down.1, 1_200, i));
+                net.send(t, Packet::new(up.0, up.1, 80, i));
+                net.poll(t);
+            }
+            net.poll(SimTime::from_secs(30));
+            let mut delivered = 0;
+            while net.recv(HostId(0)).is_some() {
+                delivered += 1;
+            }
+            while net.recv(HostId(1)).is_some() {
+                delivered += 1;
+            }
+            std::hint::black_box(delivered)
+        })
+    });
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("route_3hop_paced", |b| {
+        b.iter(|| {
+            let mut bld = NetBuilder::new();
+            let a = bld.host();
+            let z = bld.host();
+            let r1 = bld.router();
+            let r2 = bld.router();
+            let fast = LinkParams::lan()
+                .rate(1e8)
+                .delay(SimDuration::from_millis(2));
+            bld.duplex(a, r1, fast);
+            bld.duplex(r1, r2, fast);
+            bld.duplex(r2, z, fast);
+            let mut rng = SimRng::seed_from_u64(12);
+            let mut net = bld.build_with_payload::<u32>(&mut rng);
+            // Paced far apart relative to service time: each poll visits
+            // only the link with work, never the other five.
+            for i in 0..1_000u32 {
+                let t = SimTime::from_micros(u64::from(i) * 400);
+                net.send(
+                    t,
+                    Packet::new(Addr::new(HostId(0), 1), Addr::new(HostId(1), 1), 1_000, i),
+                );
+                net.poll(t);
+            }
+            net.poll(SimTime::from_secs(10));
+            let mut delivered = 0;
+            while net.recv(HostId(1)).is_some() {
+                delivered += 1;
+            }
+            std::hint::black_box(delivered)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_rtsp_codec,
     bench_media_pipeline,
     bench_stats,
     bench_tcp_bulk,
-    bench_network_forwarding
+    bench_network_forwarding,
+    bench_net_hotpath
 );
 criterion_main!(benches);

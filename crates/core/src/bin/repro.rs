@@ -9,6 +9,11 @@
 //!
 //! `--jobs J` fans session simulation across J worker threads. The
 //! figures are bit-identical for every J; only the wall time changes.
+//!
+//! `--bench-out PATH` additionally writes the run's throughput accounting
+//! (wall time, sessions/sec, simulated-seconds/sec, worker split) as a
+//! JSON object, so CI and benchmarking scripts can track campaign
+//! performance without scraping the human-readable summary line.
 
 use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
 use rv_study::{run_campaign, StudyParams};
@@ -17,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut params = StudyParams::default();
+    let mut bench_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +49,14 @@ fn main() {
                     .filter(|j| *j >= 1)
                     .unwrap_or_else(|| die("--jobs wants a positive integer"));
             }
+            "--bench-out" => {
+                i += 1;
+                bench_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--bench-out wants a file path")),
+                );
+            }
             "list" => {
                 println!("available figures:");
                 for id in FIGURE_IDS {
@@ -57,7 +71,7 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() {
+    if ids.is_empty() && bench_out.is_none() {
         die("nothing to do; try `repro all` or `repro list`");
     }
 
@@ -74,6 +88,43 @@ fn main() {
     let data = run_campaign(params);
     eprintln!("{}", data.summary);
     eprintln!("campaign done: {} rated\n", data.rated().count());
+
+    if let Some(path) = bench_out {
+        let s = &data.summary;
+        let per_worker: Vec<String> = s.per_worker.iter().map(|n| n.to_string()).collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"seed\": {},\n",
+                "  \"scale\": {},\n",
+                "  \"jobs\": {},\n",
+                "  \"jobs_planned\": {},\n",
+                "  \"played\": {},\n",
+                "  \"unavailable\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"sessions_per_sec\": {:.3},\n",
+                "  \"sim_seconds\": {:.3},\n",
+                "  \"sim_seconds_per_sec\": {:.3},\n",
+                "  \"per_worker\": [{}]\n",
+                "}}\n"
+            ),
+            params.seed,
+            params.scale,
+            s.workers,
+            s.jobs_planned,
+            s.played,
+            s.unavailable,
+            s.wall.as_secs_f64(),
+            s.sessions_per_sec(),
+            s.sim_seconds,
+            s.sim_seconds_per_sec(),
+            per_worker.join(", "),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write --bench-out {path:?}: {e}"));
+        }
+        eprintln!("wrote campaign bench record to {path}");
+    }
 
     for id in ids {
         if id == "dump" {

@@ -92,6 +92,12 @@ pub struct LinkStats {
 }
 
 /// A unidirectional link from one node to another.
+///
+/// Each queued packet carries an opaque `u64` tag supplied at enqueue time
+/// and handed back verbatim when the packet finishes serializing. The
+/// network layer uses it to carry routing state (interned route id + hop)
+/// through the link so per-hop forwarding never re-derives it; standalone
+/// users can pass [`Link::enqueue`], which tags with zero.
 #[derive(Debug, Clone)]
 pub struct Link<P> {
     /// Node the link transmits from.
@@ -101,10 +107,10 @@ pub struct Link<P> {
     params: LinkParams,
     congestion: CongestionProcess,
     rng: SimRng,
-    queue: VecDeque<Packet<P>>,
+    queue: VecDeque<(Packet<P>, u64)>,
     queued_bytes: u32,
-    /// The packet currently being serialized and when it finishes.
-    serving: Option<(Packet<P>, SimTime)>,
+    /// The packet currently being serialized, its tag, and when it finishes.
+    serving: Option<(Packet<P>, u64, SimTime)>,
     stats: LinkStats,
 }
 
@@ -144,6 +150,12 @@ impl<P> Link<P> {
     /// Offers a packet to the link at `now`. Returns `false` if it was
     /// dropped (loss or full queue).
     pub fn enqueue(&mut self, now: SimTime, packet: Packet<P>) -> bool {
+        self.enqueue_tagged(now, packet, 0)
+    }
+
+    /// As [`Link::enqueue`], but attaches an opaque caller tag that
+    /// [`Link::poll`] hands back with the finished packet.
+    pub fn enqueue_tagged(&mut self, now: SimTime, packet: Packet<P>, tag: u64) -> bool {
         let level = self.congestion.level_at(now);
         let p_loss = self.params.base_loss + self.params.congestion_loss * level * level;
         if self.rng.chance(p_loss) {
@@ -156,47 +168,51 @@ impl<P> Link<P> {
         }
         self.queued_bytes += packet.size;
         self.stats.enqueued += 1;
-        self.queue.push_back(packet);
+        self.queue.push_back((packet, tag));
         if self.serving.is_none() {
             self.start_next(now);
         }
         true
     }
 
-    /// Completes any serializations due by `now`. Each finished packet is
-    /// returned with the instant it *arrives* at the far end (serialization
-    /// completion plus propagation delay).
-    pub fn poll(&mut self, now: SimTime) -> Vec<(SimTime, Packet<P>)> {
-        let mut out = Vec::new();
-        while let Some((_, done_at)) = &self.serving {
+    /// Completes any serializations due by `now`, feeding each finished
+    /// packet to `sink` with the instant it *arrives* at the far end
+    /// (serialization completion plus propagation delay) and its enqueue
+    /// tag. Draining into a caller-provided sink keeps the hot path
+    /// allocation-free: no per-poll `Vec` exists. Returns the number of
+    /// packets drained.
+    pub fn poll(&mut self, now: SimTime, sink: &mut impl FnMut(SimTime, Packet<P>, u64)) -> usize {
+        let mut drained = 0;
+        while let Some((_, _, done_at)) = &self.serving {
             let done_at = *done_at;
             if done_at > now {
                 break;
             }
-            let (pkt, _) = self.serving.take().expect("checked above");
+            let (pkt, tag, _) = self.serving.take().expect("checked above");
             self.stats.delivered += 1;
             self.stats.bytes_delivered += u64::from(pkt.size);
-            out.push((done_at + self.params.prop_delay, pkt));
             // The next packet starts serializing the moment the previous one
             // finished, not when we happened to poll.
             self.start_next(done_at);
+            sink(done_at + self.params.prop_delay, pkt, tag);
+            drained += 1;
         }
-        out
+        drained
     }
 
     /// When the link next needs polling: the in-service completion time.
     pub fn next_wake(&self) -> Option<SimTime> {
-        self.serving.as_ref().map(|(_, t)| *t)
+        self.serving.as_ref().map(|(_, _, t)| *t)
     }
 
     fn start_next(&mut self, at: SimTime) {
-        if let Some(pkt) = self.queue.pop_front() {
+        if let Some((pkt, tag)) = self.queue.pop_front() {
             self.queued_bytes -= pkt.size;
             let factor = self.congestion.capacity_factor(at).max(0.05);
             let rate = self.params.rate_bps * factor;
             let service = SimDuration::from_secs_f64(f64::from(pkt.size) * 8.0 / rate)
                 .max(SimDuration::from_micros(1));
-            self.serving = Some((pkt, at + service));
+            self.serving = Some((pkt, tag, at + service));
         }
     }
 }
@@ -214,6 +230,14 @@ mod tests {
         Link::new(NodeId(0), NodeId(1), params, SimRng::seed_from_u64(5))
     }
 
+    /// Test convenience: drain into a Vec the way the old allocating poll
+    /// did, so assertions can index the results.
+    fn drain(l: &mut Link<u32>, now: SimTime) -> Vec<(SimTime, Packet<u32>)> {
+        let mut out = Vec::new();
+        l.poll(now, &mut |at, pkt, _tag| out.push((at, pkt)));
+        out
+    }
+
     #[test]
     fn serialization_time_matches_rate() {
         // 1250 bytes at 1 Mbps = 10 ms, plus 5 ms propagation = 15 ms.
@@ -225,8 +249,8 @@ mod tests {
         let t0 = SimTime::from_secs(1);
         assert!(l.enqueue(t0, pkt(1250)));
         assert_eq!(l.next_wake(), Some(t0 + SimDuration::from_millis(10)));
-        assert!(l.poll(t0 + SimDuration::from_millis(9)).is_empty());
-        let out = l.poll(t0 + SimDuration::from_millis(10));
+        assert!(drain(&mut l, t0 + SimDuration::from_millis(9)).is_empty());
+        let out = drain(&mut l, t0 + SimDuration::from_millis(10));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, t0 + SimDuration::from_millis(15));
     }
@@ -238,7 +262,7 @@ mod tests {
         for _ in 0..3 {
             assert!(l.enqueue(t0, pkt(1250))); // 10 ms each
         }
-        let out = l.poll(SimTime::from_millis(30));
+        let out = drain(&mut l, SimTime::from_millis(30));
         let times: Vec<u64> = out.iter().map(|(t, _)| t.as_millis()).collect();
         assert_eq!(times, vec![10, 20, 30]);
         assert_eq!(l.stats().delivered, 3);
@@ -264,7 +288,7 @@ mod tests {
         let mut dropped = 0;
         for i in 0..5000 {
             let now = SimTime::from_millis(i);
-            l.poll(now); // drain so only random loss, not queue overflow, drops
+            drain(&mut l, now); // drain so only random loss, not queue overflow, drops
             if !l.enqueue(now, pkt(100)) {
                 dropped += 1;
             }
@@ -309,7 +333,7 @@ mod tests {
         let mut l = link(LinkParams::lan().rate(1e9));
         l.enqueue(SimTime::ZERO, pkt(700));
         l.enqueue(SimTime::ZERO, pkt(300));
-        l.poll(SimTime::from_secs(1));
+        drain(&mut l, SimTime::from_secs(1));
         assert_eq!(l.stats().bytes_delivered, 1000);
         assert_eq!(l.stats().enqueued, 2);
     }

@@ -4,8 +4,28 @@
 //! `send` packets, `poll(now)` to crank link serializations and propagation,
 //! and `recv` delivered packets from per-host inboxes. `next_wake` reports
 //! when the network next needs attention.
+//!
+//! The hot path is event-driven rather than scan-the-world:
+//!
+//! - Routes are **interned** at [`Network::set_route`] time into an indexed
+//!   table (`RouteId` → `Arc<[LinkId]>`). `send` resolves the route once and
+//!   every packet carries `(RouteId, hop)` through the links as an opaque
+//!   tag, so per-hop forwarding is two array indexes — no `HashMap` lookup,
+//!   no O(route-length) scan for "which hop is this link".
+//! - A **due-time index** (`link_wake`, an [`EventQueue<LinkId>`]) tracks
+//!   when each serving link completes, so `poll(now)` touches only links
+//!   with work due instead of iterating every link. The queue holds exactly
+//!   one entry per serving link (pushed on idle→serving, refreshed after a
+//!   drain), so `next_wake` is an O(1) peek with no stale entries.
+//!
+//! Determinism: links due at the same instant drain in ascending `LinkId`
+//! order — the same order the scan-all loop used — and in-flight arrivals
+//! tie-break FIFO, so the wake-scheduled schedule is bit-identical to the
+//! reference scan ([`Network::poll_scan_all`], retained for the
+//! equivalence property tests).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use rv_sim::{earliest, EventQueue, SimRng, SimTime};
 
@@ -16,12 +36,34 @@ use crate::packet::{HostId, NodeId, Packet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
-/// A packet in flight between links, tagged with the next hop to take.
+/// Index of an interned route in the network's route table.
+///
+/// A route id is issued per [`Network::set_route`] call; replacing the
+/// route for a pair issues a fresh id, so packets still carrying the old
+/// id are detected as stranded (and counted `misrouted`) instead of being
+/// silently forwarded along a path that no longer exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteId(pub u32);
+
+/// Packs `(route, hop)` into the opaque u64 tag a [`Link`] carries.
+fn pack_tag(route: RouteId, hop: u32) -> u64 {
+    (u64::from(route.0) << 32) | u64::from(hop)
+}
+
+/// Inverse of [`pack_tag`].
+fn unpack_tag(tag: u64) -> (RouteId, u32) {
+    (RouteId((tag >> 32) as u32), tag as u32)
+}
+
+/// A packet in flight between links, tagged with its interned route and
+/// the hop that has just been traversed.
 #[derive(Debug, Clone)]
 struct Transit<P> {
     packet: Packet<P>,
+    /// The route resolved at send time.
+    route: RouteId,
     /// Index into the route of the hop that has just been traversed.
-    hop: usize,
+    hop: u32,
 }
 
 /// The simulated network.
@@ -32,8 +74,18 @@ pub struct Network<P> {
     /// host -> node mapping (hosts are nodes with an inbox).
     host_nodes: Vec<NodeId>,
     links: Vec<Link<P>>,
-    /// Source routes: (src host, dst host) -> link sequence.
-    routes: HashMap<(HostId, HostId), Vec<LinkId>>,
+    /// Source routes: (src host, dst host) -> interned route id.
+    routes: HashMap<(HostId, HostId), RouteId>,
+    /// Interned route table, indexed by `RouteId`. Entries are immutable
+    /// once issued; replaced routes leave their entry in place so stale
+    /// ids can still be resolved for the misrouted check.
+    route_table: Vec<Arc<[LinkId]>>,
+    /// Due-time index over serving links: exactly one entry per link with
+    /// a serialization in progress, keyed by its completion time.
+    link_wake: EventQueue<LinkId>,
+    /// Scratch buffer for the due links of one poll round (reused so the
+    /// hot path never allocates).
+    due_scratch: Vec<LinkId>,
     /// Packets that finished a link and are propagating.
     in_flight: EventQueue<Transit<P>>,
     inboxes: Vec<VecDeque<Packet<P>>>,
@@ -54,6 +106,9 @@ impl<P> Network<P> {
             host_nodes: Vec::new(),
             links: Vec::new(),
             routes: HashMap::new(),
+            route_table: Vec::new(),
+            link_wake: EventQueue::new(),
+            due_scratch: Vec::new(),
             in_flight: EventQueue::new(),
             inboxes: Vec::new(),
             unroutable: 0,
@@ -96,7 +151,8 @@ impl<P> Network<P> {
         id
     }
 
-    /// Installs the source route from `src` to `dst`.
+    /// Installs the source route from `src` to `dst`, interning it into
+    /// the route table and issuing a fresh [`RouteId`].
     ///
     /// Panics if the link sequence is not contiguous from `src`'s node to
     /// `dst`'s node — a broken route would silently blackhole traffic.
@@ -112,7 +168,9 @@ impl<P> Network<P> {
             at = link.to;
         }
         assert_eq!(at, self.host_node(dst), "route does not end at destination");
-        self.routes.insert((src, dst), route);
+        let rid = RouteId(self.route_table.len() as u32);
+        self.route_table.push(route.into());
+        self.routes.insert((src, dst), rid);
     }
 
     /// Whether a route exists between two hosts.
@@ -120,76 +178,167 @@ impl<P> Network<P> {
         self.routes.contains_key(&(src, dst))
     }
 
-    /// Sends a packet at `now`. Returns `false` if no route exists or the
-    /// first link dropped it immediately.
+    /// The interned link sequence currently routing `src` → `dst`.
+    pub fn route(&self, src: HostId, dst: HostId) -> Option<&[LinkId]> {
+        self.routes
+            .get(&(src, dst))
+            .map(|rid| &*self.route_table[rid.0 as usize])
+    }
+
+    /// Sends a packet at `now`. The route is resolved once, here; the
+    /// packet carries its `(RouteId, hop)` through every link. Returns
+    /// `false` if no route exists or the first link dropped it immediately.
     pub fn send(&mut self, now: SimTime, packet: Packet<P>) -> bool {
         let key = (packet.src.host, packet.dst.host);
-        let Some(route) = self.routes.get(&key) else {
+        let Some(&rid) = self.routes.get(&key) else {
             self.unroutable += 1;
             return false;
         };
-        let first = route[0];
-        self.links[first.0 as usize].enqueue(now, packet)
+        let first = self.route_table[rid.0 as usize][0];
+        self.enqueue_on_link(first, now, packet, pack_tag(rid, 0))
+    }
+
+    /// Enqueues on a link, keeping the due-time index in sync: when the
+    /// link transitions idle → serving, its completion time enters
+    /// `link_wake`. (A link already serving keeps its existing entry; the
+    /// in-service completion time never changes under enqueue.)
+    fn enqueue_on_link(&mut self, lid: LinkId, now: SimTime, packet: Packet<P>, tag: u64) -> bool {
+        let link = &mut self.links[lid.0 as usize];
+        let was_serving = link.next_wake().is_some();
+        let accepted = link.enqueue_tagged(now, packet, tag);
+        if !was_serving {
+            if let Some(t) = link.next_wake() {
+                self.link_wake.push(t, lid);
+            }
+        }
+        accepted
     }
 
     /// Processes all work due by `now`: link serializations and propagation
     /// arrivals, forwarding packets along their routes. Returns the number
     /// of packets that moved.
+    ///
+    /// Wake-scheduled: only links whose in-service completion is due are
+    /// touched, via the `link_wake` index. Ties at one instant drain in
+    /// ascending `LinkId` order, matching [`Network::poll_scan_all`].
     pub fn poll(&mut self, now: SimTime) -> usize {
         let mut moved = 0;
         loop {
+            // Collect the links with serializations due. Each serving link
+            // has exactly one entry, so popping yields each due link once.
+            let mut due = std::mem::take(&mut self.due_scratch);
+            due.clear();
+            while let Some(ev) = self.link_wake.pop_due(now) {
+                due.push(ev.event);
+            }
+            due.sort_unstable();
+            due.dedup();
+
             let mut progress = false;
-
-            // Drain link serializations due by now.
-            for lid in 0..self.links.len() {
-                for (arrive_at, packet) in self.links[lid].poll(now) {
-                    match self.hop_index(&packet, LinkId(lid as u32)) {
-                        Some(hop) => {
-                            self.in_flight.push(arrive_at, Transit { packet, hop });
-                            moved += 1;
-                        }
-                        None => self.misrouted += 1,
-                    }
-                    progress = true;
-                }
+            for &lid in &due {
+                moved += self.drain_link(lid, now, &mut progress);
             }
+            self.due_scratch = due;
 
-            // Deliver propagations due by now.
-            while let Some(ev) = self.in_flight.pop_due(now) {
-                let Transit { packet, hop } = ev.event;
-                let key = (packet.src.host, packet.dst.host);
-                // The route existed at send time, but may have been replaced
-                // since; a packet stranded by a route change is dropped and
-                // counted rather than panicking the simulation.
-                let Some(route) = self.routes.get(&key) else {
-                    self.misrouted += 1;
-                    continue;
-                };
-                if hop + 1 >= route.len() {
-                    self.inboxes[packet.dst.host.0 as usize].push_back(packet);
-                    self.delivered += 1;
-                } else {
-                    let next = route[hop + 1];
-                    self.links[next.0 as usize].enqueue(ev.at, packet);
-                }
-                progress = true;
-                moved += 1;
-            }
-
+            moved += self.deliver_due(now, &mut progress);
             if !progress {
                 return moved;
             }
         }
     }
 
-    /// When the network next needs polling.
+    /// Reference scheduler: identical semantics to [`Network::poll`], but
+    /// discovers due links by scanning every link instead of consulting
+    /// the due-time index. Retained so property tests can prove the
+    /// wake-scheduled path delivers the identical packet sequence; not
+    /// for production use (O(links) per call).
+    #[doc(hidden)]
+    pub fn poll_scan_all(&mut self, now: SimTime) -> usize {
+        let mut moved = 0;
+        loop {
+            // Keep the due-time index coherent for any later wake-scheduled
+            // calls: due entries are consumed here exactly as poll() would.
+            while self.link_wake.pop_due(now).is_some() {}
+
+            let mut progress = false;
+            for i in 0..self.links.len() {
+                moved += self.drain_link(LinkId(i as u32), now, &mut progress);
+            }
+
+            moved += self.deliver_due(now, &mut progress);
+            if !progress {
+                return moved;
+            }
+        }
+    }
+
+    /// Drains one link's due serializations into `in_flight`, validating
+    /// each packet's route id and re-registering the link's next wake.
+    /// Returns the number of packets that moved onward (misrouted drops
+    /// count as progress but not movement — consistently with the
+    /// propagation arm).
+    fn drain_link(&mut self, lid: LinkId, now: SimTime, progress: &mut bool) -> usize {
+        let Network {
+            links,
+            routes,
+            in_flight,
+            misrouted,
+            ..
+        } = self;
+        let link = &mut links[lid.0 as usize];
+        let mut moved = 0;
+        let drained = link.poll(now, &mut |arrive_at, packet, tag| {
+            let (route, hop) = unpack_tag(tag);
+            // The route existed at send time, but may have been replaced
+            // since; a packet stranded by a route change is dropped and
+            // counted rather than panicking the simulation.
+            if routes.get(&(packet.src.host, packet.dst.host)) == Some(&route) {
+                in_flight.push(arrive_at, Transit { packet, route, hop });
+                moved += 1;
+            } else {
+                *misrouted += 1;
+            }
+        });
+        if drained > 0 {
+            *progress = true;
+            if let Some(t) = link.next_wake() {
+                self.link_wake.push(t, lid);
+            }
+        }
+        moved
+    }
+
+    /// Delivers propagation arrivals due by `now`, forwarding each packet
+    /// to its next hop or its destination inbox. Returns packets moved.
+    fn deliver_due(&mut self, now: SimTime, progress: &mut bool) -> usize {
+        let mut moved = 0;
+        while let Some(ev) = self.in_flight.pop_due(now) {
+            let Transit { packet, route, hop } = ev.event;
+            *progress = true;
+            // Same staleness rule as the serialization arm: a replaced
+            // route strands the packet, counted not panicked.
+            if self.routes.get(&(packet.src.host, packet.dst.host)) != Some(&route) {
+                self.misrouted += 1;
+                continue;
+            }
+            let links = &self.route_table[route.0 as usize];
+            if hop as usize + 1 >= links.len() {
+                self.inboxes[packet.dst.host.0 as usize].push_back(packet);
+                self.delivered += 1;
+            } else {
+                let next = links[hop as usize + 1];
+                self.enqueue_on_link(next, ev.at, packet, pack_tag(route, hop + 1));
+            }
+            moved += 1;
+        }
+        moved
+    }
+
+    /// When the network next needs polling. O(1): the earliest link
+    /// completion is the top of the due-time index, the earliest arrival
+    /// the top of the propagation queue.
     pub fn next_wake(&self) -> Option<SimTime> {
-        earliest(
-            self.links
-                .iter()
-                .map(|l| l.next_wake())
-                .chain(std::iter::once(self.in_flight.next_time())),
-        )
+        earliest([self.link_wake.next_time(), self.in_flight.next_time()])
     }
 
     /// Pops the next delivered packet for `host`, if any.
@@ -225,15 +374,6 @@ impl<P> Network<P> {
     /// Number of links.
     pub fn num_links(&self) -> usize {
         self.links.len()
-    }
-
-    /// Finds which hop of the packet's route `link` is; `None` when the
-    /// route changed while the packet was in flight.
-    fn hop_index(&self, packet: &Packet<P>, link: LinkId) -> Option<usize> {
-        let key = (packet.src.host, packet.dst.host);
-        self.routes
-            .get(&key)
-            .and_then(|route| route.iter().position(|l| *l == link))
     }
 }
 

@@ -115,3 +115,164 @@ proptest! {
         prop_assert_eq!(net.inbox_len(z), 1);
     }
 }
+
+/// A randomized multi-hop world: `nh` hosts hanging off a chain of `nr`
+/// routers. Every host pair gets a BFS route through the chain, so routes
+/// span 2..=nr+1 links and packets traverse shared interior links.
+fn chain_world(nh: usize, nr: usize, params: LinkParams, seed: u64) -> rv_net::Network<u32> {
+    let mut b = NetBuilder::new();
+    let hosts: Vec<_> = (0..nh).map(|_| b.host()).collect();
+    let routers: Vec<_> = (0..nr).map(|_| b.router()).collect();
+    for w in routers.windows(2) {
+        b.duplex(w[0], w[1], params);
+    }
+    for (i, h) in hosts.iter().enumerate() {
+        b.duplex(*h, routers[i % nr], params);
+    }
+    let mut rng = SimRng::seed_from_u64(seed);
+    b.build_with_payload::<u32>(&mut rng)
+}
+
+/// Observable delivery record: which packet reached which host, and at
+/// which poll step it became visible.
+type Deliveries = Vec<(u64, u32, u32)>;
+
+/// Polls `net` at `at`, then drains every inbox, recording
+/// (poll time in µs, host, payload) in drain order.
+fn poll_and_drain(
+    net: &mut rv_net::Network<u32>,
+    nh: usize,
+    at: SimTime,
+    poll_scan_all: bool,
+    out: &mut Deliveries,
+) -> usize {
+    let moved = if poll_scan_all {
+        net.poll_scan_all(at)
+    } else {
+        net.poll(at)
+    };
+    for h in 0..nh {
+        while let Some(p) = net.recv(HostId(h as u32)) {
+            out.push((at.as_micros(), h as u32, p.payload));
+        }
+    }
+    moved
+}
+
+proptest! {
+    /// The wake-scheduled `Network::poll` is observationally identical to
+    /// the retained scan-every-link reference implementation: over
+    /// randomized topologies, loss, and traffic, both deliver the same
+    /// packets to the same inboxes in the same order at the same poll
+    /// steps, with identical aggregate counters. Both worlds are built
+    /// from the same seed, so any divergence in per-link RNG draw order
+    /// (the determinism contract) also trips the comparison.
+    #[test]
+    fn wake_scheduled_poll_matches_scan_all(
+        nh in 2usize..5,
+        nr in 1usize..4,
+        sends in prop::collection::vec(
+            (0usize..4, 0usize..4, 1u32..1500, 0u64..200),
+            1..100,
+        ),
+        loss in 0.0f64..0.2,
+        rate_kbps in 50u32..5_000,
+        delay_ms in 0u64..30,
+        queue_kb in 2u32..32,
+        seed in any::<u64>(),
+    ) {
+        let params = LinkParams::lan()
+            .rate(f64::from(rate_kbps) * 1e3)
+            .delay(SimDuration::from_millis(delay_ms))
+            .queue(queue_kb * 1024)
+            .loss(loss);
+        let mut fast = chain_world(nh, nr, params, seed);
+        let mut reference = chain_world(nh, nr, params, seed);
+
+        let mut sends = sends;
+        sends.sort_by_key(|(_, _, _, at)| *at);
+        let mut fast_log = Deliveries::new();
+        let mut ref_log = Deliveries::new();
+        for (i, (src, dst, size, at_ms)) in sends.iter().enumerate() {
+            let (src, dst) = (HostId((src % nh) as u32), HostId((dst % nh) as u32));
+            if src == dst {
+                continue;
+            }
+            let t = SimTime::from_millis(*at_ms);
+            let moved_fast = poll_and_drain(&mut fast, nh, t, false, &mut fast_log);
+            let moved_ref = poll_and_drain(&mut reference, nh, t, true, &mut ref_log);
+            prop_assert_eq!(moved_fast, moved_ref);
+            let pkt = Packet::new(Addr::new(src, 1), Addr::new(dst, 1), *size, i as u32);
+            let a = fast.send(t, pkt.clone());
+            let b = reference.send(t, pkt);
+            prop_assert_eq!(a, b);
+        }
+        // Drain to quiescence in coarse steps so arrival times stay
+        // observable, then compare every record.
+        for step in 1..=80u64 {
+            let t = SimTime::from_millis(200 + step * 50);
+            poll_and_drain(&mut fast, nh, t, false, &mut fast_log);
+            poll_and_drain(&mut reference, nh, t, true, &mut ref_log);
+        }
+        prop_assert_eq!(fast_log, ref_log);
+        prop_assert_eq!(fast.delivered(), reference.delivered());
+        prop_assert_eq!(fast.misrouted(), reference.misrouted());
+        prop_assert_eq!(fast.unroutable(), reference.unroutable());
+        for l in 0..fast.num_links() {
+            prop_assert_eq!(
+                fast.link_stats(rv_net::LinkId(l as u32)),
+                reference.link_stats(rv_net::LinkId(l as u32))
+            );
+        }
+        prop_assert!(fast.next_wake().is_none(), "drained world still has wakes");
+    }
+
+    /// `next_wake` is conservative: polling strictly before it moves
+    /// nothing, and polling at it always makes progress — so the reported
+    /// wake is never later than an unprocessed due event.
+    #[test]
+    fn next_wake_never_skips_due_work(
+        sends in prop::collection::vec((1u32..2000, 0u64..100), 1..60),
+        nr in 1usize..3,
+        rate_kbps in 50u32..2_000,
+        delay_ms in 0u64..20,
+        seed in any::<u64>(),
+    ) {
+        let params = LinkParams::lan()
+            .rate(f64::from(rate_kbps) * 1e3)
+            .delay(SimDuration::from_millis(delay_ms))
+            .queue(u32::MAX);
+        let mut net = chain_world(2, nr, params, seed);
+        let (a, z) = (HostId(0), HostId(1));
+        let mut sends = sends;
+        sends.sort_by_key(|(_, at)| *at);
+        let mut last = SimTime::ZERO;
+        for (i, (size, at_ms)) in sends.iter().enumerate() {
+            let t = SimTime::from_millis(*at_ms);
+            net.poll(t);
+            last = t;
+            net.send(t, Packet::new(Addr::new(a, 1), Addr::new(z, 1), *size, i as u32));
+        }
+        let mut guard = 0;
+        while let Some(wake) = net.next_wake() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "wake loop did not converge");
+            // A reported wake may never sit in the past: everything due at
+            // the last poll time must already have been processed.
+            prop_assert!(
+                wake > last,
+                "next_wake {wake} not after last processed instant {last}"
+            );
+            let before = SimTime::from_micros(wake.as_micros() - 1);
+            if before > last {
+                prop_assert_eq!(net.poll(before), 0, "moved before next_wake {wake}");
+            }
+            prop_assert!(net.poll(wake) > 0, "next_wake {wake} was a dud");
+            last = wake;
+        }
+        // Quiescence (no wake) means nothing is still in flight: every
+        // packet that survived the links sits in z's inbox.
+        prop_assert_eq!(net.inbox_len(z) as u64, net.delivered());
+        prop_assert_eq!(net.misrouted(), 0);
+    }
+}

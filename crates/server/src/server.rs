@@ -270,10 +270,14 @@ impl RealServer {
     }
 
     /// Runs the server at `now`: control-plane processing then data pump.
-    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) {
-        self.pump_control(stack);
-        self.apply_control_events(now, stack);
-        self.pump_data(now, stack);
+    /// Returns how many units of work it performed (control messages
+    /// handled, control events applied, media packets emitted) so drivers
+    /// can feed server progress into their settle fixed point the same way
+    /// they feed stack and network progress.
+    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) -> usize {
+        let mut work = self.pump_control(stack);
+        work += self.apply_control_events(now, stack);
+        work + self.pump_data(now, stack)
     }
 
     /// When the server next needs attention.
@@ -285,7 +289,8 @@ impl RealServer {
             .map(|_| now + SimDuration::from_millis(20))
     }
 
-    fn pump_control(&mut self, stack: &mut Stack) {
+    fn pump_control(&mut self, stack: &mut Stack) -> usize {
+        let mut handled = 0;
         let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
         if !bytes.is_empty() {
             self.decoder.feed(&bytes);
@@ -296,6 +301,7 @@ impl RealServer {
                     let resp = self.rtsp.on_request(&mut self.core, &msg);
                     let encoded = resp.encode();
                     stack.tcp(self.ctrl).send(&encoded);
+                    handled += 1;
                 }
                 Ok(None) => break,
                 Err(_) => {
@@ -304,15 +310,19 @@ impl RealServer {
                 }
             }
         }
+        handled
     }
 
-    fn apply_control_events(&mut self, now: SimTime, stack: &mut Stack) {
+    fn apply_control_events(&mut self, now: SimTime, stack: &mut Stack) -> usize {
+        let mut applied = 0;
         if self.core.pending_teardown {
             self.core.pending_teardown = false;
             self.stream = None;
+            applied += 1;
         }
         if let Some(clip_name) = self.core.pending_play.take() {
             self.start_stream(now, stack, &clip_name);
+            applied += 1;
         }
         let rtt = stack
             .tcp_ref(self.ctrl)
@@ -320,7 +330,9 @@ impl RealServer {
             .unwrap_or(SimDuration::from_millis(200));
         for report in self.core.pending_reports.drain(..) {
             self.tfrc.on_report(now, report, rtt);
+            applied += 1;
         }
+        applied
     }
 
     fn start_stream(&mut self, now: SimTime, stack: &mut Stack, clip_name: &str) {
@@ -417,10 +429,11 @@ impl RealServer {
         FrameSchedule::generate(enc, clip.content, clip.duration, seed)
     }
 
-    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) {
+    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) -> usize {
         let Some(mut stream) = self.stream.take() else {
-            return;
+            return 0;
         };
+        let mut emitted = 0;
         self.evaluate_rate(now, stack, &mut stream);
 
         let media_clock = now.saturating_since(stream.play_epoch);
@@ -470,6 +483,7 @@ impl RealServer {
             pkt.seq = self.bump_seq();
             self.transmit(stack, &stream, pkt);
             self.stats.audio_packets += 1;
+            emitted += 1;
             stream.audio_seq += 1;
             stream.next_audio += self.cfg.audio_interval;
         }
@@ -490,6 +504,7 @@ impl RealServer {
                     stream.next_frame += 1;
                     stream.sent_until = frame.pts;
                     self.stats.frames_thinned += 1;
+                    emitted += 1;
                     continue;
                 }
             }
@@ -528,6 +543,7 @@ impl RealServer {
                 }
             }
             self.stats.frames_sent += 1;
+            emitted += 1;
             stream.next_frame += 1;
             stream.sent_until = frame.pts;
         }
@@ -552,9 +568,11 @@ impl RealServer {
             pkt.seq = self.bump_seq();
             self.transmit(stack, &stream, pkt);
             stream.eos_sent = true;
+            emitted += 1;
         }
 
         self.stream = Some(stream);
+        emitted
     }
 
     fn evaluate_rate(&mut self, now: SimTime, stack: &mut Stack, stream: &mut ActiveStream) {

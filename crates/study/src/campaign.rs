@@ -117,6 +117,10 @@ pub struct CampaignSummary {
     pub per_worker: Vec<usize>,
     /// Execute-phase wall time.
     pub wall: std::time::Duration,
+    /// Total simulated time across all sessions, in seconds: the sum of
+    /// every record's `session_time`. With `wall`, this yields the
+    /// simulator's time-compression ratio.
+    pub sim_seconds: f64,
 }
 
 impl CampaignSummary {
@@ -129,13 +133,23 @@ impl CampaignSummary {
             f64::INFINITY
         }
     }
+
+    /// Simulated seconds per wall-clock second (time compression).
+    pub fn sim_seconds_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.sim_seconds / secs
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 impl std::fmt::Display for CampaignSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "campaign: {} jobs planned, {} played, {} unavailable | {} worker{} {:?} | {:.2?} wall, {:.1} sessions/sec",
+            "campaign: {} jobs planned, {} played, {} unavailable | {} worker{} {:?} | {:.2?} wall, {:.1} sessions/sec, {:.0}x real time",
             self.jobs_planned,
             self.played,
             self.unavailable,
@@ -144,6 +158,7 @@ impl std::fmt::Display for CampaignSummary {
             self.per_worker,
             self.wall,
             self.sessions_per_sec(),
+            self.sim_seconds_per_sec(),
         )
     }
 }
@@ -197,6 +212,10 @@ pub fn run_campaign(params: StudyParams) -> StudyData {
         workers: params.jobs.max(1),
         per_worker,
         wall,
+        sim_seconds: records
+            .iter()
+            .map(|r| r.metrics.session_time.as_secs_f64())
+            .sum(),
     };
     StudyData {
         records,
@@ -281,6 +300,8 @@ mod tests {
         assert_eq!(s.per_worker.iter().sum::<usize>(), s.jobs_planned);
         assert_eq!(s.workers, 1);
         assert!(s.sessions_per_sec() > 0.0);
+        assert!(s.sim_seconds > 0.0);
+        assert!(s.sim_seconds_per_sec() > 0.0);
         // The Display line carries the pieces the binaries print.
         let line = s.to_string();
         assert!(line.contains("sessions/sec"), "{line}");

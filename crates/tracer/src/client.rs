@@ -153,23 +153,29 @@ impl TracerClient {
         self.transport
     }
 
-    /// Advances the client at `now`.
-    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) {
+    /// Advances the client at `now`. Returns how many units of work it
+    /// performed (control messages handled, phase transitions, media
+    /// packets consumed, playout events) so drivers can feed client
+    /// progress into their settle fixed point uniformly with the stacks
+    /// and the network.
+    pub fn poll(&mut self, now: SimTime, stack: &mut Stack) -> usize {
         if self.phase == Phase::Done {
-            return;
+            return 0;
         }
+        let mut work = 0;
         if self.phase == Phase::Idle {
             self.start(now, stack);
+            work += 1;
         }
         // Safety timeout: a wedged session still yields a record.
         if let Some(start) = self.start_time {
             if now.saturating_since(start) >= self.cfg.session_timeout {
                 self.finish(now, self.outcome.unwrap_or(SessionOutcome::Failed));
-                return;
+                return work + 1;
             }
         }
 
-        self.pump_control(now, stack);
+        work += self.pump_control(now, stack);
         if self.phase == Phase::Connecting && stack.tcp(self.ctrl).is_established() {
             let msg = self
                 .session
@@ -177,15 +183,18 @@ impl TracerClient {
                 .with_header("Bandwidth", &self.cfg.max_bandwidth_bps.to_string());
             stack.tcp(self.ctrl).send(&msg.encode());
             self.phase = Phase::Describing;
+            work += 1;
         }
         if self.phase == Phase::ConnectingData && stack.tcp(self.data_tcp).is_established() {
             let msg = self.session.play();
             stack.tcp(self.ctrl).send(&msg.encode());
             self.phase = Phase::Starting;
+            work += 1;
         }
         if self.phase == Phase::Playing {
-            self.pump_data(now, stack);
+            work += self.pump_data(now, stack);
         }
+        work
     }
 
     fn start(&mut self, now: SimTime, stack: &mut Stack) {
@@ -199,7 +208,8 @@ impl TracerClient {
         self.phase = Phase::Connecting;
     }
 
-    fn pump_control(&mut self, now: SimTime, stack: &mut Stack) {
+    fn pump_control(&mut self, now: SimTime, stack: &mut Stack) -> usize {
+        let mut handled = 0;
         let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
         if !bytes.is_empty() {
             self.decoder.feed(&bytes);
@@ -212,9 +222,10 @@ impl TracerClient {
                     // A malformed control message cannot be resynchronized;
                     // end the session rather than stalling to the timeout.
                     self.finish(now, SessionOutcome::Failed);
-                    return;
+                    return handled + 1;
                 }
             };
+            handled += 1;
             // Replies to SET_PARAMETER reports are CSeq-mismatched by
             // design; on_response classifies them as ProtocolError and the
             // session state is unaffected.
@@ -229,7 +240,7 @@ impl TracerClient {
                 }
                 ClientEvent::Unavailable(_) => {
                     self.finish(now, SessionOutcome::Unavailable);
-                    return;
+                    return handled;
                 }
                 ClientEvent::SetUp(spec) => {
                     self.transport = Some(spec.kind);
@@ -252,13 +263,14 @@ impl TracerClient {
                 }
                 ClientEvent::TornDown => {
                     self.finish(now, self.outcome.unwrap_or(SessionOutcome::Played));
-                    return;
+                    return handled;
                 }
                 ClientEvent::ProtocolError(_) => {
                     // Tolerated: report replies and stale responses.
                 }
             }
         }
+        handled
     }
 
     fn pick_transport(&self) -> TransportSpec {
@@ -274,9 +286,11 @@ impl TracerClient {
         }
     }
 
-    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) {
+    fn pump_data(&mut self, now: SimTime, stack: &mut Stack) -> usize {
+        let mut work = 0;
         // UDP datagrams: one media packet each.
         while let Some((_, data)) = stack.udp(self.udp).recv() {
+            work += 1;
             if let Some((pkt, _)) = MediaPacket::decode(&data) {
                 self.last_rung = pkt.rung;
                 self.player.on_packet(now, pkt);
@@ -287,12 +301,15 @@ impl TracerClient {
         if !bytes.is_empty() {
             self.depkt.feed(&bytes);
             while let Some(pkt) = self.depkt.next_packet() {
+                work += 1;
                 self.last_rung = pkt.rung;
                 self.player.on_packet(now, pkt);
             }
         }
 
+        let before = self.events.len();
         self.events.extend(self.player.poll(now));
+        work += self.events.len() - before;
 
         // Receiver reports keep the server's UDP rate control fed.
         if self.transport == Some(TransportKind::Udp)
@@ -307,6 +324,7 @@ impl TracerClient {
             };
             let msg = self.session.set_parameter(REPORT_PARAM, &report.encode());
             stack.tcp(self.ctrl).send(&msg.encode());
+            work += 1;
         }
 
         // Watch limit reached or the clip ran out: tear down.
@@ -318,7 +336,9 @@ impl TracerClient {
             let msg = self.session.teardown();
             stack.tcp(self.ctrl).send(&msg.encode());
             self.phase = Phase::TearingDown;
+            work += 1;
         }
+        work
     }
 
     fn finish(&mut self, now: SimTime, outcome: SessionOutcome) {

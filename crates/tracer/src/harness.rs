@@ -136,14 +136,58 @@ impl SessionWorld {
         loop {
             // Settle all work at the current instant. The guard bounds
             // pathological ping-pong at one instant.
+            //
+            // Components are wake-scheduled: a stack is polled only when it
+            // has observable work (`needs_poll`: inbound packets, deferred
+            // output, a due timer) or its application has run since the
+            // stack was last flushed. Applications run once per instant
+            // unconditionally (their time-based triggers — pacing, reports,
+            // timeouts — fire on the first poll of an instant) and again
+            // only after their stack delivered or flushed something. All
+            // poll results, the applications' included, feed the `moved`
+            // fixed-point counter uniformly.
+            let mut client_app_ran = false;
+            let mut server_app_ran = false;
+            let mut poll_client_app = true;
+            let mut poll_server_app = true;
             for _ in 0..64 {
                 let mut moved = self.net.poll(now);
-                moved += self.client_stack.poll(now, &mut self.net);
-                moved += self.server_stack.poll(now, &mut self.net);
-                self.server.poll(now, &mut self.server_stack);
-                self.client.poll(now, &mut self.client_stack);
-                moved += self.client_stack.poll(now, &mut self.net);
-                moved += self.server_stack.poll(now, &mut self.net);
+                if self.client_stack.needs_poll(&self.net, now) || client_app_ran {
+                    let handled = self.client_stack.poll(now, &mut self.net);
+                    client_app_ran = false;
+                    poll_client_app |= handled > 0;
+                    moved += handled;
+                }
+                if self.server_stack.needs_poll(&self.net, now) || server_app_ran {
+                    let handled = self.server_stack.poll(now, &mut self.net);
+                    server_app_ran = false;
+                    poll_server_app |= handled > 0;
+                    moved += handled;
+                }
+                if poll_server_app {
+                    poll_server_app = false;
+                    let worked = self.server.poll(now, &mut self.server_stack);
+                    server_app_ran |= worked > 0;
+                    moved += worked;
+                }
+                if poll_client_app {
+                    poll_client_app = false;
+                    let worked = self.client.poll(now, &mut self.client_stack);
+                    client_app_ran |= worked > 0;
+                    moved += worked;
+                }
+                if self.client_stack.needs_poll(&self.net, now) || client_app_ran {
+                    let handled = self.client_stack.poll(now, &mut self.net);
+                    client_app_ran = false;
+                    poll_client_app |= handled > 0;
+                    moved += handled;
+                }
+                if self.server_stack.needs_poll(&self.net, now) || server_app_ran {
+                    let handled = self.server_stack.poll(now, &mut self.net);
+                    server_app_ran = false;
+                    poll_server_app |= handled > 0;
+                    moved += handled;
+                }
                 if moved == 0 {
                     break;
                 }

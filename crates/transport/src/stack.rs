@@ -142,9 +142,24 @@ impl Stack {
         earliest(self.tcp.iter().map(|s| s.next_wake()))
     }
 
-    /// `true` if any socket has deferred work a poll would emit.
+    /// `true` if any socket has deferred work a poll would emit (TCP pure
+    /// ACKs or retransmissions, queued UDP datagrams).
     pub fn has_pending_work(&self) -> bool {
         self.tcp.iter().any(|s| s.has_pending_work())
+            || self.udp.iter().any(|s| s.has_pending_work())
+    }
+
+    /// `true` when a poll at `now` could do anything at all: inbound
+    /// packets are waiting in the network, a socket timer is due, or a
+    /// socket holds deferred output. Every other condition a poll acts on
+    /// (new application writes, `connect`/`listen` calls) arises from the
+    /// application running, which the driver tracks itself — so a driver
+    /// may safely skip polls where this is `false` and the application has
+    /// not run since the last poll.
+    pub fn needs_poll(&self, net: &Network<Segment>, now: SimTime) -> bool {
+        net.inbox_len(self.host) > 0
+            || self.has_pending_work()
+            || self.next_wake().is_some_and(|t| t <= now)
     }
 }
 

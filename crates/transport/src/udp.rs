@@ -92,6 +92,11 @@ impl UdpSocket {
     pub fn poll(&mut self, _now: SimTime) -> Vec<Packet<Segment>> {
         self.outbox.drain(..).collect()
     }
+
+    /// `true` when a poll would emit packets (queued outbound datagrams).
+    pub fn has_pending_work(&self) -> bool {
+        !self.outbox.is_empty()
+    }
 }
 
 #[cfg(test)]
