@@ -45,7 +45,7 @@ fn bench_campaign_parallel(c: &mut Criterion) {
         return;
     }
     for jobs in [1, 4] {
-        let data = run_campaign(params(jobs));
+        let data = run_campaign(params(jobs)).expect("campaign runs");
         println!("campaign_parallel summary (jobs={jobs}): {}", data.summary);
     }
 }

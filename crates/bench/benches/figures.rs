@@ -31,7 +31,7 @@ fn bench_campaign(c: &mut Criterion) {
 /// Every figure generator over one shared campaign. Figure 1 re-simulates
 /// its own session and dominates; the analysis-only figures are cheap.
 fn bench_figures(c: &mut Criterion) {
-    let data = run_campaign(campaign_params(0.03));
+    let data = run_campaign(campaign_params(0.03)).expect("campaign runs");
     let mut g = c.benchmark_group("figure");
     g.sample_size(10);
     for id in FIGURE_IDS {

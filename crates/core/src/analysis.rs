@@ -207,6 +207,7 @@ mod tests {
             scale: 0.03,
             ..StudyParams::default()
         })
+        .unwrap()
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn main() {
         "running campaign: seed={} scale={} jobs={}...",
         params.seed, params.scale, params.jobs
     );
-    let data = run_campaign(params);
+    let data = run_campaign(params).unwrap_or_else(|e| {
+        eprintln!("realdata: campaign failed: {e}");
+        std::process::exit(1);
+    });
     eprintln!("{}\n", data.summary);
 
     match command.as_str() {

@@ -4,11 +4,19 @@
 //! ```text
 //! repro all [--scale S] [--seed N] [--jobs J]   # every figure
 //! repro fig11 fig16 [--scale S]                 # specific figures
+//! repro failures --faults [--scale S]           # failure taxonomy
 //! repro list                                    # figure index
 //! ```
 //!
 //! `--jobs J` fans session simulation across J worker threads. The
 //! figures are bit-identical for every J; only the wall time changes.
+//!
+//! `--faults` turns on the default fault-injection scenario (link
+//! outages, loss bursts, server crashes, UDP black holes). Without it
+//! campaigns are fault-free and bit-identical to builds that predate the
+//! fault subsystem. The `failures` subcommand prints the campaign's
+//! failure-taxonomy report (counts and rates per outcome, server,
+//! country, and transport).
 //!
 //! `--bench-out PATH` additionally writes the run's throughput accounting
 //! (wall time, sessions/sec, simulated-seconds/sec, worker split) as a
@@ -57,6 +65,7 @@ fn main() {
                         .unwrap_or_else(|| die("--bench-out wants a file path")),
                 );
             }
+            "--faults" => params.faults = rv_sim::FaultScenario::default_on(),
             "list" => {
                 println!("available figures:");
                 for id in FIGURE_IDS {
@@ -66,6 +75,7 @@ fn main() {
             }
             "all" => ids.extend(FIGURE_IDS.iter().map(|s| s.to_string())),
             "dump" => ids.push("dump".to_string()),
+            "failures" => ids.push("failures".to_string()),
             other if FIGURE_IDS.contains(&other) => ids.push(other.to_string()),
             other => die(&format!("unknown argument {other:?}; try `repro list`")),
         }
@@ -85,7 +95,7 @@ fn main() {
             "a fraction"
         }
     );
-    let data = run_campaign(params);
+    let data = run_campaign(params).unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
     eprintln!("{}", data.summary);
     eprintln!("campaign done: {} rated\n", data.rated().count());
 
@@ -127,6 +137,10 @@ fn main() {
     }
 
     for id in ids {
+        if id == "failures" {
+            println!("{}", data.failure_report());
+            continue;
+        }
         if id == "dump" {
             println!("user conn pc server proto enc_kbps fps jitter bw_kbps lost rebuf dropped startup recov");
             for r in data.records.iter().filter(|r| r.played()) {

@@ -174,8 +174,14 @@ fn fig1() -> FigureOutput {
         SimDuration::from_secs(300),
         ContentKind::News,
     );
-    let mut world =
-        rv_study::build_session_world(user, site, &clip, SimDuration::from_secs(70), 0xF161_0001);
+    let mut world = rv_study::build_session_world(
+        user,
+        site,
+        &clip,
+        SimDuration::from_secs(70),
+        0xF161_0001,
+        &rv_sim::FaultPlan::none(),
+    );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut prev_bytes = 0u64;
@@ -812,6 +818,7 @@ mod tests {
             scale: 0.03,
             ..StudyParams::default()
         })
+        .unwrap()
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use rv_sim::{SimDuration, SimRng, SimTime};
+use rv_sim::{OutagePolicy, SimDuration, SimRng, SimTime};
 
 use crate::congestion::{CongestionParams, CongestionProcess};
 use crate::packet::{NodeId, Packet};
@@ -87,6 +87,11 @@ pub struct LinkStats {
     pub dropped_queue: u64,
     /// Packets dropped by the random-loss models.
     pub dropped_loss: u64,
+    /// Packets lost to an injected outage: flushed when the link went
+    /// down with [`OutagePolicy::DropInFlight`], or refused while it was
+    /// down. Distinct from `dropped_loss`/`dropped_queue` so injected
+    /// failures stay auditable separately from organic loss.
+    pub dropped_outage: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
 }
@@ -111,6 +116,14 @@ pub struct Link<P> {
     queued_bytes: u32,
     /// The packet currently being serialized, its tag, and when it finishes.
     serving: Option<(Packet<P>, u64, SimTime)>,
+    /// Outage state: `Some(policy)` while the link is administratively
+    /// down. With `DropInFlight` the link refuses traffic; with
+    /// `CarryInFlight` the queue keeps filling and drains on recovery.
+    down: Option<OutagePolicy>,
+    /// Injected extra loss (parts per million), folded into the same
+    /// single random draw as the organic loss models so a zero burst
+    /// leaves the RNG stream untouched.
+    extra_loss_ppm: u32,
     stats: LinkStats,
 }
 
@@ -128,6 +141,8 @@ impl<P> Link<P> {
             queue: VecDeque::new(),
             queued_bytes: 0,
             serving: None,
+            down: None,
+            extra_loss_ppm: 0,
             stats: LinkStats::default(),
         }
     }
@@ -156,8 +171,32 @@ impl<P> Link<P> {
     /// As [`Link::enqueue`], but attaches an opaque caller tag that
     /// [`Link::poll`] hands back with the finished packet.
     pub fn enqueue_tagged(&mut self, now: SimTime, packet: Packet<P>, tag: u64) -> bool {
+        match self.down {
+            Some(OutagePolicy::DropInFlight) => {
+                // Hard-down interface: traffic is refused outright, before
+                // any random draw (only reachable with faults injected, so
+                // the fault-free RNG stream is untouched).
+                self.stats.dropped_outage += 1;
+                return false;
+            }
+            Some(OutagePolicy::CarryInFlight) => {
+                // Stalled link: no transmission, so no corruption draw;
+                // the queue keeps accepting until it overflows.
+                if self.queued_bytes.saturating_add(packet.size) > self.params.queue_bytes {
+                    self.stats.dropped_queue += 1;
+                    return false;
+                }
+                self.queued_bytes += packet.size;
+                self.stats.enqueued += 1;
+                self.queue.push_back((packet, tag));
+                return true;
+            }
+            None => {}
+        }
         let level = self.congestion.level_at(now);
-        let p_loss = self.params.base_loss + self.params.congestion_loss * level * level;
+        let p_loss = self.params.base_loss
+            + self.params.congestion_loss * level * level
+            + f64::from(self.extra_loss_ppm) * 1e-6;
         if self.rng.chance(p_loss) {
             self.stats.dropped_loss += 1;
             return false;
@@ -205,7 +244,57 @@ impl<P> Link<P> {
         self.serving.as_ref().map(|(_, _, t)| *t)
     }
 
+    /// `true` while the link is administratively down.
+    pub fn is_down(&self) -> bool {
+        self.down.is_some()
+    }
+
+    /// Takes the link down. With [`OutagePolicy::DropInFlight`] the
+    /// queue and the in-service packet are flushed (counted as
+    /// `dropped_outage`) and traffic is refused until [`Link::set_up`];
+    /// with [`OutagePolicy::CarryInFlight`] the in-service packet
+    /// returns to the head of the queue and everything waits out the
+    /// outage.
+    pub fn set_down(&mut self, policy: OutagePolicy) {
+        self.down = Some(policy);
+        match policy {
+            OutagePolicy::DropInFlight => {
+                let flushed = self.queue.len() as u64 + u64::from(self.serving.is_some());
+                self.stats.dropped_outage += flushed;
+                self.queue.clear();
+                self.queued_bytes = 0;
+                self.serving = None;
+            }
+            OutagePolicy::CarryInFlight => {
+                if let Some((pkt, tag, _)) = self.serving.take() {
+                    // Re-serialize from scratch on recovery, like a
+                    // retransmit after a line hit.
+                    self.queued_bytes += pkt.size;
+                    self.queue.push_front((pkt, tag));
+                }
+            }
+        }
+    }
+
+    /// Brings the link back up at `now`; a carried queue resumes
+    /// serializing immediately.
+    pub fn set_up(&mut self, now: SimTime) {
+        self.down = None;
+        if self.serving.is_none() {
+            self.start_next(now);
+        }
+    }
+
+    /// Sets the injected extra loss for a burst window, in parts per
+    /// million. Zero restores organic loss behavior exactly.
+    pub fn set_extra_loss_ppm(&mut self, ppm: u32) {
+        self.extra_loss_ppm = ppm;
+    }
+
     fn start_next(&mut self, at: SimTime) {
+        if self.down.is_some() {
+            return;
+        }
         if let Some((pkt, tag)) = self.queue.pop_front() {
             self.queued_bytes -= pkt.size;
             let factor = self.congestion.capacity_factor(at).max(0.05);
@@ -326,6 +415,67 @@ mod tests {
             l.next_wake().unwrap()
         };
         assert!(busy > quiet, "busy {busy} quiet {quiet}");
+    }
+
+    #[test]
+    fn hard_outage_flushes_and_refuses() {
+        let mut l = link(LinkParams::lan().rate(1_000.0).queue(64 * 1024));
+        let t0 = SimTime::ZERO;
+        assert!(l.enqueue(t0, pkt(1500))); // in service
+        assert!(l.enqueue(t0, pkt(1500))); // queued
+        l.set_down(OutagePolicy::DropInFlight);
+        assert!(l.is_down());
+        assert_eq!(l.stats().dropped_outage, 2);
+        assert!(!l.enqueue(t0, pkt(100)));
+        assert_eq!(l.stats().dropped_outage, 3);
+        assert_eq!(l.next_wake(), None);
+        assert!(drain(&mut l, SimTime::from_secs(100)).is_empty());
+        // Recovery: fresh traffic flows again.
+        l.set_up(SimTime::from_secs(100));
+        assert!(l.enqueue(SimTime::from_secs(100), pkt(1500)));
+        assert_eq!(drain(&mut l, SimTime::from_secs(200)).len(), 1);
+    }
+
+    #[test]
+    fn carried_outage_stalls_then_delivers_everything() {
+        let mut l = link(LinkParams::lan().rate(1_000_000.0).delay(SimDuration::ZERO));
+        let t0 = SimTime::ZERO;
+        assert!(l.enqueue(t0, pkt(1250))); // 10 ms service, in flight
+        assert!(l.enqueue(t0, pkt(1250)));
+        l.set_down(OutagePolicy::CarryInFlight);
+        assert_eq!(l.stats().dropped_outage, 0);
+        assert_eq!(l.next_wake(), None);
+        // Queue still accepts while stalled.
+        assert!(l.enqueue(SimTime::from_millis(5), pkt(1250)));
+        assert!(drain(&mut l, SimTime::from_secs(10)).is_empty());
+        let up = SimTime::from_secs(20);
+        l.set_up(up);
+        let out = drain(&mut l, up + SimDuration::from_millis(30));
+        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![20_010, 20_020, 20_030]);
+        assert_eq!(l.stats().delivered, 3);
+    }
+
+    #[test]
+    fn extra_loss_raises_drop_rate_and_zero_restores_it() {
+        let mut l = link(LinkParams::lan().rate(1e9));
+        l.set_extra_loss_ppm(300_000); // 30 %
+        let mut dropped = 0;
+        for i in 0..5000 {
+            let now = SimTime::from_millis(i);
+            drain(&mut l, now);
+            if !l.enqueue(now, pkt(100)) {
+                dropped += 1;
+            }
+        }
+        let frac = f64::from(dropped) / 5000.0;
+        assert!((frac - 0.3).abs() < 0.03, "burst loss fraction {frac}");
+        l.set_extra_loss_ppm(0);
+        for i in 5000..6000 {
+            let now = SimTime::from_millis(i);
+            drain(&mut l, now);
+            assert!(l.enqueue(now, pkt(100)));
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use rv_sim::{earliest, EventQueue, SimRng, SimTime};
+use rv_sim::{earliest, EventQueue, OutagePolicy, SimRng, SimTime};
 
 use crate::link::{Link, LinkParams, LinkStats};
 use crate::packet::{HostId, NodeId, Packet};
@@ -356,6 +356,54 @@ impl<P> Network<P> {
         self.links[link.0 as usize].stats()
     }
 
+    /// Sums every link's counters: the per-path totals a campaign's
+    /// failure accounting audits (notably `dropped_outage`, which only
+    /// fault injection can produce).
+    pub fn total_link_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for l in &self.links {
+            let s = l.stats();
+            total.enqueued += s.enqueued;
+            total.delivered += s.delivered;
+            total.dropped_queue += s.dropped_queue;
+            total.dropped_loss += s.dropped_loss;
+            total.dropped_outage += s.dropped_outage;
+            total.bytes_delivered += s.bytes_delivered;
+        }
+        total
+    }
+
+    /// Takes a link down (fault injection). See [`Link::set_down`] for
+    /// the policy semantics. A flushed serialization leaves a stale
+    /// due-time entry behind; stale entries drain zero packets and are
+    /// ignored, so the index stays conservative-correct.
+    pub fn set_link_down(&mut self, lid: LinkId, policy: OutagePolicy) {
+        self.links[lid.0 as usize].set_down(policy);
+    }
+
+    /// Brings a link back up at `now`. If a carried queue resumes
+    /// serializing, the link's new completion time enters the due-time
+    /// index here — the idle→serving transition `enqueue_on_link`
+    /// normally covers.
+    pub fn set_link_up(&mut self, now: SimTime, lid: LinkId) {
+        let link = &mut self.links[lid.0 as usize];
+        link.set_up(now);
+        if let Some(t) = link.next_wake() {
+            self.link_wake.push(t, lid);
+        }
+    }
+
+    /// `true` while a link is administratively down.
+    pub fn link_is_down(&self, lid: LinkId) -> bool {
+        self.links[lid.0 as usize].is_down()
+    }
+
+    /// Sets a link's injected extra loss in parts per million (loss
+    /// bursts). Zero restores organic behavior exactly.
+    pub fn set_link_extra_loss(&mut self, lid: LinkId, ppm: u32) {
+        self.links[lid.0 as usize].set_extra_loss_ppm(ppm);
+    }
+
     /// Count of packets that had no route.
     pub fn unroutable(&self) -> u64 {
         self.unroutable
@@ -497,6 +545,57 @@ mod tests {
         net.poll(SimTime::from_millis(100));
         assert_eq!(net.recv(b).unwrap().payload, 1);
         assert_eq!(net.recv(a).unwrap().payload, 2);
+    }
+
+    #[test]
+    fn outage_blackholes_then_recovers_with_coherent_wakes() {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(10));
+        let (mut net, a, b) = two_hosts(params);
+        let send = |net: &mut Network<u32>, t: SimTime, v: u32| {
+            net.send(t, Packet::new(Addr::new(a, 1), Addr::new(b, 1), 1250, v))
+        };
+        // One packet mid-serialization when the outage hits.
+        assert!(send(&mut net, SimTime::ZERO, 1));
+        net.set_link_down(LinkId(0), OutagePolicy::DropInFlight);
+        assert!(net.link_is_down(LinkId(0)));
+        assert!(!send(&mut net, SimTime::from_millis(1), 2));
+        net.poll(SimTime::from_secs(1));
+        assert_eq!(net.inbox_len(b), 0);
+        assert_eq!(net.link_stats(LinkId(0)).dropped_outage, 2);
+        // Recovery: traffic flows, next_wake tracks the new serialization.
+        let up = SimTime::from_secs(2);
+        net.set_link_up(up, LinkId(0));
+        assert!(send(&mut net, up, 3));
+        assert_eq!(net.next_wake(), Some(up + SimDuration::from_millis(10)));
+        net.poll(up + SimDuration::from_millis(20));
+        assert_eq!(net.recv(b).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn carried_outage_delivers_queued_packets_after_recovery() {
+        let params = LinkParams::lan()
+            .rate(1_000_000.0)
+            .delay(SimDuration::from_millis(10));
+        let (mut net, a, b) = two_hosts(params);
+        let mk = |v: u32| Packet::new(Addr::new(a, 1), Addr::new(b, 1), 1250, v);
+        assert!(net.send(SimTime::ZERO, mk(1)));
+        net.set_link_down(LinkId(0), OutagePolicy::CarryInFlight);
+        // Accepted into the stalled queue.
+        assert!(net.send(SimTime::from_millis(5), mk(2)));
+        net.poll(SimTime::from_secs(1));
+        assert_eq!(net.inbox_len(b), 0);
+        let up = SimTime::from_secs(3);
+        net.set_link_up(up, LinkId(0));
+        net.poll(up + SimDuration::from_millis(50));
+        let mut got = Vec::new();
+        while let Some(p) = net.recv(b) {
+            got.push(p.payload);
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(net.link_stats(LinkId(0)).dropped_outage, 0);
+        assert_eq!(net.total_link_stats().delivered, 2);
     }
 
     #[test]

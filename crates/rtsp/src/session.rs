@@ -109,6 +109,19 @@ impl ClientSession {
         self.request(Method::Play)
     }
 
+    /// Builds a SETUP that renegotiates the transport mid-session (the
+    /// RealPlayer UDP→TCP fallback). Legal while playing or starting: the
+    /// session drops back to `SettingUp`, the server answers with a fresh
+    /// session id, and the client must PLAY again before data resumes.
+    pub fn resetup(&mut self, spec: TransportSpec) -> Message {
+        assert!(
+            matches!(self.state, ClientState::Playing | ClientState::Starting),
+            "resetup() outside an active session"
+        );
+        self.state = ClientState::SettingUp;
+        self.setup(spec)
+    }
+
     /// Builds a SET_PARAMETER carrying an application parameter (used for
     /// receiver statistics feedback on UDP sessions). Legal only while
     /// playing; does not change state and expects no meaningful reply.
@@ -422,6 +435,31 @@ mod tests {
             ClientEvent::SetUp(spec) => assert_eq!(spec.kind, TransportKind::Tcp),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn resetup_renegotiates_transport_midstream() {
+        let mut h = TestHandler {
+            force_tcp: true,
+            ..TestHandler::default()
+        };
+        let (mut client, mut server) = full_handshake(&mut h);
+        let old_id = client.session_id().unwrap().to_string();
+
+        // Black-holed UDP: the player re-SETUPs over the live control channel.
+        let resp = server.on_request(&mut h, &client.resetup(TransportSpec::tcp()));
+        match client.on_response(&resp) {
+            ClientEvent::SetUp(spec) => assert_eq!(spec.kind, TransportKind::Tcp),
+            other => panic!("{other:?}"),
+        }
+        let new_id = client.session_id().unwrap().to_string();
+        assert_ne!(old_id, new_id, "re-SETUP must mint a fresh session id");
+
+        h.played = false;
+        let resp = server.on_request(&mut h, &client.play());
+        assert_eq!(client.on_response(&resp), ClientEvent::Started);
+        assert_eq!(client.state(), ClientState::Playing);
+        assert!(h.played);
     }
 
     #[test]

@@ -193,6 +193,7 @@ pub struct RealServer {
     next_seq: u32,
     clip_seed: u64,
     stats: ServerStats,
+    alive: bool,
 }
 
 impl RealServer {
@@ -228,8 +229,44 @@ impl RealServer {
             next_seq: 0,
             clip_seed,
             stats: ServerStats::default(),
+            alive: true,
             cfg,
         }
+    }
+
+    /// `true` unless [`RealServer::crash`] has taken the process down.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Simulates the server process dying: every connection is torn down
+    /// with an RST on the wire and all session state vanishes. While down
+    /// the host answers further segments with RSTs (no listener), so a
+    /// reconnecting client fails fast as "refused" rather than timing out.
+    pub fn crash(&mut self, stack: &mut Stack) {
+        self.alive = false;
+        self.stream = None;
+        self.core.negotiated = None;
+        self.core.client_max_bps = None;
+        self.core.pending_play = None;
+        self.core.pending_teardown = false;
+        self.core.pending_reports.clear();
+        self.rtsp = ServerSession::new();
+        self.decoder = Decoder::new();
+        stack.tcp(self.ctrl).abort();
+        stack.tcp(self.data_tcp).abort();
+    }
+
+    /// Brings a crashed server back up with fresh listening sockets. The
+    /// catalog and lifetime stats survive the restart; session state does
+    /// not (clients must DESCRIBE/SETUP/PLAY from scratch).
+    pub fn restart(&mut self, stack: &mut Stack) {
+        assert!(!self.alive, "restart on a live server");
+        self.alive = true;
+        stack.tcp(self.ctrl).reset();
+        stack.tcp(self.data_tcp).reset();
+        stack.tcp(self.ctrl).listen();
+        stack.tcp(self.data_tcp).listen();
     }
 
     /// Lifetime counters.
@@ -275,13 +312,54 @@ impl RealServer {
     /// can feed server progress into their settle fixed point the same way
     /// they feed stack and network progress.
     pub fn poll(&mut self, now: SimTime, stack: &mut Stack) -> usize {
-        let mut work = self.pump_control(stack);
+        if !self.alive {
+            return 0; // dead processes do no work; the stack still RSTs
+        }
+        let mut work = self.recover_connections(stack);
+        work += self.pump_control(stack);
         work += self.apply_control_events(now, stack);
         work + self.pump_data(now, stack)
     }
 
+    /// A client that aborted (RST) kills its session: the daemon recycles
+    /// the connection state and returns to listening for a fresh client.
+    /// Fault-free sessions never RST, so this never fires without faults.
+    fn recover_connections(&mut self, stack: &mut Stack) -> usize {
+        let mut work = 0;
+        if stack.tcp(self.ctrl).take_error().is_some() {
+            // The control connection died: the whole session is gone.
+            self.stream = None;
+            self.core.negotiated = None;
+            self.core.client_max_bps = None;
+            self.core.pending_play = None;
+            self.core.pending_teardown = false;
+            self.core.pending_reports.clear();
+            self.rtsp = ServerSession::new();
+            self.decoder = Decoder::new();
+            stack.tcp(self.ctrl).reset();
+            stack.tcp(self.ctrl).listen();
+            work += 1;
+        }
+        if stack.tcp(self.data_tcp).take_error().is_some() {
+            if self
+                .stream
+                .as_ref()
+                .is_some_and(|s| s.transport == TransportKind::Tcp)
+            {
+                self.stream = None;
+            }
+            stack.tcp(self.data_tcp).reset();
+            stack.tcp(self.data_tcp).listen();
+            work += 1;
+        }
+        work
+    }
+
     /// When the server next needs attention.
     pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        if !self.alive {
+            return None;
+        }
         // While streaming, pacing and rate evaluation need a steady tick;
         // idle servers are woken by control-connection arrivals.
         self.stream
@@ -752,6 +830,35 @@ mod tests {
         assert!(core.describe("rtsp://s/c.rm").is_none());
         core.catalog.set_available("c.rm", true);
         assert!(core.describe("rtsp://s/c.rm").is_some());
+    }
+
+    #[test]
+    fn crash_closes_listeners_and_restart_reopens_them() {
+        use rv_net::HostId;
+        use rv_transport::TcpState;
+
+        let mut stack = Stack::new(HostId(1));
+        let ctrl = stack.tcp_socket(554, rv_transport::TcpConfig::default());
+        let data = stack.tcp_socket(555, rv_transport::TcpConfig::default());
+        let udp = stack.udp_socket(6970);
+        stack.tcp(ctrl).listen();
+        stack.tcp(data).listen();
+
+        let mut server =
+            RealServer::new(ServerConfig::default(), Catalog::new(), ctrl, data, udp, 7);
+        assert!(server.is_alive());
+
+        server.crash(&mut stack);
+        assert!(!server.is_alive());
+        assert_eq!(stack.tcp_ref(ctrl).state(), TcpState::Closed);
+        assert_eq!(stack.tcp_ref(data).state(), TcpState::Closed);
+        assert_eq!(server.poll(SimTime::from_secs(1), &mut stack), 0);
+        assert_eq!(server.next_wake(SimTime::from_secs(1)), None);
+
+        server.restart(&mut stack);
+        assert!(server.is_alive());
+        assert_eq!(stack.tcp_ref(ctrl).state(), TcpState::Listen);
+        assert_eq!(stack.tcp_ref(data).state(), TcpState::Listen);
     }
 
     #[test]

@@ -38,10 +38,14 @@
 mod chacha;
 mod clock;
 mod event;
+mod fault;
 mod rng;
 mod time;
 
 pub use clock::{run_until, Clock, StepOutcome};
 pub use event::{earliest, EventQueue, Scheduled};
+pub use fault::{
+    FaultPlan, FaultScenario, FaultSegment, LinkOutage, LossBurst, OutagePolicy, ServerCrash,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -12,9 +12,10 @@
 
 use std::sync::Arc;
 
-use rv_sim::{SimDuration, SimTime};
-use rv_tracer::{SessionMetrics, SessionOutcome};
+use rv_sim::{FaultScenario, SimDuration, SimTime};
+use rv_tracer::SessionMetrics;
 
+use crate::error::CampaignError;
 use crate::executor::{CampaignExecutor, SerialExecutor, ThreadedExecutor};
 use crate::geography::{Country, ServerRegion, UserRegion};
 use crate::plan::plan_campaign;
@@ -37,6 +38,10 @@ pub struct StudyParams {
     /// sessions across N threads. Never changes the output, only the
     /// wall time.
     pub jobs: usize,
+    /// Fault-injection scenario. [`FaultScenario::off`] (the default)
+    /// generates empty fault plans and reproduces the fault-free
+    /// campaign bit for bit.
+    pub faults: FaultScenario,
 }
 
 impl Default for StudyParams {
@@ -47,6 +52,7 @@ impl Default for StudyParams {
             watch_limit: SimDuration::from_secs(60),
             session_deadline: SimTime::from_secs(150),
             jobs: 1,
+            faults: FaultScenario::off(),
         }
     }
 }
@@ -95,9 +101,11 @@ pub struct SessionRecord {
 
 impl SessionRecord {
     /// `true` for records that played and produced measurements (the set
-    /// the paper's Figures 11–25 are computed over).
+    /// the paper's Figures 11–25 are computed over). Degraded sessions —
+    /// retries, rebuffer storms, UDP→TCP fallback — still count: they
+    /// streamed and were measured, exactly as RealTracer logged them.
     pub fn played(&self) -> bool {
-        self.available && self.metrics.outcome == SessionOutcome::Played
+        self.available && self.metrics.outcome.is_played()
     }
 }
 
@@ -187,21 +195,29 @@ impl StudyData {
     pub fn rated(&self) -> impl Iterator<Item = &SessionRecord> {
         self.records.iter().filter(|r| r.rating.is_some())
     }
+
+    /// The failure-taxonomy report over every attempt.
+    pub fn failure_report(&self) -> crate::report::FailureReport {
+        crate::report::FailureReport::from_records(&self.records)
+    }
 }
 
 /// Plans and executes the whole campaign. The records are deterministic
-/// in `params.seed` and `params.scale`; `params.jobs` picks the executor.
-pub fn run_campaign(params: StudyParams) -> StudyData {
+/// in `params.seed`, `params.scale`, and `params.faults`; `params.jobs`
+/// picks the executor. Fails with a [`CampaignError`] instead of
+/// panicking when the execute phase cannot produce a complete record set
+/// (a worker died mid-campaign).
+pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
     let plan = plan_campaign(params);
     let start = std::time::Instant::now();
     let (records, per_worker) = if params.jobs <= 1 {
         (
-            SerialExecutor.execute(&plan),
+            SerialExecutor.execute(&plan)?,
             SerialExecutor.worker_loads(&plan),
         )
     } else {
         let exec = ThreadedExecutor::new(params.jobs);
-        (exec.execute(&plan), exec.worker_loads(&plan))
+        (exec.execute(&plan)?, exec.worker_loads(&plan))
     };
     let wall = start.elapsed();
 
@@ -217,12 +233,12 @@ pub fn run_campaign(params: StudyParams) -> StudyData {
             .map(|r| r.metrics.session_time.as_secs_f64())
             .sum(),
     };
-    StudyData {
+    Ok(StudyData {
         records,
         excluded_users: plan.population.excluded.len() as u32,
         participants: plan.population.participants.len() as u32,
         summary,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -234,6 +250,7 @@ mod tests {
             scale: 0.04,
             ..StudyParams::default()
         })
+        .expect("quick campaign runs")
     }
 
     #[test]

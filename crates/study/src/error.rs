@@ -1,0 +1,52 @@
+//! Typed failures for the campaign execute path.
+//!
+//! The execute phase used to `expect()` its way past two impossibilities
+//! — a worker thread dying and an unfilled record slot — which turned
+//! any mid-campaign panic into an opaque abort of the whole process.
+//! [`CampaignError`] names those cases so binaries can report them and
+//! exit cleanly, and so library callers can decide what a half-run
+//! campaign is worth to them.
+
+/// Why the execute phase could not produce a complete record set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A worker thread panicked before finishing its chunk of jobs.
+    WorkerPanicked {
+        /// Index of the worker whose thread died.
+        worker: usize,
+    },
+    /// A job's record slot was never filled (a scheduling bug: every job
+    /// is assigned to exactly one worker).
+    MissingRecord {
+        /// Canonical plan index of the unfilled slot.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::WorkerPanicked { worker } => {
+                write!(f, "campaign worker {worker} panicked mid-run")
+            }
+            CampaignError::MissingRecord { index } => {
+                write!(f, "campaign job {index} produced no record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = CampaignError::WorkerPanicked { worker: 3 };
+        assert!(e.to_string().contains("worker 3"));
+        let e = CampaignError::MissingRecord { index: 17 };
+        assert!(e.to_string().contains("job 17"));
+    }
+}

@@ -14,13 +14,15 @@ use rv_sim::SimRng;
 use rv_tracer::{rate, SessionMetrics, SessionOutcome};
 
 use crate::campaign::SessionRecord;
+use crate::error::CampaignError;
 use crate::plan::{CampaignPlan, SessionJob};
 use crate::worldbuild::build_session_world;
 
 /// A strategy for running a plan's jobs.
 pub trait CampaignExecutor {
-    /// Runs every job, returning records in canonical plan order.
-    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord>;
+    /// Runs every job, returning records in canonical plan order, or a
+    /// [`CampaignError`] when a worker died before its chunk finished.
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError>;
 
     /// Number of jobs each worker ran, for the campaign summary.
     /// Indexed by worker; a serial executor reports one entry.
@@ -32,8 +34,8 @@ pub trait CampaignExecutor {
 pub struct SerialExecutor;
 
 impl CampaignExecutor for SerialExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord> {
-        plan.jobs.iter().map(|job| run_job(plan, job)).collect()
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError> {
+        Ok(plan.jobs.iter().map(|job| run_job(plan, job)).collect())
     }
 
     fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize> {
@@ -66,24 +68,42 @@ impl ThreadedExecutor {
 }
 
 impl CampaignExecutor for ThreadedExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Vec<SessionRecord> {
+    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError> {
         if self.workers == 1 || plan.jobs.len() <= 1 {
             return SerialExecutor.execute(plan);
         }
         let chunk = self.chunk_len(plan.jobs.len());
         let mut slots: Vec<Option<SessionRecord>> = vec![None; plan.jobs.len()];
+        // Join every worker explicitly: a panicked worker becomes a typed
+        // error instead of propagating out of the scope and aborting the
+        // caller with the worker's payload.
+        let mut first_dead: Option<usize> = None;
         std::thread::scope(|scope| {
-            for (job_chunk, slot_chunk) in plan.jobs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(run_job(plan, job));
-                    }
-                });
+            let handles: Vec<_> = plan
+                .jobs
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .map(|(job_chunk, slot_chunk)| {
+                    scope.spawn(move || {
+                        for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(run_job(plan, job));
+                        }
+                    })
+                })
+                .collect();
+            for (worker, handle) in handles.into_iter().enumerate() {
+                if handle.join().is_err() && first_dead.is_none() {
+                    first_dead = Some(worker);
+                }
             }
         });
+        if let Some(worker) = first_dead {
+            return Err(CampaignError::WorkerPanicked { worker });
+        }
         slots
             .into_iter()
-            .map(|s| s.expect("every job slot filled"))
+            .enumerate()
+            .map(|(index, s)| s.ok_or(CampaignError::MissingRecord { index }))
             .collect()
     }
 
@@ -118,9 +138,12 @@ pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
             &entry.clip,
             params.watch_limit,
             job.session_seed,
+            &job.fault_plan,
         );
         let metrics = world.run(params.session_deadline);
-        let rating = if job.rating_slot && metrics.outcome == SessionOutcome::Played {
+        // Degraded sessions are still rated: a user who sat through a
+        // retry or a TCP fallback saw the clip and scored it (badly).
+        let rating = if job.rating_slot && metrics.outcome.is_played() {
             let key = SessionJob::stream_key(job.user_id, job.clip_seq);
             let mut rating_rng = SimRng::derive(params.seed, "rating", key);
             Some(rate(&metrics, &user.rater, &mut rating_rng))
@@ -164,9 +187,9 @@ mod tests {
             scale: 0.02,
             ..StudyParams::default()
         });
-        let serial = SerialExecutor.execute(&plan);
+        let serial = SerialExecutor.execute(&plan).unwrap();
         for workers in [2, 3, 5] {
-            let parallel = ThreadedExecutor::new(workers).execute(&plan);
+            let parallel = ThreadedExecutor::new(workers).execute(&plan).unwrap();
             assert_eq!(serial.len(), parallel.len());
             for (s, p) in serial.iter().zip(&parallel) {
                 assert_eq!(s.user_id, p.user_id);
@@ -198,7 +221,7 @@ mod tests {
             scale: 0.01,
             ..StudyParams::default()
         });
-        let records = SerialExecutor.execute(&plan);
+        let records = SerialExecutor.execute(&plan).unwrap();
         let first = &records[0];
         // The record's name points into the plan's intern table, not a
         // fresh allocation.

@@ -16,15 +16,18 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod error;
 mod executor;
 pub mod geography;
 mod plan;
 mod playlist;
 mod population;
+mod report;
 mod servers;
 mod worldbuild;
 
 pub use campaign::{run_campaign, CampaignSummary, SessionRecord, StudyData, StudyParams};
+pub use error::CampaignError;
 pub use executor::{run_job, CampaignExecutor, SerialExecutor, ThreadedExecutor};
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
@@ -36,5 +39,6 @@ pub use population::{
     build_population, ConnectionClass, PcClass, Population, UserProfile, COUNTRY_TARGETS,
     US_STATE_WEIGHTS,
 };
+pub use report::{FailureBreakdown, FailureReport};
 pub use servers::{server_roster, ServerSite};
 pub use worldbuild::build_session_world;

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use rv_sim::SimRng;
+use rv_sim::{FaultPlan, SimRng, SimTime};
 
 use crate::campaign::StudyParams;
 use crate::playlist::{build_playlist, PlaylistEntry};
@@ -50,6 +50,11 @@ pub struct SessionJob {
     pub rating_slot: bool,
     /// Self-contained seed for the session world.
     pub session_seed: u64,
+    /// The trouble scripted for this session: outages, bursts, crashes,
+    /// a black-holed UDP path. Empty whenever [`StudyParams::faults`] is
+    /// off, and derived from this job's own fault stream otherwise, so
+    /// the faults a session suffers are independent of execution order.
+    pub fault_plan: FaultPlan,
 }
 
 impl SessionJob {
@@ -99,6 +104,7 @@ pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
         .map(|e| Arc::from(e.clip.name.as_str()))
         .collect();
 
+    let fault_horizon = params.session_deadline.saturating_since(SimTime::ZERO);
     let mut jobs = Vec::new();
     for (user_idx, user) in population.participants.iter().enumerate() {
         // Each user starts at a different playlist offset. RealTracer
@@ -131,6 +137,11 @@ pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
                 available,
                 rating_slot,
                 session_seed: SimRng::derive_seed(params.seed, "session", key),
+                fault_plan: FaultPlan::generate(
+                    &params.faults,
+                    SimRng::derive_seed(params.seed, "faults", key),
+                    fault_horizon,
+                ),
             });
         }
     }
@@ -224,6 +235,7 @@ mod tests {
                 assert_eq!(s.available, f.available);
                 assert_eq!(s.rating_slot, f.rating_slot);
                 assert_eq!(s.session_seed, f.session_seed);
+                assert_eq!(s.fault_plan, f.fault_plan);
             }
         }
     }
@@ -259,6 +271,31 @@ mod tests {
             .sum::<f64>()
             / plan.jobs.len() as f64;
         assert!((30.0..34.0).contains(&mean_ones), "mean ones {mean_ones}");
+    }
+
+    #[test]
+    fn fault_plans_empty_when_off_and_scheduled_when_on() {
+        let off = plan_campaign(StudyParams::quick());
+        assert!(off.jobs.iter().all(|j| j.fault_plan.is_empty()));
+
+        let on = plan_campaign(StudyParams {
+            faults: rv_sim::FaultScenario::default_on(),
+            ..StudyParams::quick()
+        });
+        let faulted = on.jobs.iter().filter(|j| !j.fault_plan.is_empty()).count();
+        assert!(faulted > 0, "default-on scenario scheduled no faults");
+        assert!(
+            faulted * 2 < on.jobs.len(),
+            "faults must stay the minority: {faulted}/{}",
+            on.jobs.len()
+        );
+        // Fault plans ride the same derive-by-key scheme as session
+        // seeds: replanning yields the identical trouble.
+        let again = plan_campaign(StudyParams {
+            faults: rv_sim::FaultScenario::default_on(),
+            ..StudyParams::quick()
+        });
+        assert_eq!(on.jobs, again.jobs);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! paper's Figures 12–15 dissect.
 
 use rv_media::Clip;
-use rv_net::{Addr, CongestionParams, HostId, LinkParams, NetBuilder};
+use rv_net::{Addr, CongestionParams, HostId, LinkId, LinkParams, NetBuilder};
 use rv_server::{Catalog, RealServer, ServerConfig};
-use rv_sim::{SimDuration, SimRng};
-use rv_tracer::{client_data_tcp_config, ports, ClientConfig, SessionWorld, TracerClient};
+use rv_sim::{FaultPlan, SimDuration, SimRng};
+use rv_tracer::{
+    client_data_tcp_config, ports, ClientConfig, FaultLinkMap, SessionWorld, TracerClient,
+};
 use rv_transport::{Segment, Stack, TcpConfig};
 
 use crate::geography::{path_profile, zone};
@@ -78,14 +80,29 @@ fn access_links(user: &UserProfile) -> (LinkParams, LinkParams) {
     }
 }
 
+/// Which concrete links realize each abstract fault segment in the
+/// study topology. Link ids follow construction order below: the access
+/// pair first (down, up), then the transit duplex, then server access.
+fn study_fault_links() -> FaultLinkMap {
+    FaultLinkMap {
+        client_access: vec![LinkId(0), LinkId(1)],
+        transit: vec![LinkId(2), LinkId(3)],
+        server_access: vec![LinkId(4), LinkId(5)],
+    }
+}
+
 /// Builds the complete [`SessionWorld`] for `user` fetching `clip` from
-/// `site`. `session_seed` isolates this session's randomness.
+/// `site`. `session_seed` isolates this session's randomness;
+/// `fault_plan` scripts this session's trouble (pass
+/// [`FaultPlan::none`] for a healthy world — arming an empty plan is
+/// free).
 pub fn build_session_world(
     user: &UserProfile,
     site: &ServerSite,
     clip: &Clip,
     watch_limit: SimDuration,
     session_seed: u64,
+    fault_plan: &FaultPlan,
 ) -> SessionWorld {
     let mut rng = SimRng::seed_from_u64(session_seed);
 
@@ -201,7 +218,9 @@ pub fn build_session_world(
     client_cfg.watch_limit = watch_limit;
     let tracer = TracerClient::new(client_cfg, c_ctrl, c_data, c_udp);
 
-    SessionWorld::new(net, client_stack, server_stack, real_server, tracer)
+    let mut world = SessionWorld::new(net, client_stack, server_stack, real_server, tracer);
+    world.set_faults(fault_plan, &study_fault_links());
+    world
 }
 
 #[cfg(test)]
@@ -225,10 +244,58 @@ mod tests {
         let roster = server_roster();
         let site = &roster[9]; // US/CNN
         let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
-        let mut world = build_session_world(user, site, &clip, SimDuration::from_secs(30), 42);
+        let mut world = build_session_world(
+            user,
+            site,
+            &clip,
+            SimDuration::from_secs(30),
+            42,
+            &FaultPlan::none(),
+        );
         let m = world.run(SimTime::from_secs(120));
         assert_eq!(m.outcome, SessionOutcome::Played);
         assert!(m.frames_played > 30, "played {}", m.frames_played);
+    }
+
+    #[test]
+    fn scripted_faults_fail_the_study_session() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let pop = build_population(&mut rng, 1.0);
+        let user = pop
+            .participants
+            .iter()
+            .find(|u| u.connection == ConnectionClass::DslCable)
+            .expect("some DSL user");
+        let roster = server_roster();
+        let site = &roster[9];
+        let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
+
+        // Server dead before the first SYN: refused until retries run out.
+        let down = FaultPlan {
+            server_crashes: vec![rv_sim::ServerCrash {
+                at: SimTime::ZERO,
+                restart_after: None,
+            }],
+            ..FaultPlan::none()
+        };
+        let m = build_session_world(user, site, &clip, SimDuration::from_secs(30), 42, &down)
+            .run(SimTime::from_secs(150));
+        assert_eq!(m.outcome, SessionOutcome::ServerDown);
+
+        // Transit dark mid-stream for longer than the stall budget: the
+        // session starts, then starves.
+        let cut = FaultPlan {
+            link_outages: vec![rv_sim::LinkOutage {
+                segment: rv_sim::FaultSegment::Transit,
+                start: SimTime::from_secs(8),
+                end: SimTime::from_secs(120),
+                policy: rv_sim::OutagePolicy::DropInFlight,
+            }],
+            ..FaultPlan::none()
+        };
+        let m = build_session_world(user, site, &clip, SimDuration::from_secs(30), 42, &cut)
+            .run(SimTime::from_secs(150));
+        assert!(!m.outcome.is_played(), "outcome {:?}", m.outcome);
     }
 
     #[test]
@@ -253,9 +320,23 @@ mod tests {
         let site = &roster[9];
         let clip = Clip::new("t.rm", SimDuration::from_secs(240), ContentKind::News);
 
-        let mut w1 = build_session_world(modem, site, &clip, SimDuration::from_secs(40), 7);
+        let mut w1 = build_session_world(
+            modem,
+            site,
+            &clip,
+            SimDuration::from_secs(40),
+            7,
+            &FaultPlan::none(),
+        );
         let m1 = w1.run(SimTime::from_secs(150));
-        let mut w2 = build_session_world(lan, site, &clip, SimDuration::from_secs(40), 7);
+        let mut w2 = build_session_world(
+            lan,
+            site,
+            &clip,
+            SimDuration::from_secs(40),
+            7,
+            &FaultPlan::none(),
+        );
         let m2 = w2.run(SimTime::from_secs(150));
         assert!(
             m1.bandwidth_kbps < m2.bandwidth_kbps,

@@ -16,7 +16,7 @@ use rv_rtsp::{
 };
 use rv_server::{ReceiverReport, REPORT_PARAM};
 use rv_sim::{SimDuration, SimTime};
-use rv_transport::{Stack, TcpHandle, UdpHandle};
+use rv_transport::{Stack, TcpError, TcpHandle, UdpHandle};
 
 use crate::metrics::{finalize, SessionMetrics, SessionOutcome};
 
@@ -47,6 +47,26 @@ pub struct ClientConfig {
     pub server_data: Addr,
     /// Receiver-report interval for UDP sessions.
     pub report_interval: SimDuration,
+    /// Give up on a TCP connect (control or data) after this long. Far
+    /// beyond any fault-free handshake (worst case a few lost SYNs retry
+    /// at 3/9/21 s) but well inside the session deadline.
+    pub connect_timeout: SimDuration,
+    /// Give up waiting for an RTSP response after this long. TCP keeps
+    /// retransmitting the request, so fault-free silence this long would
+    /// need several consecutive RTO losses.
+    pub response_timeout: SimDuration,
+    /// After PLAY on UDP: if *nothing at all* arrives for this long, the
+    /// path black-holes datagrams — fall back to TCP.
+    pub data_timeout: SimDuration,
+    /// After data has flowed: a stream silent for this long is dead; the
+    /// user gives up (the paper's abandoned-rebuffer behavior).
+    pub stall_limit: SimDuration,
+    /// Full-session retry budget after connection failures.
+    pub max_retries: u8,
+    /// First retry backoff; doubles per retry.
+    pub retry_backoff: SimDuration,
+    /// Backoff ceiling.
+    pub retry_backoff_cap: SimDuration,
 }
 
 impl ClientConfig {
@@ -65,6 +85,13 @@ impl ClientConfig {
             server_ctrl,
             server_data,
             report_interval: SimDuration::from_secs(1),
+            connect_timeout: SimDuration::from_secs(45),
+            response_timeout: SimDuration::from_secs(20),
+            data_timeout: SimDuration::from_secs(6),
+            stall_limit: SimDuration::from_secs(20),
+            max_retries: 3,
+            retry_backoff: SimDuration::from_secs(1),
+            retry_backoff_cap: SimDuration::from_secs(8),
         }
     }
 }
@@ -80,6 +107,8 @@ enum Phase {
     Starting,
     Playing,
     TearingDown,
+    /// Backing off before a retry attempt.
+    Waiting,
     Done,
 }
 
@@ -104,6 +133,25 @@ pub struct TracerClient {
     last_rung: u8,
     outcome: Option<SessionOutcome>,
     metrics: Option<SessionMetrics>,
+    /// When the current phase was entered (drives connect/response timers).
+    phase_entered: SimTime,
+    /// When the last media packet arrived in the current attempt.
+    last_data: Option<SimTime>,
+    /// Full-session retry attempts consumed.
+    retries: u8,
+    /// Current retry backoff (doubles per retry up to the cap).
+    backoff: SimDuration,
+    /// When the next retry attempt may launch.
+    next_retry_at: Option<SimTime>,
+    /// Whether the session renegotiated UDP down to TCP.
+    fell_back: bool,
+    /// Whether the resilient FSM (timeouts, retries, stall detection,
+    /// transport fallback) is armed. Off by default: an unhardened
+    /// client rides out any trouble to its watch limit, which is
+    /// exactly the legacy behavior fault-free campaigns are
+    /// bit-compatible with. The harness hardens the client when it arms
+    /// a non-empty fault plan.
+    hardened: bool,
 }
 
 impl TracerClient {
@@ -111,6 +159,7 @@ impl TracerClient {
     /// unconnected TCP sockets, `udp` bound to `cfg.udp_port`).
     pub fn new(cfg: ClientConfig, ctrl: TcpHandle, data_tcp: TcpHandle, udp: UdpHandle) -> Self {
         let player = Player::new(cfg.playout, cfg.cpu_power);
+        let backoff = cfg.retry_backoff;
         TracerClient {
             session: ClientSession::new(&cfg.url),
             cfg,
@@ -130,7 +179,35 @@ impl TracerClient {
             last_rung: 0,
             outcome: None,
             metrics: None,
+            phase_entered: SimTime::ZERO,
+            last_data: None,
+            retries: 0,
+            backoff,
+            next_retry_at: None,
+            fell_back: false,
+            hardened: false,
         }
+    }
+
+    /// Arms the resilient FSM: connect/response timeouts, bounded
+    /// retries with backoff, stall detection, and UDP→TCP fallback.
+    ///
+    /// Sessions with a scheduled fault plan run hardened; fault-free
+    /// sessions stay unhardened and reproduce the legacy client's
+    /// behavior (watch to the limit, whatever the path does) bit for
+    /// bit.
+    pub fn harden(&mut self) {
+        self.hardened = true;
+    }
+
+    /// How many full-session retries this client has consumed.
+    pub fn retries(&self) -> u8 {
+        self.retries
+    }
+
+    /// Whether the session fell back from UDP to TCP.
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
     }
 
     /// `true` when the session has fully finished.
@@ -167,12 +244,31 @@ impl TracerClient {
             self.start(now, stack);
             work += 1;
         }
-        // Safety timeout: a wedged session still yields a record.
+        // Safety timeout: a wedged session still yields a record,
+        // classified by where it wedged — silence after PLAY is data
+        // starvation, silence before it is a control-channel failure.
         if let Some(start) = self.start_time {
             if now.saturating_since(start) >= self.cfg.session_timeout {
-                self.finish(now, self.outcome.unwrap_or(SessionOutcome::Failed));
+                let outcome = self.outcome.unwrap_or(match self.phase {
+                    Phase::Playing => SessionOutcome::Starved,
+                    _ => SessionOutcome::TimedOut,
+                });
+                self.finish(now, outcome);
                 return work + 1;
             }
+        }
+        if self.phase == Phase::Waiting {
+            if self.next_retry_at.is_some_and(|t| now >= t) {
+                self.next_retry_at = None;
+                stack.tcp(self.ctrl).connect(self.cfg.server_ctrl, now);
+                self.set_phase(Phase::Connecting, now);
+                work += 1;
+            }
+            return work;
+        }
+        work += self.watch_faults(now, stack);
+        if matches!(self.phase, Phase::Done | Phase::Waiting) {
+            return work;
         }
 
         work += self.pump_control(now, stack);
@@ -182,19 +278,129 @@ impl TracerClient {
                 .describe()
                 .with_header("Bandwidth", &self.cfg.max_bandwidth_bps.to_string());
             stack.tcp(self.ctrl).send(&msg.encode());
-            self.phase = Phase::Describing;
+            self.set_phase(Phase::Describing, now);
             work += 1;
         }
         if self.phase == Phase::ConnectingData && stack.tcp(self.data_tcp).is_established() {
             let msg = self.session.play();
             stack.tcp(self.ctrl).send(&msg.encode());
-            self.phase = Phase::Starting;
+            self.set_phase(Phase::Starting, now);
             work += 1;
         }
         if self.phase == Phase::Playing {
             work += self.pump_data(now, stack);
         }
         work
+    }
+
+    fn set_phase(&mut self, phase: Phase, now: SimTime) {
+        self.phase = phase;
+        self.phase_entered = now;
+    }
+
+    /// Detects connection errors and silent stalls; classifies them into
+    /// an outcome and either retries or ends the session. Armed only on
+    /// hardened clients: an unhardened session keeps the legacy
+    /// never-give-up behavior, so campaigns without fault plans are
+    /// bit-identical to builds that predate this machinery (the worst
+    /// fault-free paths *do* stall past these thresholds naturally).
+    fn watch_faults(&mut self, now: SimTime, stack: &mut Stack) -> usize {
+        if !self.hardened {
+            return 0;
+        }
+        if let Some(err) = stack.tcp(self.ctrl).take_error() {
+            let reason = classify(err);
+            return self.retry_or_finish(now, stack, reason);
+        }
+        if self.transport == Some(TransportKind::Tcp)
+            && matches!(
+                self.phase,
+                Phase::ConnectingData | Phase::Starting | Phase::Playing
+            )
+        {
+            if let Some(err) = stack.tcp(self.data_tcp).take_error() {
+                let reason = classify(err);
+                return self.retry_or_finish(now, stack, reason);
+            }
+        }
+        let waited = now.saturating_since(self.phase_entered);
+        match self.phase {
+            Phase::Connecting | Phase::ConnectingData if waited >= self.cfg.connect_timeout => {
+                self.retry_or_finish(now, stack, SessionOutcome::TimedOut)
+            }
+            Phase::Describing | Phase::SettingUp | Phase::Starting
+                if waited >= self.cfg.response_timeout =>
+            {
+                self.retry_or_finish(now, stack, SessionOutcome::TimedOut)
+            }
+            Phase::TearingDown if waited >= self.cfg.response_timeout => {
+                // The clip already played; a lost TEARDOWN reply costs
+                // nothing.
+                self.finish(now, self.outcome.unwrap_or(SessionOutcome::Played));
+                1
+            }
+            Phase::Playing => {
+                let quiet_since = self.last_data.or(self.play_start).unwrap_or(now);
+                let quiet = now.saturating_since(quiet_since);
+                if self.transport == Some(TransportKind::Udp)
+                    && !self.fell_back
+                    && self.last_data.is_none()
+                    && quiet >= self.cfg.data_timeout
+                {
+                    // Nothing at all ever arrived on UDP: the path
+                    // black-holes datagrams (NAT/firewall). Renegotiate
+                    // TCP over the still-live control connection.
+                    let msg = self.session.resetup(TransportSpec::tcp());
+                    stack.tcp(self.ctrl).send(&msg.encode());
+                    self.fell_back = true;
+                    self.transport = None;
+                    self.set_phase(Phase::SettingUp, now);
+                    return 1;
+                }
+                if quiet >= self.cfg.stall_limit {
+                    self.finish(now, SessionOutcome::Starved);
+                    return 1;
+                }
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    /// Consumes one retry (with exponential backoff) or, with the budget
+    /// exhausted, ends the session with `reason`.
+    fn retry_or_finish(
+        &mut self,
+        now: SimTime,
+        stack: &mut Stack,
+        reason: SessionOutcome,
+    ) -> usize {
+        if self.retries >= self.cfg.max_retries {
+            self.finish(now, reason);
+            return 1;
+        }
+        self.retries += 1;
+        // Tear down this attempt's connections (RSTs tell a live server
+        // to recycle its session) and flush any stale datagrams.
+        stack.tcp(self.ctrl).abort();
+        stack.tcp(self.data_tcp).abort();
+        while stack.udp(self.udp).recv().is_some() {}
+        // A fresh protocol stack for the next attempt; the wall clock
+        // (start_time) and the retry ledger carry over.
+        self.session = ClientSession::new(&self.cfg.url);
+        self.decoder = Decoder::new();
+        self.depkt = StreamDepacketizer::new();
+        self.player = Player::new(self.cfg.playout, self.cfg.cpu_power);
+        self.events.clear();
+        self.transport = None;
+        self.clip = None;
+        self.play_start = None;
+        self.last_data = None;
+        self.outcome = None;
+        self.next_retry_at = Some(now + self.backoff);
+        self.backoff = (self.backoff + self.backoff).min(self.cfg.retry_backoff_cap);
+        self.set_phase(Phase::Waiting, now);
+        1
     }
 
     fn start(&mut self, now: SimTime, stack: &mut Stack) {
@@ -205,7 +411,7 @@ impl TracerClient {
             return;
         }
         stack.tcp(self.ctrl).connect(self.cfg.server_ctrl, now);
-        self.phase = Phase::Connecting;
+        self.set_phase(Phase::Connecting, now);
     }
 
     fn pump_control(&mut self, now: SimTime, stack: &mut Stack) -> usize {
@@ -236,7 +442,7 @@ impl TracerClient {
                     let spec = self.pick_transport();
                     let msg = self.session.setup(spec);
                     stack.tcp(self.ctrl).send(&msg.encode());
-                    self.phase = Phase::SettingUp;
+                    self.set_phase(Phase::SettingUp, now);
                 }
                 ClientEvent::Unavailable(_) => {
                     self.finish(now, SessionOutcome::Unavailable);
@@ -247,19 +453,19 @@ impl TracerClient {
                     match spec.kind {
                         TransportKind::Tcp => {
                             stack.tcp(self.data_tcp).connect(self.cfg.server_data, now);
-                            self.phase = Phase::ConnectingData;
+                            self.set_phase(Phase::ConnectingData, now);
                         }
                         TransportKind::Udp => {
                             let msg = self.session.play();
                             stack.tcp(self.ctrl).send(&msg.encode());
-                            self.phase = Phase::Starting;
+                            self.set_phase(Phase::Starting, now);
                         }
                     }
                 }
                 ClientEvent::Started => {
                     self.play_start = Some(now);
                     self.last_report = now;
-                    self.phase = Phase::Playing;
+                    self.set_phase(Phase::Playing, now);
                 }
                 ClientEvent::TornDown => {
                     self.finish(now, self.outcome.unwrap_or(SessionOutcome::Played));
@@ -293,6 +499,7 @@ impl TracerClient {
             work += 1;
             if let Some((pkt, _)) = MediaPacket::decode(&data) {
                 self.last_rung = pkt.rung;
+                self.last_data = Some(now);
                 self.player.on_packet(now, pkt);
             }
         }
@@ -303,6 +510,7 @@ impl TracerClient {
             while let Some(pkt) = self.depkt.next_packet() {
                 work += 1;
                 self.last_rung = pkt.rung;
+                self.last_data = Some(now);
                 self.player.on_packet(now, pkt);
             }
         }
@@ -335,13 +543,25 @@ impl TracerClient {
             self.outcome = Some(SessionOutcome::Played);
             let msg = self.session.teardown();
             stack.tcp(self.ctrl).send(&msg.encode());
-            self.phase = Phase::TearingDown;
+            self.set_phase(Phase::TearingDown, now);
             work += 1;
         }
         work
     }
 
     fn finish(&mut self, now: SimTime, outcome: SessionOutcome) {
+        // A clean playthrough that needed retries or a transport fallback
+        // is a recovery, not a first-try success: record it as degraded.
+        let outcome = match outcome {
+            SessionOutcome::Played if self.retries > 0 || self.fell_back => {
+                SessionOutcome::PlayedDegraded {
+                    retries: self.retries,
+                    rebuffers: self.player.playout_stats().rebuffer_events.min(255) as u8,
+                    fell_back: self.fell_back,
+                }
+            }
+            other => other,
+        };
         let protocol = self.transport.unwrap_or(TransportKind::Tcp);
         let (encoded_fps, encoded_bps) = match &self.clip {
             Some(clip) => {
@@ -369,8 +589,28 @@ impl TracerClient {
     pub fn next_wake(&self, now: SimTime) -> Option<SimTime> {
         match self.phase {
             Phase::Done => None,
+            // Sleep out the backoff; the 20 ms floor keeps the contract
+            // that a live client always reports a wake.
+            Phase::Waiting => Some(
+                self.next_retry_at
+                    .map_or(now + SimDuration::from_millis(20), |t| {
+                        t.max(now + SimDuration::from_millis(20))
+                    }),
+            ),
             // Steady tick: cheap, and robust against missed edges.
             _ => Some(now + SimDuration::from_millis(20)),
         }
+    }
+}
+
+/// Maps a transport-level connection error to a session outcome.
+fn classify(err: TcpError) -> SessionOutcome {
+    match err {
+        // RST to our SYN: no process listening — the server is down.
+        TcpError::Refused => SessionOutcome::ServerDown,
+        // SYN retries exhausted into silence.
+        TcpError::ConnectTimeout => SessionOutcome::TimedOut,
+        // An established connection torn down under us mid-session.
+        TcpError::Reset => SessionOutcome::Aborted,
     }
 }

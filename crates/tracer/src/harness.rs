@@ -11,7 +11,10 @@ use rv_server::{Catalog, RealServer, ServerConfig};
 use rv_sim::{earliest, SimDuration, SimRng, SimTime};
 use rv_transport::{Segment, Stack, TcpConfig};
 
+use rv_sim::FaultPlan;
+
 use crate::client::{ClientConfig, TracerClient};
+use crate::faults::{FaultAction, FaultInjector, FaultLinkMap};
 use crate::metrics::SessionMetrics;
 
 /// Standard port assignments for a session world.
@@ -107,6 +110,8 @@ pub struct SessionWorld {
     /// The world's clock: persists across `run` calls so a world can be
     /// driven in increments.
     pub now: SimTime,
+    /// Scheduled faults, if this session has any.
+    faults: Option<FaultInjector>,
 }
 
 impl SessionWorld {
@@ -125,7 +130,47 @@ impl SessionWorld {
             server,
             client,
             now: SimTime::ZERO,
+            faults: None,
         }
+    }
+
+    /// Arms this world with a fault plan. `map` grounds the plan's
+    /// abstract segments in this world's links. A black-holed UDP path
+    /// takes effect immediately (the client stack silently eats inbound
+    /// datagrams); scheduled events fire as the clock reaches them.
+    pub fn set_faults(&mut self, plan: &FaultPlan, map: &FaultLinkMap) {
+        if plan.udp_blackhole {
+            self.client_stack.set_udp_blackhole(true);
+        }
+        if plan.is_empty() {
+            return;
+        }
+        // Trouble is scheduled: arm the client's resilient FSM. Sessions
+        // with an empty plan keep the legacy client behavior, which is
+        // what keeps fault-free campaigns bit-identical to pre-fault
+        // builds.
+        self.client.harden();
+        self.faults = Some(FaultInjector::new(plan, map));
+    }
+
+    /// Applies every fault event due at `now`. Returns applied count.
+    fn apply_faults(&mut self, now: SimTime) -> usize {
+        let Some(injector) = &mut self.faults else {
+            return 0;
+        };
+        let mut applied = 0;
+        while let Some(action) = injector.pop_due(now) {
+            applied += 1;
+            match action {
+                FaultAction::LinkDown(l, policy) => self.net.set_link_down(l, policy),
+                FaultAction::LinkUp(l) => self.net.set_link_up(now, l),
+                FaultAction::BurstOn(l, ppm) => self.net.set_link_extra_loss(l, ppm),
+                FaultAction::BurstOff(l) => self.net.set_link_extra_loss(l, 0),
+                FaultAction::ServerCrash => self.server.crash(&mut self.server_stack),
+                FaultAction::ServerRestart => self.server.restart(&mut self.server_stack),
+            }
+        }
+        applied
     }
 
     /// Drives everything until the client finishes or `deadline` passes.
@@ -134,6 +179,7 @@ impl SessionWorld {
     pub fn run(&mut self, deadline: SimTime) -> SessionMetrics {
         let mut now = self.now;
         loop {
+            self.apply_faults(now);
             // Settle all work at the current instant. The guard bounds
             // pathological ping-pong at one instant.
             //
@@ -202,6 +248,7 @@ impl SessionWorld {
                 self.server_stack.next_wake(),
                 self.server.next_wake(now),
                 self.client.next_wake(now),
+                self.faults.as_ref().and_then(FaultInjector::next_wake),
             ]);
             let step_floor = now + SimDuration::from_micros(1);
             now = next.unwrap_or(deadline).min(deadline).max(step_floor);

@@ -10,16 +10,68 @@ use rv_rtsp::TransportKind;
 use rv_sim::{SimDuration, SimTime};
 
 /// How the session ended.
+///
+/// The taxonomy distinguishes every failure mode the resilient client can
+/// observe, so the study's failure report can be broken down the way the
+/// paper breaks down its unsuccessful-clip fraction (Section IV.B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionOutcome {
-    /// Played to the watch limit (or clip end).
+    /// Played to the watch limit (or clip end) on the first attempt.
     Played,
+    /// Played to the end, but only after recovering from faults: session
+    /// retries, a UDP→TCP transport fallback, or both.
+    PlayedDegraded {
+        /// Full-session retry attempts that preceded the successful one.
+        retries: u8,
+        /// Rebuffer halts endured during the successful attempt.
+        rebuffers: u8,
+        /// Whether the client renegotiated UDP down to TCP mid-session.
+        fell_back: bool,
+    },
     /// The server reported the clip unavailable (404).
     Unavailable,
     /// RTSP was blocked by a firewall; the session never started.
     Blocked,
+    /// Control-channel silence: connect or response timeouts exhausted the
+    /// retry budget before playback ever started.
+    TimedOut,
+    /// The server refused the connection (RST to our SYN) — the process
+    /// was down and stayed down through every retry.
+    ServerDown,
+    /// Data starvation after PLAY: the stream went silent and stayed
+    /// silent past the stall limit, so the user gave up.
+    Starved,
+    /// An established session was torn down under the client (control or
+    /// data connection reset mid-session) and retries could not revive it.
+    Aborted,
     /// Some other protocol failure.
     Failed,
+}
+
+impl SessionOutcome {
+    /// `true` for outcomes where the clip actually played to its end
+    /// (possibly after retries or a transport fallback).
+    pub fn is_played(self) -> bool {
+        matches!(
+            self,
+            SessionOutcome::Played | SessionOutcome::PlayedDegraded { .. }
+        )
+    }
+
+    /// Short stable label for reports and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionOutcome::Played => "played",
+            SessionOutcome::PlayedDegraded { .. } => "played-degraded",
+            SessionOutcome::Unavailable => "unavailable",
+            SessionOutcome::Blocked => "blocked",
+            SessionOutcome::TimedOut => "timed-out",
+            SessionOutcome::ServerDown => "server-down",
+            SessionOutcome::Starved => "starved",
+            SessionOutcome::Aborted => "aborted",
+            SessionOutcome::Failed => "failed",
+        }
+    }
 }
 
 /// The per-clip statistics record RealTracer uploaded.
@@ -171,6 +223,50 @@ mod tests {
             pts: SimDuration::from_millis(at_ms),
             played_at: Some(SimTime::from_millis(at_ms)),
             drop_reason: None,
+        }
+    }
+
+    /// Every variant of the taxonomy, exactly once.
+    fn all_outcomes() -> [SessionOutcome; 9] {
+        [
+            SessionOutcome::Played,
+            SessionOutcome::PlayedDegraded {
+                retries: 2,
+                rebuffers: 1,
+                fell_back: true,
+            },
+            SessionOutcome::Unavailable,
+            SessionOutcome::Blocked,
+            SessionOutcome::TimedOut,
+            SessionOutcome::ServerDown,
+            SessionOutcome::Starved,
+            SessionOutcome::Aborted,
+            SessionOutcome::Failed,
+        ]
+    }
+
+    #[test]
+    fn outcome_labels_are_distinct_and_stable() {
+        let outcomes = all_outcomes();
+        let labels: std::collections::BTreeSet<&str> = outcomes.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), outcomes.len(), "labels must be unique");
+        assert!(labels.contains("played"));
+        assert!(labels.contains("played-degraded"));
+        assert!(labels.contains("server-down"));
+        // Labels feed dumps and reports: no whitespace, no uppercase.
+        for l in labels {
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{l}");
+        }
+    }
+
+    #[test]
+    fn only_played_variants_count_as_played() {
+        for o in all_outcomes() {
+            let expect = matches!(
+                o,
+                SessionOutcome::Played | SessionOutcome::PlayedDegraded { .. }
+            );
+            assert_eq!(o.is_played(), expect, "{o:?}");
         }
     }
 

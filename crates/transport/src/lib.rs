@@ -19,5 +19,5 @@ pub use segment::{
     Segment, TcpFlags, TcpSegment, UdpDatagram, DEFAULT_MSS, TCP_HEADER_BYTES, UDP_HEADER_BYTES,
 };
 pub use stack::{Stack, TcpHandle, UdpHandle};
-pub use tcp::{TcpConfig, TcpSocket, TcpState, TcpStats};
+pub use tcp::{TcpConfig, TcpError, TcpSocket, TcpState, TcpStats};
 pub use udp::{UdpSocket, UdpStats};

@@ -4,7 +4,7 @@
 use rv_net::{Addr, HostId, Network, Packet};
 use rv_sim::{earliest, SimTime};
 
-use crate::segment::Segment;
+use crate::segment::{Segment, TcpFlags, TcpSegment};
 use crate::tcp::{TcpConfig, TcpSocket, TcpState};
 use crate::udp::UdpSocket;
 
@@ -24,6 +24,15 @@ pub struct Stack {
     udp: Vec<UdpSocket>,
     /// Inbound packets that matched no socket.
     dropped_no_socket: u64,
+    /// RSTs owed for TCP segments that matched no socket (a real stack
+    /// answers them; that answer is how a dialer learns "refused").
+    pending_rsts: Vec<Packet<Segment>>,
+    /// Fault injection: silently swallow inbound UDP (a filtering
+    /// firewall/NAT on the path — the condition RealPlayer's UDP→TCP
+    /// fallback existed for).
+    udp_blackhole: bool,
+    /// Datagrams eaten by the black hole.
+    udp_blackholed: u64,
 }
 
 impl Stack {
@@ -34,6 +43,9 @@ impl Stack {
             tcp: Vec::new(),
             udp: Vec::new(),
             dropped_no_socket: 0,
+            pending_rsts: Vec::new(),
+            udp_blackhole: false,
+            udp_blackholed: 0,
         }
     }
 
@@ -81,6 +93,16 @@ impl Stack {
         self.dropped_no_socket
     }
 
+    /// Turns the inbound-UDP black hole on or off (fault injection).
+    pub fn set_udp_blackhole(&mut self, on: bool) {
+        self.udp_blackhole = on;
+    }
+
+    /// Datagrams silently eaten by the black hole so far.
+    pub fn udp_blackholed(&self) -> u64 {
+        self.udp_blackholed
+    }
+
     /// Receives all delivered packets from the network, dispatches them to
     /// sockets, then transmits everything the sockets produce. Returns the
     /// number of packets handled.
@@ -90,6 +112,11 @@ impl Stack {
         while let Some(pkt) = net.recv(self.host) {
             handled += 1;
             self.dispatch(now, pkt);
+        }
+
+        for pkt in self.pending_rsts.drain(..) {
+            net.send(now, pkt);
+            handled += 1;
         }
 
         for sock in &mut self.tcp {
@@ -125,10 +152,42 @@ impl Stack {
                 };
                 match sock {
                     Some(s) => s.on_segment(now, pkt.src, seg),
-                    None => self.dropped_no_socket += 1,
+                    None => {
+                        self.dropped_no_socket += 1;
+                        // Answer non-RST segments to a dead port with an
+                        // RST, as RFC 793 requires — a SYN against a
+                        // crashed server fails fast as "refused" instead
+                        // of timing out. (Never replying to an RST
+                        // prevents RST storms between two dead ends.)
+                        if !seg.flags.rst && self.pending_rsts.len() < 64 {
+                            let rst = TcpSegment {
+                                seq: seg.ack,
+                                ack: seg.seq + seg.data.len() as u64 + u64::from(seg.flags.syn),
+                                flags: TcpFlags {
+                                    rst: true,
+                                    ack: false,
+                                    syn: false,
+                                    fin: false,
+                                },
+                                window: 0,
+                                data: vec![],
+                            };
+                            let size = rst.wire_size();
+                            self.pending_rsts.push(Packet::new(
+                                pkt.dst,
+                                pkt.src,
+                                size,
+                                Segment::Tcp(rst),
+                            ));
+                        }
+                    }
                 }
             }
             Segment::Udp(dgram) => {
+                if self.udp_blackhole {
+                    self.udp_blackholed += 1;
+                    return;
+                }
                 match self.udp.iter_mut().find(|s| s.local().port == pkt.dst.port) {
                     Some(s) => s.on_datagram(pkt.src, dgram.data),
                     None => self.dropped_no_socket += 1,
@@ -143,9 +202,10 @@ impl Stack {
     }
 
     /// `true` if any socket has deferred work a poll would emit (TCP pure
-    /// ACKs or retransmissions, queued UDP datagrams).
+    /// ACKs or retransmissions, queued UDP datagrams, owed RSTs).
     pub fn has_pending_work(&self) -> bool {
-        self.tcp.iter().any(|s| s.has_pending_work())
+        !self.pending_rsts.is_empty()
+            || self.tcp.iter().any(|s| s.has_pending_work())
             || self.udp.iter().any(|s| s.has_pending_work())
     }
 

@@ -57,6 +57,13 @@ pub struct TcpConfig {
     pub min_rto: SimDuration,
     /// RTO ceiling.
     pub max_rto: SimDuration,
+    /// Handshake retransmissions before an active open gives up with
+    /// [`TcpError::ConnectTimeout`] (BSD `tcp_syn_retries`-style). The
+    /// default of 6 gives up only after ~213 s of cumulative backoff
+    /// (3+6+12+24+48+60+60 with the default RTO bounds) — beyond any
+    /// session deadline in the study, so a connect against a live server
+    /// behaves exactly as the old unbounded retry did.
+    pub max_syn_retries: u32,
 }
 
 impl Default for TcpConfig {
@@ -69,8 +76,22 @@ impl Default for TcpConfig {
             initial_ssthresh: 64 * 1024,
             min_rto: SimDuration::from_millis(1000),
             max_rto: SimDuration::from_secs(60),
+            max_syn_retries: 6,
         }
     }
+}
+
+/// Why a connection reached [`TcpState::Closed`] abnormally. Read (and
+/// cleared) with [`TcpSocket::take_error`]; a clean FIN close sets none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpError {
+    /// The handshake exhausted its SYN retransmissions.
+    ConnectTimeout,
+    /// A SYN was answered with RST: nothing listening (or the host is
+    /// refusing connections — how a crashed server looks to a dialer).
+    Refused,
+    /// The established connection was torn down by a peer RST.
+    Reset,
 }
 
 /// Lifetime counters for one connection.
@@ -149,6 +170,13 @@ pub struct TcpSocket {
     /// Set when loss recovery wants the head-of-line segment re-sent; the
     /// next poll() performs it.
     pending_retransmit: bool,
+    /// Handshake retransmissions performed so far (active or passive).
+    syn_retries: u32,
+    /// Why the socket closed abnormally, until the owner collects it.
+    last_error: Option<TcpError>,
+    /// An RST owed to `remote` after [`TcpSocket::abort`]; emitted by the
+    /// next poll even though the socket is already Closed.
+    pending_rst: Option<Addr>,
     stats: TcpStats,
 }
 
@@ -185,6 +213,9 @@ impl TcpSocket {
             close_requested: false,
             pending_acks: VecDeque::new(),
             pending_retransmit: false,
+            syn_retries: 0,
+            last_error: None,
+            pending_rst: None,
             stats: TcpStats::default(),
         }
     }
@@ -276,6 +307,70 @@ impl TcpSocket {
         self.close_requested = true;
     }
 
+    /// Hard abort: discards all connection state and owes the peer an RST
+    /// (emitted by the next poll). Models a process crash taking its
+    /// connections with it.
+    pub fn abort(&mut self) {
+        if !matches!(self.state, TcpState::Closed | TcpState::Listen) {
+            self.pending_rst = self.remote;
+        }
+        self.reset_conn_state();
+        self.state = TcpState::Closed;
+        // Forget the peer: an aborted socket must not keep exact-matching
+        // its old remote (that would silently swallow segments the host
+        // should now answer with RSTs from the no-socket path).
+        self.remote = None;
+    }
+
+    /// Returns the socket to a fresh Closed state (same local address,
+    /// same config, lifetime stats preserved) so the owner can
+    /// `connect`/`listen` again — the substrate of client reconnects and
+    /// server restarts. Unlike [`TcpSocket::abort`], owes the peer
+    /// nothing and clears any pending error.
+    pub fn reset(&mut self) {
+        self.reset_conn_state();
+        self.state = TcpState::Closed;
+        self.last_error = None;
+        self.pending_rst = None;
+        self.remote = None;
+    }
+
+    /// Clears per-connection state common to [`TcpSocket::abort`] and
+    /// [`TcpSocket::reset`].
+    fn reset_conn_state(&mut self) {
+        self.iss = 0;
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.buf_seq = 1;
+        self.send_buf.clear();
+        self.cwnd = f64::from(self.cfg.initial_cwnd_segments * self.cfg.mss);
+        self.ssthresh = f64::from(self.cfg.initial_ssthresh);
+        self.rwnd = self.cfg.recv_capacity as u32;
+        self.dup_acks = 0;
+        self.in_fast_recovery = false;
+        self.recover = 0;
+        self.srtt = None;
+        self.rttvar = SimDuration::ZERO;
+        self.rto = SimDuration::from_secs(3);
+        self.rto_deadline = None;
+        self.rtt_sample = None;
+        self.rcv_nxt = 0;
+        self.recv_buf.clear();
+        self.ooo.clear();
+        self.ooo_bytes = 0;
+        self.peer_fin = false;
+        self.fin_seq = None;
+        self.close_requested = false;
+        self.pending_acks.clear();
+        self.pending_retransmit = false;
+        self.syn_retries = 0;
+    }
+
+    /// Takes (and clears) the reason the socket last closed abnormally.
+    pub fn take_error(&mut self) -> Option<TcpError> {
+        self.last_error.take()
+    }
+
     /// Reads up to `max` bytes of in-order received data.
     pub fn recv(&mut self, max: usize) -> Vec<u8> {
         let was_closed = self.advertised_window() == 0;
@@ -321,7 +416,20 @@ impl TcpSocket {
     /// Processes an inbound segment.
     pub fn on_segment(&mut self, now: SimTime, src: Addr, seg: TcpSegment) {
         if seg.flags.rst {
-            self.state = TcpState::Closed;
+            match self.state {
+                // A closed or listening socket ignores stray RSTs.
+                TcpState::Closed | TcpState::Listen => {}
+                TcpState::SynSent => {
+                    self.last_error = Some(TcpError::Refused);
+                    self.state = TcpState::Closed;
+                    self.rto_deadline = None;
+                }
+                _ => {
+                    self.last_error = Some(TcpError::Reset);
+                    self.state = TcpState::Closed;
+                    self.rto_deadline = None;
+                }
+            }
             return;
         }
         match self.state {
@@ -530,6 +638,25 @@ impl TcpSocket {
     /// retransmissions due to timeout, new data, FIN, and pure ACKs).
     pub fn poll(&mut self, now: SimTime) -> Vec<Packet<Segment>> {
         let mut out = Vec::new();
+        // An abort's RST goes out even though the socket is already
+        // Closed — the one segment a dead connection still owes the wire.
+        if let Some(dst) = self.pending_rst.take() {
+            out.push(self.make_packet(
+                dst,
+                TcpSegment {
+                    seq: self.snd_nxt,
+                    ack: 0,
+                    flags: TcpFlags {
+                        rst: true,
+                        ack: false,
+                        syn: false,
+                        fin: false,
+                    },
+                    window: 0,
+                    data: vec![],
+                },
+            ));
+        }
         let Some(remote) = self.remote else {
             return out;
         };
@@ -680,6 +807,16 @@ impl TcpSocket {
         let mss = f64::from(self.cfg.mss);
         match self.state {
             TcpState::SynSent | TcpState::SynRcvd => {
+                self.syn_retries += 1;
+                if self.syn_retries > self.cfg.max_syn_retries {
+                    // Handshake abandoned: a black-holed or dead peer.
+                    if self.state == TcpState::SynSent {
+                        self.last_error = Some(TcpError::ConnectTimeout);
+                    }
+                    self.state = TcpState::Closed;
+                    self.rto_deadline = None;
+                    return;
+                }
                 // Handshake retransmission: poll() re-emits the SYN/SYN+ACK.
                 self.snd_nxt = self.iss;
             }
@@ -749,10 +886,10 @@ impl TcpSocket {
         self.rto_deadline
     }
 
-    /// `true` when the socket has work a poll would emit (pure ACKs or a
-    /// pending loss-recovery retransmission).
+    /// `true` when the socket has work a poll would emit (pure ACKs, a
+    /// pending loss-recovery retransmission, or an abort's RST).
     pub fn has_pending_work(&self) -> bool {
-        !self.pending_acks.is_empty() || self.pending_retransmit
+        !self.pending_acks.is_empty() || self.pending_retransmit || self.pending_rst.is_some()
     }
 }
 
@@ -960,7 +1097,7 @@ mod tests {
 
     #[test]
     fn rst_aborts() {
-        let (mut c, _s) = established_pair();
+        let (c, _s) = established_pair();
         let rst = TcpSegment {
             seq: 0,
             ack: 0,
@@ -974,6 +1111,129 @@ mod tests {
         let mut c2 = c;
         c2.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
         assert!(c2.is_closed());
+    }
+
+    #[test]
+    fn rst_in_syn_sent_reports_refused() {
+        let mut c = TcpSocket::new(addr(0, 1000), TcpConfig::default());
+        c.connect(addr(1, 554), SimTime::ZERO);
+        c.poll(SimTime::ZERO);
+        let rst = TcpSegment {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..TcpFlags::default()
+            },
+            window: 0,
+            data: vec![],
+        };
+        c.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
+        assert!(c.is_closed());
+        assert_eq!(c.take_error(), Some(TcpError::Refused));
+        assert_eq!(c.take_error(), None, "error is cleared on take");
+        assert_eq!(c.next_wake(), None, "dead socket keeps no timer");
+    }
+
+    #[test]
+    fn rst_when_established_reports_reset() {
+        let (mut c, _s) = established_pair();
+        let rst = TcpSegment {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags {
+                rst: true,
+                ..TcpFlags::default()
+            },
+            window: 0,
+            data: vec![],
+        };
+        c.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
+        assert!(c.is_closed());
+        assert_eq!(c.take_error(), Some(TcpError::Reset));
+    }
+
+    #[test]
+    fn syn_retries_exhaust_into_connect_timeout() {
+        let cfg = TcpConfig {
+            max_syn_retries: 2,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpSocket::new(addr(0, 1000), cfg);
+        c.connect(addr(1, 554), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut syns = 0;
+        // Nothing ever answers; walk well past every backoff deadline.
+        for _ in 0..64 {
+            syns += c.poll(now).len();
+            if c.is_closed() {
+                break;
+            }
+            now = c.next_wake().expect("handshake timer armed");
+        }
+        assert!(c.is_closed());
+        // Initial SYN + 2 retries.
+        assert_eq!(syns, 3);
+        assert_eq!(c.take_error(), Some(TcpError::ConnectTimeout));
+        assert_eq!(c.next_wake(), None);
+    }
+
+    #[test]
+    fn default_syn_retry_budget_outlives_a_session_deadline() {
+        // The fault-free determinism guarantee: with the default config, a
+        // connect only gives up after the cumulative backoff exceeds the
+        // study's 150 s session deadline, so no fault-free session can see
+        // a ConnectTimeout.
+        let mut c = TcpSocket::new(addr(0, 1000), TcpConfig::default());
+        c.connect(addr(1, 554), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        while !c.is_closed() {
+            c.poll(now);
+            match c.next_wake() {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert!(
+            now > SimTime::from_secs(150),
+            "gave up at {now}, inside the session deadline"
+        );
+    }
+
+    #[test]
+    fn abort_emits_rst_and_peer_observes_reset() {
+        let (mut c, mut s) = established_pair();
+        c.send(b"data the crash destroys");
+        c.abort();
+        assert!(c.is_closed());
+        let pkts = c.poll(SimTime::from_millis(1));
+        assert_eq!(pkts.len(), 1);
+        let Segment::Tcp(seg) = &pkts[0].payload else {
+            panic!("expected TCP")
+        };
+        assert!(seg.flags.rst);
+        s.on_segment(SimTime::from_millis(1), pkts[0].src, seg.clone());
+        assert!(s.is_closed());
+        assert_eq!(s.take_error(), Some(TcpError::Reset));
+    }
+
+    #[test]
+    fn reset_socket_reconnects_cleanly() {
+        let (mut c, _old_server) = established_pair();
+        let sent_before = c.stats().segments_sent;
+        c.reset();
+        assert!(c.is_closed());
+        assert_eq!(c.remote(), None);
+        assert_eq!(c.stats().segments_sent, sent_before, "stats survive reset");
+        // Fresh handshake against a fresh listener succeeds.
+        let mut s = TcpSocket::new(addr(1, 554), TcpConfig::default());
+        s.listen();
+        c.connect(addr(1, 554), SimTime::from_secs(1));
+        pump(SimTime::from_secs(1), &mut c, &mut s);
+        assert!(c.is_established());
+        c.send(b"again");
+        pump(SimTime::from_secs(2), &mut c, &mut s);
+        assert_eq!(s.recv(16), b"again".to_vec());
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn main() {
         &entry.clip,
         SimDuration::from_secs(60),
         job.session_seed,
+        &job.fault_plan,
     );
     for sec in 1..=80u64 {
         w.run(SimTime::from_secs(sec));

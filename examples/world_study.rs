@@ -20,6 +20,10 @@ fn main() {
     let data = run_campaign(StudyParams {
         scale,
         ..StudyParams::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        std::process::exit(1);
     });
 
     println!(

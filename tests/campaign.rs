@@ -12,6 +12,7 @@ fn campaign() -> rv_study::StudyData {
         scale: 0.08,
         ..StudyParams::default()
     })
+    .expect("campaign runs")
 }
 
 #[test]

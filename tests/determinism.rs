@@ -14,10 +14,10 @@ fn params(jobs: usize) -> StudyParams {
 
 #[test]
 fn parallel_execution_is_bit_identical_to_serial() {
-    let serial = run_campaign(params(1));
+    let serial = run_campaign(params(1)).unwrap();
     assert!(!serial.records.is_empty());
     for jobs in [4, 8] {
-        let parallel = run_campaign(params(jobs));
+        let parallel = run_campaign(params(jobs)).unwrap();
         assert_eq!(
             serial.records.len(),
             parallel.records.len(),
@@ -45,16 +45,75 @@ fn parallel_execution_is_bit_identical_to_serial() {
 #[test]
 fn seed_and_scale_select_the_data_not_the_executor() {
     // Different seeds must differ (the invariant is not vacuous)...
-    let a = run_campaign(params(4));
+    let a = run_campaign(params(4)).unwrap();
     let b = run_campaign(StudyParams {
         seed: 0xBEEF,
         ..params(4)
-    });
+    })
+    .unwrap();
     let a_played: Vec<f64> = a.played().map(|r| r.metrics.frame_rate).collect();
     let b_played: Vec<f64> = b.played().map(|r| r.metrics.frame_rate).collect();
     assert_ne!(a_played, b_played);
     // ...and a parallel re-run of the same seed must not.
-    let c = run_campaign(params(4));
+    let c = run_campaign(params(4)).unwrap();
     let c_played: Vec<f64> = c.played().map(|r| r.metrics.frame_rate).collect();
     assert_eq!(a_played, c_played);
+}
+
+fn faulted_params(jobs: usize) -> StudyParams {
+    StudyParams {
+        faults: rv_sim::FaultScenario::default_on(),
+        ..params(jobs)
+    }
+}
+
+#[test]
+fn faulted_campaign_is_bit_identical_across_worker_counts() {
+    let serial = run_campaign(faulted_params(1)).unwrap();
+    for jobs in [4, 8] {
+        let parallel = run_campaign(faulted_params(jobs)).unwrap();
+        assert_eq!(serial.records.len(), parallel.records.len());
+        for (i, (s, p)) in serial.records.iter().zip(&parallel.records).enumerate() {
+            assert_eq!(s.metrics, p.metrics, "record {i} metrics at jobs={jobs}");
+            assert_eq!(s.rating, p.rating, "record {i} rating at jobs={jobs}");
+        }
+    }
+    // The scenario actually bites: the fault-only failure classes appear
+    // and at least one session limped home through retry or fallback.
+    let report = serial.failure_report();
+    let count = |label: &str| {
+        report
+            .outcomes
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0, |(_, c)| *c)
+    };
+    let hard_failures =
+        count("timed-out") + count("server-down") + count("starved") + count("aborted");
+    assert!(hard_failures > 0, "outcomes: {:?}", report.outcomes);
+    assert!(
+        report.retried + report.fallbacks > 0,
+        "no session retried or fell back"
+    );
+}
+
+#[test]
+fn zero_rate_fault_scenario_matches_fault_free_campaign() {
+    // An *enabled* scenario whose rates are all zero must generate empty
+    // plans and reproduce the fault-free campaign bit for bit: arming
+    // the fault machinery costs nothing when no fault fires.
+    let zero = StudyParams {
+        faults: rv_sim::FaultScenario {
+            enabled: true,
+            ..rv_sim::FaultScenario::off()
+        },
+        ..params(4)
+    };
+    let clean = run_campaign(params(4)).unwrap();
+    let armed = run_campaign(zero).unwrap();
+    assert_eq!(clean.records.len(), armed.records.len());
+    for (c, a) in clean.records.iter().zip(&armed.records) {
+        assert_eq!(c.metrics, a.metrics);
+        assert_eq!(c.rating, a.rating);
+    }
 }
