@@ -1,0 +1,91 @@
+//! Transport throughput micro-benchmarks for the zero-copy payload
+//! pipeline: bulk 1 MiB TCP transfers over a clean and a lossy link.
+//!
+//! The lossless case measures the segmentize path (rope sub-slices per
+//! segment, one shared backing buffer); the lossy case adds the
+//! retransmit path, which re-slices the same backing instead of
+//! re-copying the unacked bytes. With `--features alloc-stats` the
+//! per-transfer allocation counts are printed alongside the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static ALLOC: rv_sim::alloc_stats::CountingAlloc = rv_sim::alloc_stats::CountingAlloc;
+
+use rv_net::{Addr, HostId, LinkParams, NetBuilder};
+use rv_sim::{SimDuration, SimRng, SimTime};
+use rv_transport::{Segment, Stack, TcpConfig};
+
+const TRANSFER: usize = 1024 * 1024;
+
+/// Moves `TRANSFER` bytes client→server over one duplex link and returns
+/// the bytes delivered (asserted complete).
+fn bulk_transfer(loss: f64, seed: u64) -> usize {
+    let mut bld = NetBuilder::new();
+    let cn = bld.host();
+    let sn = bld.host();
+    let mut params = LinkParams::lan()
+        .rate(20_000_000.0)
+        .delay(SimDuration::from_millis(10));
+    if loss > 0.0 {
+        params = params.loss(loss);
+    }
+    bld.duplex(cn, sn, params);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut net = bld.build_with_payload::<Segment>(&mut rng);
+    let mut cs = Stack::new(HostId(0));
+    let mut ss = Stack::new(HostId(1));
+    let ch = cs.tcp_socket(1000, TcpConfig::default());
+    let sh = ss.tcp_socket(80, TcpConfig::default());
+    ss.tcp(sh).listen();
+    cs.tcp(ch).connect(Addr::new(HostId(1), 80), SimTime::ZERO);
+
+    let payload = vec![7u8; TRANSFER];
+    let mut sent = 0;
+    let mut received = 0usize;
+    let mut now = SimTime::ZERO;
+    while received < TRANSFER && now < SimTime::from_secs(120) {
+        sent += cs.tcp(ch).send(&payload[sent..]);
+        net.poll(now);
+        cs.poll(now, &mut net);
+        ss.poll(now, &mut net);
+        received += ss.tcp(sh).recv_with(usize::MAX, &mut |chunk: &[u8]| {
+            std::hint::black_box(chunk.len());
+        });
+        now = rv_sim::earliest([net.next_wake(), cs.next_wake(), ss.next_wake()])
+            .unwrap_or(now + SimDuration::from_millis(1))
+            .max(now + SimDuration::from_micros(100));
+    }
+    assert_eq!(received, TRANSFER, "transfer must complete (loss={loss})");
+    received
+}
+
+fn bench_transport_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_throughput_1MiB");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(TRANSFER as u64));
+    for (name, loss) in [("lossless_20mbps", 0.0), ("lossy2pct_20mbps", 0.02)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                #[cfg(feature = "alloc-stats")]
+                let before = rv_sim::alloc_stats::snapshot();
+                let got = std::hint::black_box(bulk_transfer(loss, 5));
+                #[cfg(feature = "alloc-stats")]
+                {
+                    let after = rv_sim::alloc_stats::snapshot();
+                    eprintln!(
+                        "{name}: {} allocs, {} bytes allocated per transfer",
+                        after.0 - before.0,
+                        after.1 - before.1
+                    );
+                }
+                got
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transport_throughput);
+criterion_main!(benches);

@@ -26,6 +26,22 @@
 use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
 use rv_study::{run_campaign, StudyParams};
 
+// With `--features alloc-stats` every allocation in the process is
+// counted, and `--bench-out` reports bytes/allocations per session.
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static ALLOC: rv_sim::alloc_stats::CountingAlloc = rv_sim::alloc_stats::CountingAlloc;
+
+/// Formats a per-session allocation figure, or `null` when the counting
+/// allocator is not compiled in.
+fn alloc_json(total: Option<u64>, sessions: usize) -> String {
+    match total {
+        Some(t) if sessions > 0 => format!("{:.1}", t as f64 / sessions as f64),
+        Some(t) => t.to_string(),
+        None => "null".to_string(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
@@ -95,7 +111,15 @@ fn main() {
             "a fraction"
         }
     );
+    #[cfg(feature = "alloc-stats")]
+    rv_sim::alloc_stats::reset();
     let data = run_campaign(params).unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+    #[cfg(feature = "alloc-stats")]
+    let alloc_snapshot = rv_sim::alloc_stats::snapshot();
+    #[cfg(not(feature = "alloc-stats"))]
+    let alloc_snapshot: Option<(u64, u64)> = None;
+    #[cfg(feature = "alloc-stats")]
+    let alloc_snapshot = Some(alloc_snapshot);
     eprintln!("{}", data.summary);
     eprintln!("campaign done: {} rated\n", data.rated().count());
 
@@ -115,6 +139,8 @@ fn main() {
                 "  \"sessions_per_sec\": {:.3},\n",
                 "  \"sim_seconds\": {:.3},\n",
                 "  \"sim_seconds_per_sec\": {:.3},\n",
+                "  \"allocs_per_session\": {},\n",
+                "  \"bytes_allocated_per_session\": {},\n",
                 "  \"per_worker\": [{}]\n",
                 "}}\n"
             ),
@@ -128,6 +154,8 @@ fn main() {
             s.sessions_per_sec(),
             s.sim_seconds,
             s.sim_seconds_per_sec(),
+            alloc_json(alloc_snapshot.map(|(allocs, _)| allocs), s.jobs_planned),
+            alloc_json(alloc_snapshot.map(|(_, bytes)| bytes), s.jobs_planned),
             per_worker.join(", "),
         );
         if let Err(e) = std::fs::write(&path, json) {

@@ -75,6 +75,16 @@ impl MediaPacket {
     /// Serializes header + zero-filled payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes header + zero-filled payload onto the end of `out`,
+    /// reusing the caller's buffer (the batch-transmit path encodes many
+    /// packets into one staging buffer before a single socket write).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.reserve(self.wire_len());
         out.extend_from_slice(&MAGIC.to_be_bytes());
         out.push(VERSION);
         let mut flags = 0u8;
@@ -97,9 +107,8 @@ impl MediaPacket {
         out.extend_from_slice(&self.group_id.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
         out.extend_from_slice(&self.payload_len.to_be_bytes());
-        debug_assert_eq!(out.len(), MEDIA_HEADER_BYTES);
-        out.resize(self.wire_len(), 0);
-        out
+        debug_assert_eq!(out.len() - start, MEDIA_HEADER_BYTES);
+        out.resize(start + self.wire_len(), 0);
     }
 
     /// Decodes one packet from the front of `buf`. Returns the packet and
@@ -144,26 +153,32 @@ impl MediaPacket {
 
 /// Splits a video frame into data packets at most [`MAX_PAYLOAD`] each.
 pub fn packetize_frame(frame: &Frame, rung: u8, group_id: u32) -> Vec<MediaPacket> {
+    let mut out = Vec::new();
+    packetize_frame_into(frame, rung, group_id, &mut out);
+    out
+}
+
+/// [`packetize_frame`] into a caller-owned buffer, so a streaming loop
+/// can reuse one allocation across every frame it sends.
+pub fn packetize_frame_into(frame: &Frame, rung: u8, group_id: u32, out: &mut Vec<MediaPacket>) {
     let size = frame.size.max(1) as usize;
     let frag_count = size.div_ceil(MAX_PAYLOAD).max(1) as u16;
-    (0..frag_count)
-        .map(|frag_index| {
-            let start = usize::from(frag_index) * MAX_PAYLOAD;
-            let len = (size - start).min(MAX_PAYLOAD);
-            MediaPacket {
-                kind: PacketKind::Video,
-                key: frame.key,
-                rung,
-                frame_index: frame.index,
-                frag_index,
-                frag_count,
-                pts_micros: frame.pts.as_micros(),
-                group_id,
-                seq: 0, // assigned by the sender at transmission time
-                payload_len: len as u16,
-            }
-        })
-        .collect()
+    out.extend((0..frag_count).map(|frag_index| {
+        let start = usize::from(frag_index) * MAX_PAYLOAD;
+        let len = (size - start).min(MAX_PAYLOAD);
+        MediaPacket {
+            kind: PacketKind::Video,
+            key: frame.key,
+            rung,
+            frame_index: frame.index,
+            frag_index,
+            frag_count,
+            pts_micros: frame.pts.as_micros(),
+            group_id,
+            seq: 0, // assigned by the sender at transmission time
+            payload_len: len as u16,
+        }
+    }));
 }
 
 /// Builds the parity packet covering `group` (any single lost member can be
@@ -185,9 +200,14 @@ pub fn parity_packet(group_id: u32, group: &[MediaPacket]) -> MediaPacket {
 }
 
 /// An incremental depacketizer for the TCP byte stream.
+///
+/// Consumed bytes are tracked with a cursor rather than drained per
+/// packet, so popping N packets walks the buffer once instead of
+/// memmoving the tail N times.
 #[derive(Debug, Default)]
 pub struct StreamDepacketizer {
     buf: Vec<u8>,
+    pos: usize,
 }
 
 impl StreamDepacketizer {
@@ -198,19 +218,28 @@ impl StreamDepacketizer {
 
     /// Appends stream bytes.
     pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 {
+            // Compact a long-consumed prefix so a perpetually incomplete
+            // tail cannot grow the buffer without bound.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Pops the next complete packet, if buffered.
     pub fn next_packet(&mut self) -> Option<MediaPacket> {
-        let (pkt, used) = MediaPacket::decode(&self.buf)?;
-        self.buf.drain(..used);
+        let (pkt, used) = MediaPacket::decode(&self.buf[self.pos..])?;
+        self.pos += used;
         Some(pkt)
     }
 
     /// Bytes buffered awaiting a complete packet.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 }
 

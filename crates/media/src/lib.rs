@@ -18,8 +18,8 @@ mod clip;
 mod frames;
 
 pub use adu::{
-    packetize_frame, parity_packet, MediaPacket, PacketKind, StreamDepacketizer, MAX_PAYLOAD,
-    MEDIA_HEADER_BYTES,
+    packetize_frame, packetize_frame_into, parity_packet, MediaPacket, PacketKind,
+    StreamDepacketizer, MAX_PAYLOAD, MEDIA_HEADER_BYTES,
 };
 pub use clip::{standard_rung, Clip, ContentKind, Encoding, SureStream};
 pub use frames::{Frame, FrameSchedule};

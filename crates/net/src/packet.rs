@@ -5,6 +5,14 @@
 //! payloads instead of encoded bytes trades wire-format fidelity for
 //! simulation speed; the paper's results depend on packet *dynamics*
 //! (timing, loss, queueing), which are fully preserved.
+//!
+//! Payload bytes inside `P` are shared, not owned: transport segments
+//! carry [`rv_sim::PayloadBytes`] sub-slices of the sender's backing
+//! buffer, so a packet sitting in a link queue aliases the sender's
+//! send buffer (and any retransmit of the same range). The network
+//! layer must therefore treat payloads as immutable — it may move,
+//! drop, or `Clone` packets (a clone is an `Arc` bump, not a byte
+//! copy), but never mutate payload contents in place.
 
 use std::fmt;
 

@@ -24,6 +24,7 @@ use rv_sim::{SimDuration, SimTime};
 pub struct Player {
     assembler: Assembler,
     playout: Playout,
+    frame_scratch: Vec<CompleteFrame>,
 }
 
 impl Player {
@@ -33,12 +34,16 @@ impl Player {
         Player {
             assembler: Assembler::new(),
             playout: Playout::new(cfg, cpu_power),
+            frame_scratch: Vec::new(),
         }
     }
 
     /// Feeds one received media packet.
     pub fn on_packet(&mut self, now: SimTime, pkt: MediaPacket) {
-        for frame in self.assembler.on_packet(now, pkt) {
+        self.frame_scratch.clear();
+        self.assembler
+            .on_packet_into(now, pkt, &mut self.frame_scratch);
+        for frame in self.frame_scratch.drain(..) {
             self.playout.push_frame(now, frame);
         }
         if self.assembler.eos() {

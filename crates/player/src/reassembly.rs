@@ -133,6 +133,14 @@ impl Assembler {
     /// Processes one packet; returns any frames it completed (usually 0–1,
     /// more after an FEC recovery).
     pub fn on_packet(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+        let mut out = Vec::new();
+        self.on_packet_into(now, pkt, &mut out);
+        out
+    }
+
+    /// [`Assembler::on_packet`] appending completed frames to `out`, so a
+    /// receive loop can reuse one buffer across every packet it feeds.
+    pub fn on_packet_into(&mut self, now: SimTime, pkt: MediaPacket, out: &mut Vec<CompleteFrame>) {
         self.stats.packets_received += 1;
         self.stats.bytes_received += pkt.wire_len() as u64;
         self.interval_bytes += pkt.wire_len() as u64;
@@ -151,21 +159,19 @@ impl Assembler {
         match pkt.kind {
             PacketKind::Audio => {
                 self.stats.audio_packets += 1;
-                Vec::new()
             }
             PacketKind::EndOfStream => {
                 self.eos = true;
-                Vec::new()
             }
-            PacketKind::Video => self.on_video(now, pkt),
-            PacketKind::Parity => self.on_parity(now, pkt),
+            PacketKind::Video => self.on_video(now, pkt, out),
+            PacketKind::Parity => self.on_parity(now, pkt, out),
         }
     }
 
-    fn on_video(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+    fn on_video(&mut self, now: SimTime, pkt: MediaPacket, out: &mut Vec<CompleteFrame>) {
         let key = (pkt.rung, pkt.frame_index);
         if self.completed.contains(&key) {
-            return Vec::new(); // duplicate of an already-delivered frame
+            return; // duplicate of an already-delivered frame
         }
         let entry = self.partial.entry(key).or_insert_with(|| PartialFrame {
             got: vec![false; usize::from(pkt.frag_count)],
@@ -176,7 +182,7 @@ impl Assembler {
         });
         let idx = usize::from(pkt.frag_index);
         if idx >= entry.got.len() || entry.got[idx] {
-            return Vec::new(); // duplicate or malformed
+            return; // duplicate or malformed
         }
         entry.got[idx] = true;
         entry.received += 1;
@@ -193,29 +199,29 @@ impl Assembler {
             for g in self.groups.values_mut() {
                 g.frames.remove(&key);
             }
-            vec![CompleteFrame {
+            out.push(CompleteFrame {
                 index: pkt.frame_index,
                 rung: pkt.rung,
                 pts: done.pts,
                 size: done.bytes,
                 key: done.key,
                 completed_at: now,
-            }]
+            });
         } else {
             self.groups
                 .entry(pkt.group_id)
                 .or_default()
                 .frames
                 .insert(key);
-            self.try_recover(now, pkt.group_id)
+            self.try_recover(now, pkt.group_id, out);
         }
     }
 
-    fn on_parity(&mut self, now: SimTime, pkt: MediaPacket) -> Vec<CompleteFrame> {
+    fn on_parity(&mut self, now: SimTime, pkt: MediaPacket, out: &mut Vec<CompleteFrame>) {
         let group = self.groups.entry(pkt.group_id).or_default();
         group.parity = Some(pkt.frag_count);
         group.parity_len = pkt.payload_len;
-        self.try_recover(now, pkt.group_id)
+        self.try_recover(now, pkt.group_id, out);
     }
 
     /// XOR-parity semantics: if the parity packet arrived and exactly one
@@ -223,31 +229,33 @@ impl Assembler {
     /// reconstructible. In the simulation the fragment's *content* is not
     /// carried, so recovery completes the unique frame in the group that is
     /// one fragment short.
-    fn try_recover(&mut self, now: SimTime, group_id: u32) -> Vec<CompleteFrame> {
+    fn try_recover(&mut self, now: SimTime, group_id: u32, out: &mut Vec<CompleteFrame>) {
         let Some(group) = self.groups.get(&group_id) else {
-            return Vec::new();
+            return;
         };
         let Some(size) = group.parity else {
-            return Vec::new();
+            return;
         };
         if group.data_received + 1 != size {
-            return Vec::new();
+            return;
         }
         // Find the unique one-fragment-short frame touched by this group.
-        let candidates: Vec<(u8, u32)> = group
-            .frames
-            .iter()
-            .filter(|k| {
-                self.partial
-                    .get(k)
-                    .is_some_and(|p| p.received + 1 == p.got.len() as u16)
-            })
-            .copied()
-            .collect();
-        if candidates.len() != 1 {
-            return Vec::new();
+        let mut candidate = None;
+        for k in &group.frames {
+            let short = self
+                .partial
+                .get(k)
+                .is_some_and(|p| p.received + 1 == p.got.len() as u16);
+            if short {
+                if candidate.is_some() {
+                    return; // ambiguous: more than one frame is short
+                }
+                candidate = Some(*k);
+            }
         }
-        let key = candidates[0];
+        let Some(key) = candidate else {
+            return;
+        };
         let recovered_len = self.groups[&group_id].parity_len;
         let done = self.partial.remove(&key).expect("candidate exists");
         self.completed.insert(key);
@@ -264,14 +272,14 @@ impl Assembler {
         } else {
             done.bytes / u32::from(done.received.max(1))
         };
-        vec![CompleteFrame {
+        out.push(CompleteFrame {
             index: key.1,
             rung: key.0,
             pts: done.pts,
             size: done.bytes + recovered,
             key: done.key,
             completed_at: now,
-        }]
+        });
     }
 
     /// Drains the per-interval receiver-report counters, returning
@@ -332,7 +340,7 @@ mod tests {
             index,
             pts: SimDuration::from_millis(u64::from(index) * 100),
             size,
-            key: index % 10 == 0,
+            key: index.is_multiple_of(10),
         }
     }
 

@@ -242,9 +242,14 @@ impl std::error::Error for DecodeError {}
 
 /// Incremental decoder over a TCP byte stream: feed bytes in arbitrary
 /// chunks, pop complete messages.
+///
+/// Consumed bytes are tracked with a cursor rather than drained per
+/// message, so a burst of pipelined messages walks the buffer once
+/// instead of memmoving the tail after each one.
 #[derive(Debug, Default)]
 pub struct Decoder {
     buf: Vec<u8>,
+    pos: usize,
 }
 
 impl Decoder {
@@ -255,22 +260,32 @@ impl Decoder {
 
     /// Appends received bytes.
     pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 {
+            // Compact a long-consumed prefix so a perpetually incomplete
+            // tail cannot grow the buffer without bound.
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes buffered but not yet forming a complete message.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
     /// Attempts to decode one complete message. Returns `Ok(None)` when more
     /// bytes are needed.
     pub fn next_message(&mut self) -> Result<Option<Message>, DecodeError> {
+        let buf = &self.buf[self.pos..];
         // Find the header/body separator.
-        let Some(header_end) = find_crlf_crlf(&self.buf) else {
+        let Some(header_end) = find_crlf_crlf(buf) else {
             return Ok(None);
         };
-        let header_text = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let header_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
         let mut lines = header_text.split("\r\n");
         let start = lines.next().unwrap_or_default().to_string();
 
@@ -296,11 +311,12 @@ impl Decoder {
         };
 
         let body_start = header_end + 4;
-        if self.buf.len() < body_start + content_length {
+        let buf = &self.buf[self.pos..];
+        if buf.len() < body_start + content_length {
             return Ok(None); // body incomplete
         }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
-        self.buf.drain(..body_start + content_length);
+        let body = buf[body_start..body_start + content_length].to_vec();
+        self.pos += body_start + content_length;
 
         // Parse the start line.
         if let Some(rest) = start.strip_prefix("RTSP/1.0 ") {

@@ -15,10 +15,10 @@
 //!   exceeds the available rate (Scalable Video Technology),
 //! * protects UDP data with one XOR-parity packet per FEC group.
 
-use rv_media::{packetize_frame, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
+use rv_media::{packetize_frame_into, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
 use rv_net::Addr;
 use rv_rtsp::{Decoder, ServerHandler, ServerSession, Status, TransportKind, TransportSpec};
-use rv_sim::{SimDuration, SimTime};
+use rv_sim::{PayloadBytes, SimDuration, SimTime};
 use rv_transport::{Stack, TcpHandle, UdpHandle};
 
 use crate::catalog::Catalog;
@@ -194,6 +194,19 @@ pub struct RealServer {
     clip_seed: u64,
     stats: ServerStats,
     alive: bool,
+    /// Staging buffer for the TCP data path: one pump's packets are
+    /// encoded here back-to-back and pushed to the socket as a single
+    /// large chunk, so segmentization slices one backing allocation
+    /// instead of straddling per-packet buffers.
+    txbuf: Vec<u8>,
+    /// Staging buffer for the UDP data path: one pump's datagrams are
+    /// encoded here back-to-back and sent as zero-copy slices of a single
+    /// shared backing allocation.
+    udp_scratch: Vec<u8>,
+    /// Datagram boundaries within `udp_scratch`: `(dst, start, len)`.
+    udp_bounds: Vec<(Addr, usize, usize)>,
+    /// Reusable packetization scratch (one frame's packets).
+    pkt_scratch: Vec<MediaPacket>,
 }
 
 impl RealServer {
@@ -230,6 +243,10 @@ impl RealServer {
             clip_seed,
             stats: ServerStats::default(),
             alive: true,
+            txbuf: Vec::new(),
+            udp_scratch: Vec::new(),
+            udp_bounds: Vec::new(),
+            pkt_scratch: Vec::new(),
             cfg,
         }
     }
@@ -253,6 +270,9 @@ impl RealServer {
         self.core.pending_reports.clear();
         self.rtsp = ServerSession::new();
         self.decoder = Decoder::new();
+        self.txbuf.clear();
+        self.udp_scratch.clear();
+        self.udp_bounds.clear();
         stack.tcp(self.ctrl).abort();
         stack.tcp(self.data_tcp).abort();
     }
@@ -369,10 +389,10 @@ impl RealServer {
 
     fn pump_control(&mut self, stack: &mut Stack) -> usize {
         let mut handled = 0;
-        let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
-        if !bytes.is_empty() {
-            self.decoder.feed(&bytes);
-        }
+        let decoder = &mut self.decoder;
+        stack
+            .tcp(self.ctrl)
+            .recv_with(usize::MAX, &mut |chunk| decoder.feed(chunk));
         loop {
             match self.decoder.next_message() {
                 Ok(Some(msg)) => {
@@ -551,7 +571,10 @@ impl RealServer {
             let can_send = match stream.transport {
                 TransportKind::Udp => stream.bucket.try_consume(now, wire),
                 TransportKind::Tcp => {
-                    stack.tcp_ref(self.data_tcp).send_capacity_left() >= wire as usize
+                    // Staged bytes count against the socket window exactly
+                    // as if each packet had been written eagerly.
+                    stack.tcp_ref(self.data_tcp).send_capacity_left()
+                        >= wire as usize + self.txbuf.len()
                 }
             };
             if !can_send {
@@ -559,7 +582,7 @@ impl RealServer {
             }
             let mut pkt = pkt;
             pkt.seq = self.bump_seq();
-            self.transmit(stack, &stream, pkt);
+            self.transmit(&stream, pkt);
             self.stats.audio_packets += 1;
             emitted += 1;
             stream.audio_seq += 1;
@@ -586,8 +609,14 @@ impl RealServer {
                     continue;
                 }
             }
-            let pkts = packetize_frame(&frame, stream.rung as u8, stream.group_id);
-            let wire: u32 = pkts.iter().map(|p| p.wire_len() as u32).sum();
+            self.pkt_scratch.clear();
+            packetize_frame_into(
+                &frame,
+                stream.rung as u8,
+                stream.group_id,
+                &mut self.pkt_scratch,
+            );
+            let wire: u32 = self.pkt_scratch.iter().map(|p| p.wire_len() as u32).sum();
             // Charge the FEC parity share up front so the pacing budget
             // covers every byte that will hit the wire.
             let wire_with_fec = if self.cfg.fec_group > 0 && stream.transport == TransportKind::Udp
@@ -599,21 +628,23 @@ impl RealServer {
             let can_send = match stream.transport {
                 TransportKind::Udp => stream.bucket.try_consume(now, wire_with_fec),
                 TransportKind::Tcp => {
-                    stack.tcp_ref(self.data_tcp).send_capacity_left() >= wire as usize
+                    stack.tcp_ref(self.data_tcp).send_capacity_left()
+                        >= wire as usize + self.txbuf.len()
                 }
             };
             if !can_send {
                 break;
             }
-            for mut pkt in pkts {
+            for i in 0..self.pkt_scratch.len() {
+                let mut pkt = self.pkt_scratch[i];
                 pkt.seq = self.bump_seq();
-                self.transmit(stack, &stream, pkt);
+                self.transmit(&stream, pkt);
                 if self.cfg.fec_group > 0 && stream.transport == TransportKind::Udp {
                     stream.fec_buf.push(pkt);
                     if stream.fec_buf.len() >= self.cfg.fec_group {
                         let mut parity = parity_packet(stream.group_id, &stream.fec_buf);
                         parity.seq = self.bump_seq();
-                        self.transmit(stack, &stream, parity);
+                        self.transmit(&stream, parity);
                         self.stats.parity_packets += 1;
                         stream.fec_buf.clear();
                         stream.group_id += 1;
@@ -644,13 +675,44 @@ impl RealServer {
                 payload_len: 0,
             };
             pkt.seq = self.bump_seq();
-            self.transmit(stack, &stream, pkt);
+            self.transmit(&stream, pkt);
             stream.eos_sent = true;
             emitted += 1;
         }
 
+        self.flush_txbuf(stack);
+        self.flush_udp(stack);
         self.stream = Some(stream);
         emitted
+    }
+
+    /// Hands the pump's staged TCP bytes to the socket as one shared
+    /// chunk. Capacity was reserved per packet as it was staged, so the
+    /// socket accepts the whole buffer (modulo the same tail truncation an
+    /// unchecked eager write would have hit).
+    fn flush_txbuf(&mut self, stack: &mut Stack) {
+        if self.txbuf.is_empty() {
+            return;
+        }
+        let chunk = PayloadBytes::copy_from_slice(&self.txbuf);
+        stack.tcp(self.data_tcp).send_bytes(chunk);
+        self.txbuf.clear();
+    }
+
+    /// Sends the pump's staged datagrams: one shared backing allocation,
+    /// each datagram a zero-copy slice of it. Queue order and simulated
+    /// time are exactly those of per-packet eager sends.
+    fn flush_udp(&mut self, stack: &mut Stack) {
+        if self.udp_bounds.is_empty() {
+            return;
+        }
+        let backing = PayloadBytes::copy_from_slice(&self.udp_scratch);
+        for (dst, start, len) in self.udp_bounds.drain(..) {
+            stack
+                .udp(self.udp)
+                .send_to(dst, backing.slice(start..start + len));
+        }
+        self.udp_scratch.clear();
     }
 
     fn evaluate_rate(&mut self, now: SimTime, stack: &mut Stack, stream: &mut ActiveStream) {
@@ -733,19 +795,21 @@ impl RealServer {
         stream.last_switch = now;
     }
 
-    fn transmit(&mut self, stack: &mut Stack, stream: &ActiveStream, pkt: MediaPacket) {
-        let bytes = pkt.encode();
-        self.stats.bytes_sent += bytes.len() as u64;
+    fn transmit(&mut self, stream: &ActiveStream, pkt: MediaPacket) {
+        self.stats.bytes_sent += pkt.wire_len() as u64;
         if pkt.kind == PacketKind::Video {
             self.stats.video_packets += 1;
         }
         match stream.transport {
             TransportKind::Udp => {
                 let dst = stream.client_udp.expect("UDP stream has client address");
-                stack.udp(self.udp).send_to(dst, bytes);
+                let start = self.udp_scratch.len();
+                pkt.encode_into(&mut self.udp_scratch);
+                self.udp_bounds.push((dst, start, pkt.wire_len()));
             }
             TransportKind::Tcp => {
-                stack.tcp(self.data_tcp).send(&bytes);
+                // Staged; flushed once at the end of the pump.
+                pkt.encode_into(&mut self.txbuf);
             }
         }
     }

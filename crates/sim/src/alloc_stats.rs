@@ -1,0 +1,70 @@
+//! Opt-in global-allocator instrumentation (feature `alloc-stats`).
+//!
+//! A counting wrapper around the system allocator so benchmarks and
+//! `repro --bench-out` can report allocation traffic per simulated
+//! session. Counters are process-global relaxed atomics: cheap enough to
+//! leave in the hot path, and summed correctly across executor worker
+//! threads.
+//!
+//! This is the one module in the workspace that needs `unsafe` (the
+//! `GlobalAlloc` contract); the crate-wide `forbid(unsafe_code)` is
+//! relaxed to `deny` outside this feature-gated file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts allocations and allocated bytes before
+/// delegating to [`System`]. Install with `#[global_allocator]`:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: rv_sim::alloc_stats::CountingAlloc = rv_sim::alloc_stats::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`, which upholds
+// the GlobalAlloc contract; the added atomic counters have no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow is a fresh allocation of the new size for accounting
+        // purposes (that is what it costs when it cannot grow in place).
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Cumulative `(allocations, bytes)` since process start (or the last
+/// [`reset`]).
+pub fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes both counters.
+pub fn reset() {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+}

@@ -32,9 +32,16 @@
 //! assert_eq!(seen, ["hello", "world"]);
 //! ```
 
-#![forbid(unsafe_code)]
+// The `alloc-stats` feature implements `GlobalAlloc`, whose contract is
+// inherently unsafe; everything else in the crate stays unsafe-free.
+#![cfg_attr(not(feature = "alloc-stats"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-stats", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-stats")]
+#[allow(unsafe_code)]
+pub mod alloc_stats;
+mod bytes;
 mod chacha;
 mod clock;
 mod event;
@@ -42,6 +49,7 @@ mod fault;
 mod rng;
 mod time;
 
+pub use bytes::{ByteRope, PayloadBytes};
 pub use clock::{run_until, Clock, StepOutcome};
 pub use event::{earliest, EventQueue, Scheduled};
 pub use fault::{

@@ -210,15 +210,13 @@ impl StudyData {
 pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
     let plan = plan_campaign(params);
     let start = std::time::Instant::now();
-    let (records, per_worker) = if params.jobs <= 1 {
-        (
-            SerialExecutor.execute(&plan)?,
-            SerialExecutor.worker_loads(&plan),
-        )
+    let execution = if params.jobs <= 1 {
+        SerialExecutor.execute(&plan)?
     } else {
-        let exec = ThreadedExecutor::new(params.jobs);
-        (exec.execute(&plan)?, exec.worker_loads(&plan))
+        ThreadedExecutor::new(params.jobs).execute(&plan)?
     };
+    let records = execution.records;
+    let per_worker = execution.worker_loads;
     let wall = start.elapsed();
 
     let summary = CampaignSummary {

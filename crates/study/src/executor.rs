@@ -3,12 +3,18 @@
 //!
 //! Executors differ only in *how* jobs are scheduled — [`SerialExecutor`]
 //! runs them in plan order on the calling thread; [`ThreadedExecutor`]
-//! fans contiguous chunks out across `std::thread::scope` workers, each
-//! running its own single-threaded session simulations. Because every
-//! [`SessionJob`] carries a self-contained seed and verdict, the two
-//! produce bit-identical `Vec<SessionRecord>` for every seed, scale, and
-//! worker count; `tests/determinism.rs` enforces this across the crate
-//! boundary.
+//! self-schedules: workers pull the next unclaimed job off a shared
+//! atomic cursor, so a worker stuck on one slow session never strands a
+//! pre-assigned chunk behind it. Each worker collects `(index, record)`
+//! pairs locally; after the join, records are placed into canonical plan
+//! order by index. Because every [`SessionJob`] carries a self-contained
+//! seed and verdict, all executors produce bit-identical
+//! `Vec<SessionRecord>` for every seed, scale, and worker count;
+//! `tests/determinism.rs` enforces this across the crate boundary. Only
+//! the per-worker *load split* is scheduling-dependent (and therefore
+//! nondeterministic for the threaded executor).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rv_sim::SimRng;
 use rv_tracer::{rate, SessionMetrics, SessionOutcome};
@@ -18,15 +24,24 @@ use crate::error::CampaignError;
 use crate::plan::{CampaignPlan, SessionJob};
 use crate::worldbuild::build_session_world;
 
+/// The outcome of an execute phase: records in canonical plan order plus
+/// the per-worker job counts actually observed during scheduling.
+#[derive(Debug)]
+pub struct Execution {
+    /// One record per planned job, in plan order.
+    pub records: Vec<SessionRecord>,
+    /// Jobs each worker ran. Always sums to `records.len()`. For the
+    /// threaded executor the split depends on thread timing and is *not*
+    /// deterministic — only the records are.
+    pub worker_loads: Vec<usize>,
+}
+
 /// A strategy for running a plan's jobs.
 pub trait CampaignExecutor {
-    /// Runs every job, returning records in canonical plan order, or a
-    /// [`CampaignError`] when a worker died before its chunk finished.
-    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError>;
-
-    /// Number of jobs each worker ran, for the campaign summary.
-    /// Indexed by worker; a serial executor reports one entry.
-    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize>;
+    /// Runs every job, returning records in canonical plan order together
+    /// with the observed per-worker loads, or a [`CampaignError`] when a
+    /// worker died before the plan finished.
+    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError>;
 }
 
 /// Runs jobs one at a time on the calling thread, in plan order.
@@ -34,19 +49,26 @@ pub trait CampaignExecutor {
 pub struct SerialExecutor;
 
 impl CampaignExecutor for SerialExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError> {
-        Ok(plan.jobs.iter().map(|job| run_job(plan, job)).collect())
-    }
-
-    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize> {
-        vec![plan.jobs.len()]
+    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError> {
+        let records: Vec<SessionRecord> = plan.jobs.iter().map(|job| run_job(plan, job)).collect();
+        let worker_loads = vec![records.len()];
+        Ok(Execution {
+            records,
+            worker_loads,
+        })
     }
 }
 
-/// Fans jobs across `workers` OS threads in contiguous chunks.
+/// Fans jobs across `workers` OS threads with self-scheduling: every
+/// worker pulls the next unclaimed job index off a shared atomic cursor
+/// until the plan is exhausted.
 ///
-/// Each worker writes into its own disjoint slice of the output, so no
-/// locks are needed and canonical order is preserved by construction.
+/// Compared to pre-assigned contiguous chunks, a long-running session
+/// cannot strand the rest of its chunk behind it — the other workers
+/// simply drain what remains. Workers collect `(index, record)` pairs in
+/// a thread-local vec; canonical order is restored by index after the
+/// join, so the output is bit-identical to [`SerialExecutor`] regardless
+/// of scheduling.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadedExecutor {
     /// Number of worker threads (≥ 1).
@@ -60,66 +82,67 @@ impl ThreadedExecutor {
             workers: workers.max(1),
         }
     }
-
-    /// Chunk length that spreads `jobs` over the workers.
-    fn chunk_len(&self, jobs: usize) -> usize {
-        jobs.div_ceil(self.workers).max(1)
-    }
 }
 
 impl CampaignExecutor for ThreadedExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Result<Vec<SessionRecord>, CampaignError> {
+    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError> {
         if self.workers == 1 || plan.jobs.len() <= 1 {
             return SerialExecutor.execute(plan);
         }
-        let chunk = self.chunk_len(plan.jobs.len());
-        let mut slots: Vec<Option<SessionRecord>> = vec![None; plan.jobs.len()];
+        let workers = self.workers.min(plan.jobs.len());
+        let cursor = AtomicUsize::new(0);
         // Join every worker explicitly: a panicked worker becomes a typed
         // error instead of propagating out of the scope and aborting the
         // caller with the worker's payload.
         let mut first_dead: Option<usize> = None;
+        let mut slots: Vec<Option<SessionRecord>> = Vec::new();
+        slots.resize_with(plan.jobs.len(), || None);
+        let mut worker_loads = vec![0usize; workers];
         std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .jobs
-                .chunks(chunk)
-                .zip(slots.chunks_mut(chunk))
-                .map(|(job_chunk, slot_chunk)| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
                     scope.spawn(move || {
-                        for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
-                            *slot = Some(run_job(plan, job));
+                        let mut local: Vec<(usize, SessionRecord)> = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = plan.jobs.get(index) else {
+                                break;
+                            };
+                            local.push((index, run_job(plan, job)));
                         }
+                        local
                     })
                 })
                 .collect();
             for (worker, handle) in handles.into_iter().enumerate() {
-                if handle.join().is_err() && first_dead.is_none() {
-                    first_dead = Some(worker);
+                match handle.join() {
+                    Ok(local) => {
+                        worker_loads[worker] = local.len();
+                        for (index, record) in local {
+                            slots[index] = Some(record);
+                        }
+                    }
+                    Err(_) => {
+                        if first_dead.is_none() {
+                            first_dead = Some(worker);
+                        }
+                    }
                 }
             }
         });
         if let Some(worker) = first_dead {
             return Err(CampaignError::WorkerPanicked { worker });
         }
-        slots
+        let records = slots
             .into_iter()
             .enumerate()
             .map(|(index, s)| s.ok_or(CampaignError::MissingRecord { index }))
-            .collect()
-    }
-
-    fn worker_loads(&self, plan: &CampaignPlan) -> Vec<usize> {
-        if self.workers == 1 || plan.jobs.len() <= 1 {
-            return vec![plan.jobs.len()];
-        }
-        let chunk = self.chunk_len(plan.jobs.len());
-        let mut loads: Vec<usize> = Vec::new();
-        let mut left = plan.jobs.len();
-        while left > 0 {
-            let n = left.min(chunk);
-            loads.push(n);
-            left -= n;
-        }
-        loads
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Execution {
+            records,
+            worker_loads,
+        })
     }
 }
 
@@ -187,9 +210,12 @@ mod tests {
             scale: 0.02,
             ..StudyParams::default()
         });
-        let serial = SerialExecutor.execute(&plan).unwrap();
+        let serial = SerialExecutor.execute(&plan).unwrap().records;
         for workers in [2, 3, 5] {
-            let parallel = ThreadedExecutor::new(workers).execute(&plan).unwrap();
+            let parallel = ThreadedExecutor::new(workers)
+                .execute(&plan)
+                .unwrap()
+                .records;
             assert_eq!(serial.len(), parallel.len());
             for (s, p) in serial.iter().zip(&parallel) {
                 assert_eq!(s.user_id, p.user_id);
@@ -209,7 +235,7 @@ mod tests {
         });
         for workers in [1, 2, 4, 7] {
             let exec = ThreadedExecutor::new(workers);
-            let loads = exec.worker_loads(&plan);
+            let loads = exec.execute(&plan).unwrap().worker_loads;
             assert_eq!(loads.iter().sum::<usize>(), plan.jobs.len());
             assert!(loads.len() <= workers);
         }
@@ -221,7 +247,7 @@ mod tests {
             scale: 0.01,
             ..StudyParams::default()
         });
-        let records = SerialExecutor.execute(&plan).unwrap();
+        let records = SerialExecutor.execute(&plan).unwrap().records;
         let first = &records[0];
         // The record's name points into the plan's intern table, not a
         // fresh allocation.

@@ -28,7 +28,7 @@ mod worldbuild;
 
 pub use campaign::{run_campaign, CampaignSummary, SessionRecord, StudyData, StudyParams};
 pub use error::CampaignError;
-pub use executor::{run_job, CampaignExecutor, SerialExecutor, ThreadedExecutor};
+pub use executor::{run_job, CampaignExecutor, Execution, SerialExecutor, ThreadedExecutor};
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
     Zone,

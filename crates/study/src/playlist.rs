@@ -126,11 +126,11 @@ mod tests {
     fn every_server_hosts_clips() {
         let roster = server_roster();
         let list = playlist(2);
-        for idx in 0..roster.len() {
+        for (idx, site) in roster.iter().enumerate() {
             assert!(
                 list.iter().any(|e| e.server == idx),
                 "server {} hosts nothing",
-                roster[idx].name
+                site.name
             );
         }
     }

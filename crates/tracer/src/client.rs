@@ -416,10 +416,10 @@ impl TracerClient {
 
     fn pump_control(&mut self, now: SimTime, stack: &mut Stack) -> usize {
         let mut handled = 0;
-        let bytes = stack.tcp(self.ctrl).recv(usize::MAX);
-        if !bytes.is_empty() {
-            self.decoder.feed(&bytes);
-        }
+        let decoder = &mut self.decoder;
+        stack
+            .tcp(self.ctrl)
+            .recv_with(usize::MAX, &mut |chunk| decoder.feed(chunk));
         loop {
             let msg = match self.decoder.next_message() {
                 Ok(Some(msg)) => msg,
@@ -503,10 +503,13 @@ impl TracerClient {
                 self.player.on_packet(now, pkt);
             }
         }
-        // TCP stream: depacketize.
-        let bytes = stack.tcp(self.data_tcp).recv(usize::MAX);
-        if !bytes.is_empty() {
-            self.depkt.feed(&bytes);
+        // TCP stream: depacketize straight out of the receive rope —
+        // no intermediate `Vec` between the socket and the depacketizer.
+        let depkt = &mut self.depkt;
+        let fed = stack
+            .tcp(self.data_tcp)
+            .recv_with(usize::MAX, &mut |chunk| depkt.feed(chunk));
+        if fed > 0 {
             while let Some(pkt) = self.depkt.next_packet() {
                 work += 1;
                 self.last_rung = pkt.rung;

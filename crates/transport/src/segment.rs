@@ -1,4 +1,10 @@
 //! Transport-layer segments carried as `rv-net` packet payloads.
+//!
+//! Payloads are [`PayloadBytes`] — shared slices, not owned `Vec`s — so a
+//! segment can window the sender's buffer without copying and survive
+//! cloning through the network for free.
+
+use rv_sim::PayloadBytes;
 
 /// Header bytes added to every TCP segment (IP + TCP, no options).
 pub const TCP_HEADER_BYTES: u32 = 40;
@@ -55,8 +61,8 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Receive window advertisement, in bytes.
     pub window: u32,
-    /// Application payload.
-    pub data: Vec<u8>,
+    /// Application payload: a shared slice of the sender's buffer.
+    pub data: PayloadBytes,
 }
 
 impl TcpSegment {
@@ -79,8 +85,8 @@ impl TcpSegment {
 /// A UDP datagram: just bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdpDatagram {
-    /// Application payload.
-    pub data: Vec<u8>,
+    /// Application payload: a shared slice of the sender's buffer.
+    pub data: PayloadBytes,
 }
 
 impl UdpDatagram {
@@ -120,12 +126,12 @@ mod tests {
             ack: 0,
             flags: TcpFlags::SYN,
             window: 0,
-            data: vec![],
+            data: PayloadBytes::empty(),
         };
         assert_eq!(seg.seq_len(), 1);
         assert_eq!(seg.seq_end(), 101);
         seg.flags = TcpFlags::ACK;
-        seg.data = vec![0; 10];
+        seg.data = vec![0u8; 10].into();
         assert_eq!(seg.seq_len(), 10);
         seg.flags.fin = true;
         assert_eq!(seg.seq_len(), 11);
@@ -138,10 +144,12 @@ mod tests {
             ack: 0,
             flags: TcpFlags::ACK,
             window: 0,
-            data: vec![0; 100],
+            data: vec![0u8; 100].into(),
         };
         assert_eq!(t.wire_size(), 140);
-        let u = UdpDatagram { data: vec![0; 100] };
+        let u = UdpDatagram {
+            data: vec![0u8; 100].into(),
+        };
         assert_eq!(u.wire_size(), 128);
         assert_eq!(Segment::Tcp(t).wire_size(), 140);
         assert_eq!(Segment::Udp(u).wire_size(), 128);

@@ -7,6 +7,7 @@ use rv_sim::{earliest, SimTime};
 use crate::segment::{Segment, TcpFlags, TcpSegment};
 use crate::tcp::{TcpConfig, TcpSocket, TcpState};
 use crate::udp::UdpSocket;
+use rv_sim::PayloadBytes;
 
 /// Handle to a TCP socket within a [`Stack`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,16 +121,14 @@ impl Stack {
         }
 
         for sock in &mut self.tcp {
-            for pkt in sock.poll(now) {
+            handled += sock.poll_into(now, &mut |pkt| {
                 net.send(now, pkt);
-                handled += 1;
-            }
+            });
         }
         for sock in &mut self.udp {
-            for pkt in sock.poll(now) {
+            handled += sock.poll_into(now, &mut |pkt| {
                 net.send(now, pkt);
-                handled += 1;
-            }
+            });
         }
         handled
     }
@@ -170,7 +169,7 @@ impl Stack {
                                     fin: false,
                                 },
                                 window: 0,
-                                data: vec![],
+                                data: PayloadBytes::empty(),
                             };
                             let size = rst.wire_size();
                             self.pending_rsts.push(Packet::new(

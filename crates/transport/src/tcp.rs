@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use rv_net::{Addr, Packet};
-use rv_sim::{SimDuration, SimTime};
+use rv_sim::{ByteRope, PayloadBytes, SimDuration, SimTime};
 
 use crate::segment::{Segment, TcpFlags, TcpSegment, DEFAULT_MSS};
 
@@ -126,9 +126,12 @@ pub struct TcpSocket {
     snd_una: u64,
     /// Next sequence to transmit.
     snd_nxt: u64,
-    /// Sequence number of `send_buf[0]`.
+    /// Sequence number of the first byte in `send_buf`.
     buf_seq: u64,
-    send_buf: VecDeque<u8>,
+    /// Unacknowledged + unsent bytes as a rope of shared chunks:
+    /// `send_bytes` pushes the caller's buffer without copying, and
+    /// segmentize/retransmit window it with zero-copy sub-slices.
+    send_buf: ByteRope,
     /// Congestion window, bytes (f64 so congestion-avoidance fractions accumulate).
     cwnd: f64,
     ssthresh: f64,
@@ -150,9 +153,10 @@ pub struct TcpSocket {
 
     // --- receive side ---
     rcv_nxt: u64,
-    recv_buf: VecDeque<u8>,
-    /// Out-of-order segments keyed by sequence.
-    ooo: BTreeMap<u64, Vec<u8>>,
+    recv_buf: ByteRope,
+    /// Out-of-order payloads keyed by sequence, stored by value (the
+    /// segment's shared slice — no byte copy on insertion or absorption).
+    ooo: BTreeMap<u64, PayloadBytes>,
     ooo_bytes: usize,
     peer_fin: bool,
 
@@ -192,7 +196,7 @@ impl TcpSocket {
             snd_una: 0,
             snd_nxt: 0,
             buf_seq: 1,
-            send_buf: VecDeque::new(),
+            send_buf: ByteRope::new(),
             cwnd: f64::from(cfg.initial_cwnd_segments * cfg.mss),
             ssthresh: f64::from(cfg.initial_ssthresh),
             rwnd: cfg.recv_capacity as u32,
@@ -205,7 +209,7 @@ impl TcpSocket {
             rto_deadline: None,
             rtt_sample: None,
             rcv_nxt: 0,
-            recv_buf: VecDeque::new(),
+            recv_buf: ByteRope::new(),
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
             peer_fin: false,
@@ -282,13 +286,34 @@ impl TcpSocket {
         self.cfg.send_capacity - self.send_buf.len()
     }
 
-    /// Queues application data; returns bytes accepted.
+    /// Queues application data by copying it into one fresh chunk;
+    /// returns bytes accepted. Callers that already own their bytes
+    /// should prefer [`TcpSocket::send_bytes`], which queues without
+    /// copying at all.
     pub fn send(&mut self, data: &[u8]) -> usize {
         if self.close_requested {
             return 0;
         }
         let n = data.len().min(self.send_capacity_left());
-        self.send_buf.extend(&data[..n]);
+        self.send_buf.push_slice(&data[..n]);
+        n
+    }
+
+    /// Queues application data, taking ownership of the shared buffer —
+    /// the zero-copy ingress: transmission and every retransmission
+    /// window this very allocation. Returns bytes accepted; on a partial
+    /// accept the tail is dropped (slice and re-offer, as with
+    /// [`TcpSocket::send`]).
+    pub fn send_bytes(&mut self, data: PayloadBytes) -> usize {
+        if self.close_requested {
+            return 0;
+        }
+        let n = data.len().min(self.send_capacity_left());
+        if n == data.len() {
+            self.send_buf.push(data);
+        } else {
+            self.send_buf.push(data.slice(..n));
+        }
         n
     }
 
@@ -371,17 +396,28 @@ impl TcpSocket {
         self.last_error.take()
     }
 
-    /// Reads up to `max` bytes of in-order received data.
+    /// Reads up to `max` bytes of in-order received data into one `Vec`
+    /// (single walk, single allocation). Prefer
+    /// [`TcpSocket::recv_with`] to consume without the `Vec` at all.
     pub fn recv(&mut self, max: usize) -> Vec<u8> {
-        let was_closed = self.advertised_window() == 0;
         let n = max.min(self.recv_buf.len());
-        let out: Vec<u8> = self.recv_buf.drain(..n).collect();
-        self.stats.bytes_delivered += out.len() as u64;
-        if was_closed && self.advertised_window() > 0 && !out.is_empty() {
+        let mut out = Vec::with_capacity(n);
+        self.recv_with(max, &mut |chunk| out.extend_from_slice(chunk));
+        out
+    }
+
+    /// Reads up to `max` bytes of in-order received data, handing each
+    /// contiguous chunk to `sink` without copying. Returns bytes
+    /// consumed.
+    pub fn recv_with(&mut self, max: usize, sink: &mut dyn FnMut(&[u8])) -> usize {
+        let was_closed = self.advertised_window() == 0;
+        let n = self.recv_buf.read_with(max, sink);
+        self.stats.bytes_delivered += n as u64;
+        if was_closed && self.advertised_window() > 0 && n > 0 {
             // Window update so a stalled sender can resume.
             self.queue_ack();
         }
-        out
+        n
     }
 
     /// Bytes readable right now.
@@ -463,13 +499,13 @@ impl TcpSocket {
                     self.rto_deadline = None;
                 }
                 // Data can ride on the handshake-completing ACK.
-                self.process_payload(&seg);
+                self.process_payload(seg);
             }
             TcpState::Established | TcpState::FinSent => {
                 if seg.flags.ack {
                     self.process_ack(now, &seg);
                 }
-                self.process_payload(&seg);
+                self.process_payload(seg);
             }
         }
     }
@@ -488,7 +524,7 @@ impl TcpSocket {
             // sequence space beyond the buffered data.
             let data_acked = (seg.ack.min(self.buf_seq + self.send_buf.len() as u64))
                 .saturating_sub(self.buf_seq) as usize;
-            self.send_buf.drain(..data_acked);
+            self.send_buf.advance(data_acked);
             self.buf_seq += data_acked as u64;
 
             // RTT sampling (Karn: the sample is cleared on retransmission).
@@ -548,36 +584,41 @@ impl TcpSocket {
         }
     }
 
-    fn process_payload(&mut self, seg: &TcpSegment) {
-        let data_len = seg.data.len() as u64;
+    fn process_payload(&mut self, seg: TcpSegment) {
+        let TcpSegment {
+            seq, flags, data, ..
+        } = seg;
+        let data_len = data.len() as u64;
         if data_len > 0 {
-            if seg.seq == self.rcv_nxt {
+            if seq == self.rcv_nxt {
                 // All-or-nothing: a sender respecting our advertised window
                 // never overruns; a partial accept would silently discard a
                 // tail only an RTO could recover.
                 let room = self.cfg.recv_capacity.saturating_sub(self.recv_buf.len());
-                if seg.data.len() <= room {
-                    self.recv_buf.extend(&seg.data);
+                if data.len() <= room {
+                    self.recv_buf.push(data);
                     self.rcv_nxt += data_len;
                     self.absorb_ooo();
                 }
-            } else if seg.seq > self.rcv_nxt {
-                // Out of order: store if room, and never store duplicates.
+            } else if seq > self.rcv_nxt {
+                // Out of order: store the segment's payload by value if
+                // room, and never store duplicates. A move of the shared
+                // slice — no byte copy.
                 let room = self
                     .cfg
                     .recv_capacity
                     .saturating_sub(self.recv_buf.len() + self.ooo_bytes);
-                if seg.data.len() <= room && !self.ooo.contains_key(&seg.seq) {
-                    self.ooo_bytes += seg.data.len();
-                    self.ooo.insert(seg.seq, seg.data.clone());
+                if data.len() <= room && !self.ooo.contains_key(&seq) {
+                    self.ooo_bytes += data.len();
+                    self.ooo.insert(seq, data);
                 }
             }
             // ACK every data segment (old/duplicate data is re-ACKed too —
             // that is what makes duplicate ACKs visible to the sender).
             self.queue_ack();
         }
-        if seg.flags.fin {
-            let fin_seq = seg.seq + data_len;
+        if flags.fin {
+            let fin_seq = seq + data_len;
             if fin_seq == self.rcv_nxt && !self.peer_fin {
                 self.rcv_nxt += 1;
                 self.peer_fin = true;
@@ -603,7 +644,8 @@ impl TcpSocket {
                 let (_, data) = self.ooo.pop_first().expect("checked nonempty");
                 self.ooo_bytes -= len;
                 self.rcv_nxt += (len - skip) as u64;
-                self.recv_buf.extend(&data[skip..]);
+                // Partial overlap narrows the stored slice in place.
+                self.recv_buf.push(data.slice(skip..));
             } else {
                 // Fully old segment: discard.
                 let (_, data) = self.ooo.pop_first().expect("checked nonempty");
@@ -635,13 +677,25 @@ impl TcpSocket {
     }
 
     /// Produces segments ready to transmit at `now` (including handshake,
-    /// retransmissions due to timeout, new data, FIN, and pure ACKs).
+    /// retransmissions due to timeout, new data, FIN, and pure ACKs),
+    /// collected into a `Vec`. Prefer [`TcpSocket::poll_into`] on hot
+    /// paths.
     pub fn poll(&mut self, now: SimTime) -> Vec<Packet<Segment>> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut |pkt| out.push(pkt));
+        out
+    }
+
+    /// Produces segments ready to transmit at `now`, handing each to
+    /// `emit` as it is built (no per-poll allocation). Returns the number
+    /// of segments emitted.
+    pub fn poll_into(&mut self, now: SimTime, emit: &mut dyn FnMut(Packet<Segment>)) -> usize {
+        let mut emitted = 0;
         // An abort's RST goes out even though the socket is already
         // Closed — the one segment a dead connection still owes the wire.
         if let Some(dst) = self.pending_rst.take() {
-            out.push(self.make_packet(
+            emitted += 1;
+            emit(self.make_packet(
                 dst,
                 TcpSegment {
                     seq: self.snd_nxt,
@@ -653,12 +707,12 @@ impl TcpSocket {
                         fin: false,
                     },
                     window: 0,
-                    data: vec![],
+                    data: PayloadBytes::empty(),
                 },
             ));
         }
         let Some(remote) = self.remote else {
-            return out;
+            return emitted;
         };
 
         // Retransmission timeout.
@@ -675,36 +729,38 @@ impl TcpSocket {
                 // would spin drivers that re-poll while work is produced.
                 if self.snd_nxt == self.iss {
                     self.snd_nxt = self.iss + 1;
-                    out.push(self.make_packet(
+                    emitted += 1;
+                    emit(self.make_packet(
                         remote,
                         TcpSegment {
                             seq: self.iss,
                             ack: 0,
                             flags: TcpFlags::SYN,
                             window: self.advertised_window(),
-                            data: vec![],
+                            data: PayloadBytes::empty(),
                         },
                     ));
                 }
-                return out;
+                return emitted;
             }
             TcpState::SynRcvd => {
                 if self.snd_nxt == self.iss {
                     self.snd_nxt = self.iss + 1;
-                    out.push(self.make_packet(
+                    emitted += 1;
+                    emit(self.make_packet(
                         remote,
                         TcpSegment {
                             seq: self.iss,
                             ack: self.rcv_nxt,
                             flags: TcpFlags::SYN_ACK,
                             window: self.advertised_window(),
-                            data: vec![],
+                            data: PayloadBytes::empty(),
                         },
                     ));
                 }
-                return out;
+                return emitted;
             }
-            TcpState::Closed | TcpState::Listen => return out,
+            TcpState::Closed | TcpState::Listen => return emitted,
             TcpState::Established | TcpState::FinSent => {}
         }
 
@@ -712,7 +768,8 @@ impl TcpSocket {
         if self.pending_retransmit {
             self.pending_retransmit = false;
             if let Some(pkt) = self.retransmit_head(remote) {
-                out.push(pkt);
+                emitted += 1;
+                emit(pkt);
                 self.rto_deadline = Some(now + self.rto);
             }
         }
@@ -737,7 +794,7 @@ impl TcpSocket {
                 break;
             }
             let off = (self.snd_nxt - self.buf_seq) as usize;
-            let data: Vec<u8> = self.send_buf.range(off..off + len).copied().collect();
+            let data = self.send_buf.slice(off, len);
             let seg = TcpSegment {
                 seq: self.snd_nxt,
                 ack: self.rcv_nxt,
@@ -754,7 +811,8 @@ impl TcpSocket {
             }
             self.stats.segments_sent += 1;
             self.pending_acks.clear(); // cumulative ack piggybacks on data
-            out.push(self.make_packet(remote, seg));
+            emitted += 1;
+            emit(self.make_packet(remote, seg));
         }
 
         // FIN once all data is sent.
@@ -773,7 +831,7 @@ impl TcpSocket {
                     rst: false,
                 },
                 window: self.advertised_window(),
-                data: vec![],
+                data: PayloadBytes::empty(),
             };
             self.fin_seq = Some(self.snd_nxt);
             self.snd_nxt += 1;
@@ -782,24 +840,26 @@ impl TcpSocket {
                 self.rto_deadline = Some(now + self.rto);
             }
             self.pending_acks.clear();
-            out.push(self.make_packet(remote, seg));
+            emitted += 1;
+            emit(self.make_packet(remote, seg));
         }
 
         // One pure ACK per received segment still owed, each carrying its
         // receipt-time snapshot.
         while let Some((ack, window)) = self.pending_acks.pop_front() {
-            out.push(self.make_packet(
+            emitted += 1;
+            emit(self.make_packet(
                 remote,
                 TcpSegment {
                     seq: self.snd_nxt,
                     ack,
                     flags: TcpFlags::ACK,
                     window,
-                    data: vec![],
+                    data: PayloadBytes::empty(),
                 },
             ));
         }
-        out
+        emitted
     }
 
     fn on_timeout(&mut self, now: SimTime) {
@@ -852,7 +912,7 @@ impl TcpSocket {
                         rst: false,
                     },
                     window: self.advertised_window(),
-                    data: vec![],
+                    data: PayloadBytes::empty(),
                 },
             ));
         }
@@ -862,7 +922,7 @@ impl TcpSocket {
         if len == 0 {
             return None;
         }
-        let data: Vec<u8> = self.send_buf.range(off..off + len).copied().collect();
+        let data = self.send_buf.slice(off, len);
         self.stats.retransmits += 1;
         Some(self.make_packet(
             remote,
@@ -942,6 +1002,49 @@ mod tests {
     #[test]
     fn handshake_establishes_both_ends() {
         established_pair();
+    }
+
+    #[test]
+    fn transmit_and_retransmit_share_the_senders_backing_buffer() {
+        let (mut c, mut _s) = established_pair();
+        let original = PayloadBytes::from_vec((0..800u32).map(|i| (i % 256) as u8).collect());
+        assert_eq!(c.send_bytes(original.clone()), 800);
+
+        // First transmission: the segment's payload is a sub-slice of the
+        // enqueued chunk, not a copy.
+        let pkts = c.poll(SimTime::from_millis(1));
+        let first: Vec<&TcpSegment> = pkts
+            .iter()
+            .filter_map(|p| match &p.payload {
+                Segment::Tcp(seg) if !seg.data.is_empty() => Some(seg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(first.len(), 1);
+        assert!(
+            first[0].data.same_backing(&original),
+            "segmentize must slice the sender's buffer, not copy it"
+        );
+        assert_eq!(first[0].data, original);
+
+        // Drop the segment (never deliver it) and run past the RTO: the
+        // retransmission also re-slices the same backing allocation.
+        let rto_fires = c.next_wake().expect("rto armed");
+        let pkts = c.poll(rto_fires + SimDuration::from_millis(1));
+        let retx: Vec<&TcpSegment> = pkts
+            .iter()
+            .filter_map(|p| match &p.payload {
+                Segment::Tcp(seg) if !seg.data.is_empty() => Some(seg),
+                _ => None,
+            })
+            .collect();
+        assert!(!retx.is_empty(), "timeout must produce a retransmission");
+        assert!(
+            retx[0].data.same_backing(&original),
+            "retransmit must slice the sender's buffer, not copy it"
+        );
+        assert_eq!(retx[0].data, original);
+        assert_eq!(c.stats().retransmits, 1);
     }
 
     #[test]
@@ -1106,7 +1209,7 @@ mod tests {
                 ..TcpFlags::default()
             },
             window: 0,
-            data: vec![],
+            data: PayloadBytes::empty(),
         };
         let mut c2 = c;
         c2.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
@@ -1126,7 +1229,7 @@ mod tests {
                 ..TcpFlags::default()
             },
             window: 0,
-            data: vec![],
+            data: PayloadBytes::empty(),
         };
         c.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
         assert!(c.is_closed());
@@ -1146,7 +1249,7 @@ mod tests {
                 ..TcpFlags::default()
             },
             window: 0,
-            data: vec![],
+            data: PayloadBytes::empty(),
         };
         c.on_segment(SimTime::from_millis(1), addr(1, 554), rst);
         assert!(c.is_closed());

@@ -7,7 +7,7 @@
 use std::collections::VecDeque;
 
 use rv_net::{Addr, Packet};
-use rv_sim::SimTime;
+use rv_sim::{PayloadBytes, SimTime};
 
 use crate::segment::{Segment, UdpDatagram};
 
@@ -29,7 +29,7 @@ pub struct UdpStats {
 pub struct UdpSocket {
     local: Addr,
     outbox: VecDeque<Packet<Segment>>,
-    inbox: VecDeque<(Addr, Vec<u8>)>,
+    inbox: VecDeque<(Addr, PayloadBytes)>,
     /// Bound on buffered inbound datagrams; beyond this, oldest are dropped
     /// (mirrors kernel socket-buffer overflow for a slow application).
     inbox_capacity: usize,
@@ -58,8 +58,11 @@ impl UdpSocket {
         self.stats
     }
 
-    /// Queues a datagram to `dst`.
-    pub fn send_to(&mut self, dst: Addr, data: Vec<u8>) {
+    /// Queues a datagram to `dst`. The payload is a shared slice, so
+    /// callers that already hold a [`PayloadBytes`] hand it over without
+    /// copying.
+    pub fn send_to(&mut self, dst: Addr, data: impl Into<PayloadBytes>) {
+        let data = data.into();
         self.stats.datagrams_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         let dgram = UdpDatagram { data };
@@ -69,7 +72,7 @@ impl UdpSocket {
     }
 
     /// Delivers an inbound datagram (called by the stack demux).
-    pub fn on_datagram(&mut self, src: Addr, data: Vec<u8>) {
+    pub fn on_datagram(&mut self, src: Addr, data: PayloadBytes) {
         self.stats.datagrams_received += 1;
         self.stats.bytes_received += data.len() as u64;
         if self.inbox.len() == self.inbox_capacity {
@@ -78,8 +81,8 @@ impl UdpSocket {
         self.inbox.push_back((src, data));
     }
 
-    /// Pops the next received datagram.
-    pub fn recv(&mut self) -> Option<(Addr, Vec<u8>)> {
+    /// Pops the next received datagram as a shared slice (no copy).
+    pub fn recv(&mut self) -> Option<(Addr, PayloadBytes)> {
         self.inbox.pop_front()
     }
 
@@ -91,6 +94,16 @@ impl UdpSocket {
     /// Drains queued outbound packets (the stack hands them to the network).
     pub fn poll(&mut self, _now: SimTime) -> Vec<Packet<Segment>> {
         self.outbox.drain(..).collect()
+    }
+
+    /// Drains queued outbound packets into `emit` without an intermediate
+    /// `Vec`. Returns the number of packets emitted.
+    pub fn poll_into(&mut self, _now: SimTime, emit: &mut dyn FnMut(Packet<Segment>)) -> usize {
+        let n = self.outbox.len();
+        for pkt in self.outbox.drain(..) {
+            emit(pkt);
+        }
+        n
     }
 
     /// `true` when a poll would emit packets (queued outbound datagrams).
@@ -125,8 +138,8 @@ mod tests {
     #[test]
     fn recv_returns_in_arrival_order() {
         let mut s = UdpSocket::new(addr(0, 5000));
-        s.on_datagram(addr(1, 1), vec![1]);
-        s.on_datagram(addr(1, 1), vec![2]);
+        s.on_datagram(addr(1, 1), vec![1].into());
+        s.on_datagram(addr(1, 1), vec![2].into());
         assert_eq!(s.recv().unwrap().1, vec![1]);
         assert_eq!(s.recv().unwrap().1, vec![2]);
         assert!(s.recv().is_none());
@@ -136,9 +149,9 @@ mod tests {
     fn inbox_overflow_drops_oldest() {
         let mut s = UdpSocket::new(addr(0, 1));
         s.inbox_capacity = 2;
-        s.on_datagram(addr(1, 1), vec![1]);
-        s.on_datagram(addr(1, 1), vec![2]);
-        s.on_datagram(addr(1, 1), vec![3]);
+        s.on_datagram(addr(1, 1), vec![1].into());
+        s.on_datagram(addr(1, 1), vec![2].into());
+        s.on_datagram(addr(1, 1), vec![3].into());
         assert_eq!(s.recv_queue_len(), 2);
         assert_eq!(s.recv().unwrap().1, vec![2]);
     }
@@ -147,7 +160,7 @@ mod tests {
     fn stats_track_bytes() {
         let mut s = UdpSocket::new(addr(0, 1));
         s.send_to(addr(1, 1), vec![0; 10]);
-        s.on_datagram(addr(1, 1), vec![0; 4]);
+        s.on_datagram(addr(1, 1), vec![0; 4].into());
         assert_eq!(s.stats().bytes_sent, 10);
         assert_eq!(s.stats().bytes_received, 4);
         assert_eq!(s.stats().datagrams_sent, 1);
