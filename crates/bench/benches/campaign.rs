@@ -23,7 +23,7 @@ fn params(jobs: usize) -> StudyParams {
 /// Serial vs. threaded execution of one shared plan.
 fn bench_campaign_parallel(c: &mut Criterion) {
     let plan = plan_campaign(params(1));
-    let sessions = plan.jobs.len() as u64;
+    let sessions = plan.total_jobs() as u64;
 
     let mut g = c.benchmark_group("campaign_parallel");
     g.sample_size(10);

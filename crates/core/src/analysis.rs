@@ -2,7 +2,11 @@
 //!
 //! The paper's Notes section promises "an accompanying analysis tool called
 //! RealData"; this module is its equivalent: group-by summaries and filters
-//! over [`SessionRecord`]s, exposed through the `realdata` binary.
+//! over [`SessionRecord`]s, exposed through the `realdata` binary. This is
+//! deliberately a record-level tool — it needs campaigns run through
+//! [`run_campaign_with_records`](rv_study::run_campaign_with_records), the
+//! opt-in O(sessions)-memory path; the figures pipeline itself runs on
+//! streaming aggregates and never touches records.
 
 use rv_stats::{table, Summary};
 use rv_study::{SessionRecord, StudyData};
@@ -200,10 +204,10 @@ pub fn csv_row(r: &SessionRecord) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rv_study::{run_campaign, StudyParams};
+    use rv_study::{run_campaign_with_records, StudyParams};
 
     fn data() -> StudyData {
-        run_campaign(StudyParams {
+        run_campaign_with_records(StudyParams {
             scale: 0.03,
             ..StudyParams::default()
         })
@@ -251,7 +255,7 @@ mod tests {
     fn csv_rows_have_fixed_width() {
         let d = data();
         let cols = csv_header().split(',').count();
-        for r in d.records.iter().take(50) {
+        for r in d.records().iter().take(50) {
             assert_eq!(csv_row(r).split(',').count(), cols, "row: {}", csv_row(r));
         }
     }

@@ -12,7 +12,7 @@
 //! table and CSV row is bit-identical for every J.
 
 use realvideo_core::analysis::{csv_header, csv_row, render_summaries, summarize_by, GroupBy};
-use rv_study::{run_campaign, StudyParams};
+use rv_study::{run_campaign_with_records, StudyParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,8 +30,8 @@ fn main() {
                 params.scale = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .filter(|s| *s > 0.0 && *s <= 1.0)
-                    .unwrap_or_else(|| die("--scale wants a number in (0, 1]"));
+                    .filter(|s: &f64| *s > 0.0 && s.is_finite())
+                    .unwrap_or_else(|| die("--scale wants a positive number"));
             }
             "--seed" => {
                 i += 1;
@@ -79,7 +79,9 @@ fn main() {
         "running campaign: seed={} scale={} jobs={}...",
         params.seed, params.scale, params.jobs
     );
-    let data = run_campaign(params).unwrap_or_else(|e| {
+    // RealData is deliberately a record-level explorer, so it opts into
+    // record retention; memory is O(sessions) here, unlike `repro`.
+    let data = run_campaign_with_records(params).unwrap_or_else(|e| {
         eprintln!("realdata: campaign failed: {e}");
         std::process::exit(1);
     });
@@ -98,7 +100,7 @@ fn main() {
         }
         "csv" => {
             println!("{}", csv_header());
-            for r in &data.records {
+            for r in data.records() {
                 println!("{}", csv_row(r));
             }
         }

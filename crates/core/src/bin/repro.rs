@@ -11,6 +11,12 @@
 //! `--jobs J` fans session simulation across J worker threads. The
 //! figures are bit-identical for every J; only the wall time changes.
 //!
+//! `--scale S` scales the study population: fractions (0, 1] subsample
+//! the 63-participant roster; integers above 1 replicate it with
+//! identical strata proportions (`--scale 100` ≈ 290k sessions). The
+//! campaign streams into constant-memory aggregates, so large scales
+//! run with flat memory.
+//!
 //! `--faults` turns on the default fault-injection scenario (link
 //! outages, loss bursts, server crashes, UDP black holes). Without it
 //! campaigns are fault-free and bit-identical to builds that predate the
@@ -18,13 +24,19 @@
 //! failure-taxonomy report (counts and rates per outcome, server,
 //! country, and transport).
 //!
+//! `--dump-records PATH` opts back into record retention and writes every
+//! session as a CSV row to PATH (`-` for stdout). The `dump` subcommand
+//! likewise retains records and prints the played-session table. Both are
+//! O(sessions) in memory — everything else streams.
+//!
 //! `--bench-out PATH` additionally writes the run's throughput accounting
-//! (wall time, sessions/sec, simulated-seconds/sec, worker split) as a
-//! JSON object, so CI and benchmarking scripts can track campaign
-//! performance without scraping the human-readable summary line.
+//! (wall time, sessions/sec, simulated-seconds/sec, worker split, peak
+//! memory) as a JSON object, so CI and benchmarking scripts can track
+//! campaign performance without scraping the human-readable summary line.
 
+use realvideo_core::analysis::{csv_header, csv_row};
 use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
-use rv_study::{run_campaign, StudyParams};
+use rv_study::{run_campaign, run_campaign_with_records, StudyParams};
 
 // With `--features alloc-stats` every allocation in the process is
 // counted, and `--bench-out` reports bytes/allocations per session.
@@ -42,11 +54,21 @@ fn alloc_json(total: Option<u64>, sessions: usize) -> String {
     }
 }
 
+/// Peak resident set size of this process in MiB (Linux `VmHWM`), or
+/// `None` where /proc is unavailable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut params = StudyParams::default();
     let mut bench_out: Option<String> = None;
+    let mut dump_records: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,8 +77,8 @@ fn main() {
                 params.scale = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .filter(|s| *s > 0.0 && *s <= 1.0)
-                    .unwrap_or_else(|| die("--scale wants a number in (0, 1]"));
+                    .filter(|s: &f64| *s > 0.0 && s.is_finite())
+                    .unwrap_or_else(|| die("--scale wants a positive number"));
             }
             "--seed" => {
                 i += 1;
@@ -81,6 +103,14 @@ fn main() {
                         .unwrap_or_else(|| die("--bench-out wants a file path")),
                 );
             }
+            "--dump-records" => {
+                i += 1;
+                dump_records = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--dump-records wants a file path (or -)")),
+                );
+            }
             "--faults" => params.faults = rv_sim::FaultScenario::default_on(),
             "list" => {
                 println!("available figures:");
@@ -97,31 +127,45 @@ fn main() {
         }
         i += 1;
     }
-    if ids.is_empty() && bench_out.is_none() {
+    if ids.is_empty() && bench_out.is_none() && dump_records.is_none() {
         die("nothing to do; try `repro all` or `repro list`");
     }
+    // Only the record dumps need O(sessions) memory; everything else
+    // streams into constant-size aggregates.
+    let need_records = dump_records.is_some() || ids.iter().any(|id| id == "dump");
 
     eprintln!(
-        "running campaign: seed={} scale={} ({} of the paper's ~2,900 sessions)...",
+        "running campaign: seed={} scale={} ({} the paper's ~2,900 sessions)...",
         params.seed,
         params.scale,
-        if params.scale >= 1.0 {
-            "all"
+        if params.scale > 1.0 {
+            "a multiple of"
+        } else if params.scale >= 1.0 {
+            "all of"
         } else {
-            "a fraction"
+            "a fraction of"
         }
     );
     #[cfg(feature = "alloc-stats")]
     rv_sim::alloc_stats::reset();
-    let data = run_campaign(params).unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+    let data = if need_records {
+        run_campaign_with_records(params)
+    } else {
+        run_campaign(params)
+    }
+    .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
     #[cfg(feature = "alloc-stats")]
     let alloc_snapshot = rv_sim::alloc_stats::snapshot();
     #[cfg(not(feature = "alloc-stats"))]
     let alloc_snapshot: Option<(u64, u64)> = None;
     #[cfg(feature = "alloc-stats")]
     let alloc_snapshot = Some(alloc_snapshot);
+    #[cfg(feature = "alloc-stats")]
+    let alloc_peak: Option<u64> = Some(rv_sim::alloc_stats::peak_bytes());
+    #[cfg(not(feature = "alloc-stats"))]
+    let alloc_peak: Option<u64> = None;
     eprintln!("{}", data.summary);
-    eprintln!("campaign done: {} rated\n", data.rated().count());
+    eprintln!("campaign done: {} rated\n", data.aggregates.rated);
 
     if let Some(path) = bench_out {
         let s = &data.summary;
@@ -141,6 +185,8 @@ fn main() {
                 "  \"sim_seconds_per_sec\": {:.3},\n",
                 "  \"allocs_per_session\": {},\n",
                 "  \"bytes_allocated_per_session\": {},\n",
+                "  \"peak_alloc_bytes\": {},\n",
+                "  \"peak_rss_mb\": {},\n",
                 "  \"per_worker\": [{}]\n",
                 "}}\n"
             ),
@@ -156,12 +202,32 @@ fn main() {
             s.sim_seconds_per_sec(),
             alloc_json(alloc_snapshot.map(|(allocs, _)| allocs), s.jobs_planned),
             alloc_json(alloc_snapshot.map(|(_, bytes)| bytes), s.jobs_planned),
+            alloc_peak.map_or("null".to_string(), |p| p.to_string()),
+            peak_rss_mb().map_or("null".to_string(), |mb| format!("{mb:.1}")),
             per_worker.join(", "),
         );
         if let Err(e) = std::fs::write(&path, json) {
             die(&format!("cannot write --bench-out {path:?}: {e}"));
         }
         eprintln!("wrote campaign bench record to {path}");
+    }
+
+    if let Some(path) = dump_records {
+        let mut out = String::with_capacity(64 * (data.records().len() + 1));
+        out.push_str(csv_header());
+        out.push('\n');
+        for r in data.records() {
+            out.push_str(&csv_row(r));
+            out.push('\n');
+        }
+        if path == "-" {
+            print!("{out}");
+        } else {
+            if let Err(e) = std::fs::write(&path, out) {
+                die(&format!("cannot write --dump-records {path:?}: {e}"));
+            }
+            eprintln!("wrote {} session records to {path}", data.records().len());
+        }
     }
 
     for id in ids {
@@ -171,7 +237,7 @@ fn main() {
         }
         if id == "dump" {
             println!("user conn pc server proto enc_kbps fps jitter bw_kbps lost rebuf dropped startup recov");
-            for r in data.records.iter().filter(|r| r.played()) {
+            for r in data.records().iter().filter(|r| r.played()) {
                 let m = &r.metrics;
                 println!(
                     "{} {:?} {:.2} {} {} {} {:.1} {} {:.0} {} {} {} {:.1} {}",

@@ -5,16 +5,21 @@
 //! series, bar chart, or scatter summary) and the headline statistics the
 //! paper reports for that figure, so EXPERIMENTS.md can compare
 //! paper-vs-measured directly.
+//!
+//! Every figure is computed from the streaming [`CampaignAggregates`] —
+//! never from retained records — so figure generation works on the
+//! constant-memory campaign path at any scale. Composition figures
+//! (5–10, 16, agg) read exact counts; distribution figures (11–27) read
+//! [`QuantileSketch`]es (~1 % relative quantile accuracy, exact
+//! count/mean/extrema); the scatter figure (28) reads exact co-moments.
 
 use rv_media::{Clip, ContentKind};
-use rv_rtsp::TransportKind;
 use rv_sim::{SimDuration, SimTime};
-use rv_stats::{bar_chart, cdf_plot, linear_fit, pearson, table, CategoryCount, Cdf};
+use rv_stats::{bar_chart, cdf_plot, table, Cdf, QuantileSketch};
 use rv_study::{
-    build_population, server_roster, ConnectionClass, PcClass, ServerRegion, SessionRecord,
-    StudyData, UserRegion,
+    build_population, server_roster, CampaignAggregates, ConnectionClass, PcClass, ServerRegion,
+    StudyData, UserRegion, BANDWIDTH_BINS,
 };
-use rv_tracer::SessionOutcome;
 
 /// A regenerated figure: identifier, caption, and text body.
 #[derive(Debug, Clone)]
@@ -36,32 +41,129 @@ pub const FIGURE_IDS: [&str; 26] = [
 
 /// Generates one figure by id. `None` for an unknown id.
 pub fn figure(id: &str, data: &StudyData) -> Option<FigureOutput> {
+    let agg = &data.aggregates;
     Some(match id {
         "fig1" => fig1(),
-        "fig5" => fig5(data),
-        "fig6" => fig6(data),
-        "fig7" => fig7(data),
-        "fig8" => fig8(data),
-        "fig9" => fig9(data),
-        "fig10" => fig10(data),
-        "fig11" => fig11(data),
-        "fig12" => fig12(data),
-        "fig13" => fig13(data),
-        "fig14" => fig14(data),
-        "fig15" => fig15(data),
-        "fig16" => fig16(data),
-        "fig17" => fig17(data),
-        "fig18" => fig18(data),
-        "fig19" => fig19(data),
-        "fig20" => fig20(data),
-        "fig21" => fig21(data),
-        "fig22" => fig22(data),
-        "fig23" => fig23(data),
-        "fig24" => fig24(data),
-        "fig25" => fig25(data),
-        "fig26" => fig26(data),
-        "fig27" => fig27(data),
-        "fig28" => fig28(data),
+        "fig5" => fig5(agg),
+        "fig6" => fig6(agg),
+        "fig7" => bar_figure(
+            "fig7",
+            "Video clips played by users from each country",
+            &agg.user_countries,
+        ),
+        "fig8" => bar_figure(
+            "fig8",
+            "Video clips served by RealServers from each country",
+            &agg.server_countries,
+        ),
+        "fig9" => bar_figure(
+            "fig9",
+            "Video clips played by U.S. users from each state",
+            &agg.us_states,
+        ),
+        "fig10" => fig10(agg),
+        "fig11" => fig11(agg),
+        "fig12" => sketch_figure(
+            "fig12",
+            "CDF of frame rate for different end-host network configurations",
+            keyed_series(&ConnectionClass::ALL, |c| c.name(), &agg.fps_by_connection),
+            " fps",
+            &[3.0, 15.0],
+        ),
+        "fig13" => sketch_figure(
+            "fig13",
+            "CDF of bandwidth for different end-host network configurations",
+            keyed_series(&ConnectionClass::ALL, |c| c.name(), &agg.bw_by_connection),
+            " kbps",
+            &[50.0, 250.0],
+        ),
+        "fig14" => sketch_figure(
+            "fig14",
+            "CDF of frame rate for RealServers in different geographic regions",
+            keyed_series(&ServerRegion::ALL, |c| c.name(), &agg.fps_by_server_region),
+            " fps",
+            &[3.0, 15.0],
+        ),
+        "fig15" => sketch_figure(
+            "fig15",
+            "CDF of frame rate for users in different geographic regions",
+            keyed_series(&UserRegion::ALL, |c| c.name(), &agg.fps_by_user_region),
+            " fps",
+            &[3.0, 15.0],
+        ),
+        "fig16" => fig16(agg),
+        "fig17" => sketch_figure(
+            "fig17",
+            "CDF of frame rate for transport protocols",
+            protocol_series(&agg.fps_by_protocol),
+            " fps",
+            &[3.0, 15.0],
+        ),
+        "fig18" => sketch_figure(
+            "fig18",
+            "CDF of bandwidth for transport protocols",
+            protocol_series(&agg.bw_by_protocol),
+            " kbps",
+            &[50.0, 250.0],
+        ),
+        "fig19" => sketch_figure(
+            "fig19",
+            "CDF of frame rate for classes of user PCs",
+            keyed_series(&PcClass::ALL, |c| c.name(), &agg.fps_by_pc),
+            " fps",
+            &[3.0, 15.0],
+        ),
+        "fig20" => fig20(agg),
+        "fig21" => sketch_figure(
+            "fig21",
+            "CDF of jitter for different network configurations",
+            keyed_series(
+                &ConnectionClass::ALL,
+                |c| c.name(),
+                &agg.jitter_by_connection,
+            ),
+            " ms",
+            &[50.0, 300.0],
+        ),
+        "fig22" => sketch_figure(
+            "fig22",
+            "CDF of jitter for RealServers in different geographic regions",
+            keyed_series(
+                &ServerRegion::ALL,
+                |c| c.name(),
+                &agg.jitter_by_server_region,
+            ),
+            " ms",
+            &[50.0, 300.0],
+        ),
+        "fig23" => sketch_figure(
+            "fig23",
+            "CDF of jitter for users in different geographic regions",
+            keyed_series(&UserRegion::ALL, |c| c.name(), &agg.jitter_by_user_region),
+            " ms",
+            &[50.0, 300.0],
+        ),
+        "fig24" => sketch_figure(
+            "fig24",
+            "CDF of jitter for transport protocols",
+            protocol_series(&agg.jitter_by_protocol),
+            " ms",
+            &[50.0, 300.0],
+        ),
+        "fig25" => fig25(agg),
+        "fig26" => fig26(agg),
+        "fig27" => sketch_figure(
+            "fig27",
+            "CDF of quality for different end-host network configurations",
+            keyed_series(
+                &ConnectionClass::ALL,
+                |c| c.name(),
+                &agg.ratings_by_connection,
+            ),
+            "",
+            &[3.0, 7.0],
+        ),
+        "fig28" => fig28(agg),
         "agg" => aggregate(data),
         _ => return None,
     })
@@ -75,21 +177,42 @@ pub fn all_figures(data: &StudyData) -> Vec<FigureOutput> {
         .collect()
 }
 
-// ---------- sample extraction helpers ----------
+// ---------- sketch rendering helpers ----------
 
-fn fps_samples<'a>(recs: impl Iterator<Item = &'a SessionRecord>) -> Vec<f64> {
-    recs.map(|r| r.metrics.frame_rate).collect()
+/// Pulls one sketch per stratum in figure order, empty sketches for
+/// strata the campaign never observed.
+fn keyed_series<K: Ord + Copy>(
+    keys: &[K],
+    name: impl Fn(K) -> &'static str,
+    map: &std::collections::BTreeMap<K, QuantileSketch>,
+) -> Vec<(String, QuantileSketch)> {
+    keys.iter()
+        .map(|k| {
+            (
+                name(*k).to_string(),
+                map.get(k).cloned().unwrap_or_default(),
+            )
+        })
+        .collect()
 }
 
-fn jitter_samples<'a>(recs: impl Iterator<Item = &'a SessionRecord>) -> Vec<f64> {
-    recs.filter_map(|r| r.metrics.jitter_ms).collect()
+/// Transport series, TCP first (the paper's ordering).
+fn protocol_series(
+    map: &std::collections::BTreeMap<&'static str, QuantileSketch>,
+) -> Vec<(String, QuantileSketch)> {
+    ["TCP", "UDP"]
+        .iter()
+        .map(|p| (p.to_string(), map.get(p).cloned().unwrap_or_default()))
+        .collect()
 }
 
-/// Renders a multi-series CDF figure: plot + per-series headline stats.
-fn cdf_figure(
+/// Renders a multi-series CDF figure from sketches: plot + per-series
+/// headline stats. The sketch counterpart of the old record-path
+/// `cdf_figure`, with the same layout.
+fn sketch_figure(
     id: &'static str,
     title: &'static str,
-    series: Vec<(String, Vec<f64>)>,
+    series: Vec<(String, QuantileSketch)>,
     unit: &str,
     thresholds: &[f64],
 ) -> FigureOutput {
@@ -98,28 +221,27 @@ fn cdf_figure(
     let lo = 0.0;
     let hi = series
         .iter()
-        .flat_map(|(_, s)| s.iter())
-        .copied()
+        .filter_map(|(_, s)| s.max())
         .fold(1.0f64, f64::max);
     let mut stats_rows: Vec<Vec<String>> = Vec::new();
-    for (name, samples) in &series {
-        let Some(cdf) = Cdf::from_samples(samples) else {
+    for (name, sketch) in &series {
+        if sketch.is_empty() {
             let mut row = vec![name.clone(), "0".into(), "-".into(), "-".into()];
             row.extend(thresholds.iter().map(|_| "-".to_string()));
             stats_rows.push(row);
             continue;
-        };
+        }
         let mut row = vec![
             name.clone(),
-            cdf.count().to_string(),
-            format!("{:.2}", cdf.mean()),
-            format!("{:.2}", cdf.quantile(0.5)),
+            sketch.count().to_string(),
+            format!("{:.2}", sketch.mean().expect("nonempty")),
+            format!("{:.2}", sketch.quantile(0.5).expect("nonempty")),
         ];
         for t in thresholds {
-            row.push(format!("{:.1}%", cdf.at(*t) * 100.0));
+            row.push(format!("{:.1}%", sketch.at(*t) * 100.0));
         }
         stats_rows.push(row);
-        plots.push((name.clone(), cdf.series_on_grid(lo, hi, 56)));
+        plots.push((name.clone(), sketch.series_on_grid(lo, hi, 56)));
     }
     let mut header = vec!["series", "n", "mean", "median"];
     let thr_labels: Vec<String> = thresholds.iter().map(|t| format!("F({t}{unit})")).collect();
@@ -134,20 +256,6 @@ fn cdf_figure(
         body.push_str(&cdf_plot(&plot_refs, 64, 16));
     }
     FigureOutput { id, title, body }
-}
-
-fn split_by<K: Ord + Clone, F: Fn(&SessionRecord) -> K, V: Fn(&SessionRecord) -> Option<f64>>(
-    data: &StudyData,
-    key: F,
-    value: V,
-) -> std::collections::BTreeMap<K, Vec<f64>> {
-    let mut out: std::collections::BTreeMap<K, Vec<f64>> = Default::default();
-    for r in data.played() {
-        if let Some(v) = value(r) {
-            out.entry(key(r)).or_default().push(v);
-        }
-    }
-    out
 }
 
 // ---------- Figure 1: buffering & playout timeline ----------
@@ -247,12 +355,10 @@ fn fig1() -> FigureOutput {
 
 // ---------- Figures 5–9: campaign composition ----------
 
-fn fig5(data: &StudyData) -> FigureOutput {
-    let mut per_user = CategoryCount::new();
-    for r in &data.records {
-        per_user.add(&format!("u{}", r.user_id));
-    }
-    let counts: Vec<f64> = per_user.by_name().iter().map(|(_, c)| *c as f64).collect();
+fn fig5(agg: &CampaignAggregates) -> FigureOutput {
+    // Per-user attempt counts are exact integers in the aggregates, so
+    // this CDF is exact, not sketched.
+    let counts: Vec<f64> = agg.plays_per_user.values().map(|c| *c as f64).collect();
     let cdf = Cdf::from_samples(&counts).expect("users exist");
     let mut body = format!(
         "Users: {}   median clips/user: {:.0}   max: {:.0} (playlist holds 98)\n\n",
@@ -269,12 +375,13 @@ fn fig5(data: &StudyData) -> FigureOutput {
     }
 }
 
-fn fig6(data: &StudyData) -> FigureOutput {
-    let mut rated: std::collections::BTreeMap<u32, u32> = Default::default();
-    for r in &data.records {
-        *rated.entry(r.user_id).or_insert(0) += u32::from(r.rating.is_some());
-    }
-    let counts: Vec<f64> = rated.values().map(|c| f64::from(*c)).collect();
+fn fig6(agg: &CampaignAggregates) -> FigureOutput {
+    // Every participant appears (users who rated nothing count as zero).
+    let counts: Vec<f64> = agg
+        .plays_per_user
+        .keys()
+        .map(|user| agg.rated_by(*user) as f64)
+        .collect();
     let cdf = Cdf::from_samples(&counts).expect("users exist");
     let mut body = format!(
         "Users: {}   median rated clips/user: {:.0}   max: {:.0}\n\n",
@@ -291,7 +398,11 @@ fn fig6(data: &StudyData) -> FigureOutput {
     }
 }
 
-fn bar_figure(id: &'static str, title: &'static str, counts: &CategoryCount) -> FigureOutput {
+fn bar_figure(
+    id: &'static str,
+    title: &'static str,
+    counts: &rv_stats::CategoryCount,
+) -> FigureOutput {
     let items: Vec<(&str, f64)> = counts
         .by_count_ascending()
         .into_iter()
@@ -304,58 +415,20 @@ fn bar_figure(id: &'static str, title: &'static str, counts: &CategoryCount) -> 
     }
 }
 
-fn fig7(data: &StudyData) -> FigureOutput {
-    let mut counts = CategoryCount::new();
-    for r in &data.records {
-        counts.add(r.user_country.name());
-    }
-    bar_figure(
-        "fig7",
-        "Video clips played by users from each country",
-        &counts,
-    )
-}
-
-fn fig8(data: &StudyData) -> FigureOutput {
-    let mut counts = CategoryCount::new();
-    for r in &data.records {
-        counts.add(r.server_country.name());
-    }
-    bar_figure(
-        "fig8",
-        "Video clips served by RealServers from each country",
-        &counts,
-    )
-}
-
-fn fig9(data: &StudyData) -> FigureOutput {
-    let mut counts = CategoryCount::new();
-    for r in data.records.iter().filter(|r| r.user_state.is_some()) {
-        counts.add(r.user_state.expect("filtered"));
-    }
-    bar_figure(
-        "fig9",
-        "Video clips played by U.S. users from each state",
-        &counts,
-    )
-}
-
-fn fig10(data: &StudyData) -> FigureOutput {
-    let mut attempted = CategoryCount::new();
-    let mut unavailable = CategoryCount::new();
-    for r in &data.records {
-        attempted.add(r.server_name);
-        if !r.available {
-            unavailable.add(r.server_name);
-        }
-    }
-    let mut items: Vec<(&str, f64)> = attempted
+fn fig10(agg: &CampaignAggregates) -> FigureOutput {
+    let mut items: Vec<(&str, f64)> = agg
+        .attempts_by_server
         .by_name()
         .into_iter()
-        .map(|(name, total)| (name, unavailable.get(name) as f64 / total as f64))
+        .map(|(name, total)| {
+            (
+                name,
+                agg.unavailable_by_server.get(name) as f64 / total as f64,
+            )
+        })
         .collect();
     items.sort_by(|a, b| a.0.cmp(b.0));
-    let overall = unavailable.total() as f64 / attempted.total() as f64;
+    let overall = agg.unavailable as f64 / agg.total_attempts as f64;
     let mut body = format!("Overall unavailable fraction: {overall:.3} (paper: ~0.10)\n\n");
     body.push_str(&bar_chart(&items, 48));
     FigureOutput {
@@ -367,96 +440,29 @@ fn fig10(data: &StudyData) -> FigureOutput {
 
 // ---------- Figures 11–19: frame rate & bandwidth ----------
 
-fn fig11(data: &StudyData) -> FigureOutput {
-    let fps = fps_samples(data.played());
-    let cdf = Cdf::from_samples(&fps).expect("played sessions exist");
-    let mut out = cdf_figure(
+fn fig11(agg: &CampaignAggregates) -> FigureOutput {
+    let fps = &agg.fps;
+    let mut out = sketch_figure(
         "fig11",
         "CDF of frame rate for all video clips",
-        vec![("all clips".to_string(), fps)],
+        vec![("all clips".to_string(), fps.clone())],
         " fps",
         &[3.0, 15.0, 24.0],
     );
     out.body = format!(
         "mean {:.1} fps (paper: 10)   <3 fps: {:.0}% (paper: ~25%)   \
          >=15 fps: {:.0}% (paper: ~25%)   >=24 fps: {:.1}% (paper: <1%)\n\n{}",
-        cdf.mean(),
-        cdf.at(3.0) * 100.0,
-        (1.0 - cdf.at(15.0 - 1e-9)) * 100.0,
-        (1.0 - cdf.at(24.0 - 1e-9)) * 100.0,
+        fps.mean().unwrap_or(0.0),
+        fps.at(3.0) * 100.0,
+        (1.0 - fps.at(15.0 - 1e-9)) * 100.0,
+        (1.0 - fps.at(24.0 - 1e-9)) * 100.0,
         out.body
     );
     out
 }
 
-fn fig12(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.connection, |r| Some(r.metrics.frame_rate));
-    let series = ConnectionClass::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig12",
-        "CDF of frame rate for different end-host network configurations",
-        series,
-        " fps",
-        &[3.0, 15.0],
-    )
-}
-
-fn fig13(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.connection, |r| Some(r.metrics.bandwidth_kbps));
-    let series = ConnectionClass::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig13",
-        "CDF of bandwidth for different end-host network configurations",
-        series,
-        " kbps",
-        &[50.0, 250.0],
-    )
-}
-
-fn fig14(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.server_region, |r| Some(r.metrics.frame_rate));
-    let series = ServerRegion::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig14",
-        "CDF of frame rate for RealServers in different geographic regions",
-        series,
-        " fps",
-        &[3.0, 15.0],
-    )
-}
-
-fn fig15(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.user_region, |r| Some(r.metrics.frame_rate));
-    let series = UserRegion::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig15",
-        "CDF of frame rate for users in different geographic regions",
-        series,
-        " fps",
-        &[3.0, 15.0],
-    )
-}
-
-fn fig16(data: &StudyData) -> FigureOutput {
-    let mut counts = CategoryCount::new();
-    for r in data.played() {
-        counts.add(match r.metrics.protocol {
-            TransportKind::Udp => "UDP",
-            TransportKind::Tcp => "TCP",
-        });
-    }
+fn fig16(agg: &CampaignAggregates) -> FigureOutput {
+    let counts = &agg.protocol_played;
     let udp = counts.fraction("UDP");
     let body = format!(
         "UDP: {:.1}% (paper: ~56%)   TCP: {:.1}% (paper: ~44%)\n\n{}",
@@ -477,155 +483,37 @@ fn fig16(data: &StudyData) -> FigureOutput {
     }
 }
 
-fn by_protocol(
-    data: &StudyData,
-    value: impl Fn(&SessionRecord) -> Option<f64>,
-) -> Vec<(String, Vec<f64>)> {
-    let by = split_by(data, |r| r.metrics.protocol == TransportKind::Udp, value);
-    vec![
-        (
-            "TCP".to_string(),
-            by.get(&false).cloned().unwrap_or_default(),
-        ),
-        (
-            "UDP".to_string(),
-            by.get(&true).cloned().unwrap_or_default(),
-        ),
-    ]
-}
-
-fn fig17(data: &StudyData) -> FigureOutput {
-    cdf_figure(
-        "fig17",
-        "CDF of frame rate for transport protocols",
-        by_protocol(data, |r| Some(r.metrics.frame_rate)),
-        " fps",
-        &[3.0, 15.0],
-    )
-}
-
-fn fig18(data: &StudyData) -> FigureOutput {
-    cdf_figure(
-        "fig18",
-        "CDF of bandwidth for transport protocols",
-        by_protocol(data, |r| Some(r.metrics.bandwidth_kbps)),
-        " kbps",
-        &[50.0, 250.0],
-    )
-}
-
-fn fig19(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.pc, |r| Some(r.metrics.frame_rate));
-    let series = PcClass::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig19",
-        "CDF of frame rate for classes of user PCs",
-        series,
-        " fps",
-        &[3.0, 15.0],
-    )
-}
-
 // ---------- Figures 20–25: jitter ----------
 
-fn fig20(data: &StudyData) -> FigureOutput {
-    let jitter = jitter_samples(data.played());
-    let cdf = Cdf::from_samples(&jitter).expect("played sessions exist");
-    let mut out = cdf_figure(
+fn fig20(agg: &CampaignAggregates) -> FigureOutput {
+    let jitter = &agg.jitter;
+    let mut out = sketch_figure(
         "fig20",
         "CDF of overall jitter",
-        vec![("all clips".to_string(), jitter)],
+        vec![("all clips".to_string(), jitter.clone())],
         " ms",
         &[50.0, 300.0],
     );
     out.body = format!(
         "jitter <=50 ms: {:.0}% (paper: ~50%)   >=300 ms: {:.0}% (paper: ~15%)\n\n{}",
-        cdf.at(50.0) * 100.0,
-        (1.0 - cdf.at(300.0)) * 100.0,
+        jitter.at(50.0) * 100.0,
+        (1.0 - jitter.at(300.0)) * 100.0,
         out.body
     );
     out
 }
 
-fn fig21(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.connection, |r| r.metrics.jitter_ms);
-    let series = ConnectionClass::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig21",
-        "CDF of jitter for different network configurations",
-        series,
-        " ms",
-        &[50.0, 300.0],
-    )
-}
-
-fn fig22(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.server_region, |r| r.metrics.jitter_ms);
-    let series = ServerRegion::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig22",
-        "CDF of jitter for RealServers in different geographic regions",
-        series,
-        " ms",
-        &[50.0, 300.0],
-    )
-}
-
-fn fig23(data: &StudyData) -> FigureOutput {
-    let by = split_by(data, |r| r.user_region, |r| r.metrics.jitter_ms);
-    let series = UserRegion::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig23",
-        "CDF of jitter for users in different geographic regions",
-        series,
-        " ms",
-        &[50.0, 300.0],
-    )
-}
-
-fn fig24(data: &StudyData) -> FigureOutput {
-    cdf_figure(
-        "fig24",
-        "CDF of jitter for transport protocols",
-        by_protocol(data, |r| r.metrics.jitter_ms),
-        " ms",
-        &[50.0, 300.0],
-    )
-}
-
-fn fig25(data: &StudyData) -> FigureOutput {
-    let bucket = |r: &SessionRecord| -> u8 {
-        if r.metrics.bandwidth_kbps < 10.0 {
-            0
-        } else if r.metrics.bandwidth_kbps <= 100.0 {
-            1
-        } else {
-            2
-        }
-    };
-    let by = split_by(data, bucket, |r| r.metrics.jitter_ms);
+fn fig25(agg: &CampaignAggregates) -> FigureOutput {
     let names = ["< 10K", "10K - 100K", "> 100K"];
     let series = (0u8..3)
         .map(|b| {
             (
                 names[usize::from(b)].to_string(),
-                by.get(&b).cloned().unwrap_or_default(),
+                agg.jitter_by_bw_bucket.get(&b).cloned().unwrap_or_default(),
             )
         })
         .collect();
-    cdf_figure(
+    sketch_figure(
         "fig25",
         "CDF of jitter for observed bandwidth",
         series,
@@ -636,97 +524,47 @@ fn fig25(data: &StudyData) -> FigureOutput {
 
 // ---------- Figures 26–28: perceptual quality ----------
 
-fn fig26(data: &StudyData) -> FigureOutput {
-    let ratings: Vec<f64> = data.rated().map(|r| f64::from(r.rating.unwrap())).collect();
-    let cdf = Cdf::from_samples(&ratings).expect("rated sessions exist");
-    let mut out = cdf_figure(
+fn fig26(agg: &CampaignAggregates) -> FigureOutput {
+    let ratings = &agg.ratings;
+    let mut out = sketch_figure(
         "fig26",
         "CDF of overall quality",
-        vec![("ratings".to_string(), ratings)],
+        vec![("ratings".to_string(), ratings.clone())],
         "",
         &[2.0, 5.0, 8.0],
     );
     out.body = format!(
         "rated clips: {}   mean rating: {:.2} (paper: ~5, near-uniform CDF)\n\n{}",
-        cdf.count(),
-        cdf.mean(),
+        ratings.count(),
+        ratings.mean().unwrap_or(0.0),
         out.body
     );
     out
 }
 
-fn fig27(data: &StudyData) -> FigureOutput {
-    let mut by: std::collections::BTreeMap<ConnectionClass, Vec<f64>> = Default::default();
-    for r in data.rated() {
-        by.entry(r.connection)
-            .or_default()
-            .push(f64::from(r.rating.expect("rated")));
-    }
-    let series = ConnectionClass::ALL
-        .iter()
-        .map(|c| (c.name().to_string(), by.get(c).cloned().unwrap_or_default()))
-        .collect();
-    cdf_figure(
-        "fig27",
-        "CDF of quality for different end-host network configurations",
-        series,
-        "",
-        &[3.0, 7.0],
-    )
-}
-
-fn fig28(data: &StudyData) -> FigureOutput {
-    let pairs: Vec<(f64, f64)> = data
-        .rated()
-        .map(|r| {
-            (
-                r.metrics.bandwidth_kbps,
-                f64::from(r.rating.expect("rated")),
-            )
-        })
-        .collect();
-    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-    let r = pearson(&xs, &ys);
-    let fit = linear_fit(&xs, &ys);
-    // Low ratings at high bandwidth — the paper highlights their absence.
-    let high_bw_low_rating = pairs
-        .iter()
-        .filter(|(bw, rating)| *bw > 250.0 && *rating <= 2.0)
-        .count();
-    let high_bw = pairs.iter().filter(|(bw, _)| *bw > 250.0).count();
+fn fig28(agg: &CampaignAggregates) -> FigureOutput {
+    let q = &agg.quality;
     let mut body = format!(
         "points: {}   pearson r: {}   slope: {} rating/kbps\n\
-         low ratings (<=2) at high bandwidth (>250 kbps): {high_bw_low_rating} of {high_bw}\n\
+         low ratings (<=2) at high bandwidth (>250 kbps): {} of {}\n\
          (paper: weak correlation, slight upward trend, no low ratings at high bandwidth)\n\n",
-        pairs.len(),
-        r.map_or("-".to_string(), |v| format!("{v:.3}")),
-        fit.map_or("-".to_string(), |f| format!("{:+.4}", f.slope)),
+        q.moments.n,
+        q.moments
+            .pearson()
+            .map_or("-".to_string(), |v| format!("{v:.3}")),
+        q.moments
+            .slope()
+            .map_or("-".to_string(), |s| format!("{s:+.4}")),
+        q.high_bw_low_rating,
+        q.high_bw,
     );
     // Scatter summary: mean rating per bandwidth bin.
     let mut rows = Vec::new();
-    for (lo, hi) in [
-        (0.0, 50.0),
-        (50.0, 100.0),
-        (100.0, 200.0),
-        (200.0, 350.0),
-        (350.0, 600.0),
-    ] {
-        let bin: Vec<f64> = pairs
-            .iter()
-            .filter(|(bw, _)| *bw >= lo && *bw < hi)
-            .map(|(_, r)| *r)
-            .collect();
-        let mean = if bin.is_empty() {
-            "-".to_string()
-        } else {
-            format!("{:.2}", bin.iter().sum::<f64>() / bin.len() as f64)
-        };
-        rows.push(vec![
-            format!("{lo:.0}-{hi:.0}"),
-            bin.len().to_string(),
-            mean,
-        ]);
+    for ((lo, hi), (n, rating_sum)) in BANDWIDTH_BINS.iter().zip(&q.bins) {
+        let mean = rating_sum
+            .mean(*n)
+            .map_or("-".to_string(), |m| format!("{m:.2}"));
+        rows.push(vec![format!("{lo:.0}-{hi:.0}"), n.to_string(), mean]);
     }
     body.push_str(&table(&["bandwidth (kbps)", "n", "mean rating"], &rows));
     FigureOutput {
@@ -739,24 +577,7 @@ fn fig28(data: &StudyData) -> FigureOutput {
 // ---------- Section IV aggregates ----------
 
 fn aggregate(data: &StudyData) -> FigureOutput {
-    let total = data.records.len();
-    let played = data.played().count();
-    let rated = data.rated().count();
-    let unavailable = data.records.iter().filter(|r| !r.available).count();
-    let countries: std::collections::BTreeSet<&str> =
-        data.records.iter().map(|r| r.user_country.name()).collect();
-    let server_countries: std::collections::BTreeSet<&str> = data
-        .records
-        .iter()
-        .map(|r| r.server_country.name())
-        .collect();
-    let servers: std::collections::BTreeSet<&str> =
-        data.records.iter().map(|r| r.server_name).collect();
-    let blocked: usize = data
-        .records
-        .iter()
-        .filter(|r| r.metrics.outcome == SessionOutcome::Blocked)
-        .count();
+    let agg = &data.aggregates;
     let rows = vec![
         vec![
             "participants".into(),
@@ -765,31 +586,39 @@ fn aggregate(data: &StudyData) -> FigureOutput {
         ],
         vec![
             "clip plays (sessions)".into(),
-            total.to_string(),
+            agg.total_attempts.to_string(),
             "~2855".into(),
         ],
         vec![
             "clips watched & rated".into(),
-            rated.to_string(),
+            agg.rated.to_string(),
             "~388".into(),
         ],
         vec![
             "user countries".into(),
-            countries.len().to_string(),
+            agg.user_countries.by_name().len().to_string(),
             "12".into(),
         ],
-        vec!["servers".into(), servers.len().to_string(), "11".into()],
+        vec![
+            "servers".into(),
+            agg.attempts_by_server.by_name().len().to_string(),
+            "11".into(),
+        ],
         vec![
             "server countries".into(),
-            server_countries.len().to_string(),
+            agg.server_countries.by_name().len().to_string(),
             "8".into(),
         ],
         vec![
             "unavailable fraction".into(),
-            format!("{:.3}", unavailable as f64 / total as f64),
+            format!("{:.3}", agg.unavailable as f64 / agg.total_attempts as f64),
             "~0.10".into(),
         ],
-        vec!["played successfully".into(), played.to_string(), "-".into()],
+        vec![
+            "played successfully".into(),
+            agg.played.to_string(),
+            "-".into(),
+        ],
         vec![
             "firewall-excluded volunteers".into(),
             data.excluded_users.to_string(),
@@ -797,7 +626,7 @@ fn aggregate(data: &StudyData) -> FigureOutput {
         ],
         vec![
             "blocked sessions recorded".into(),
-            blocked.to_string(),
+            agg.blocked.to_string(),
             "0".into(),
         ],
     ];
@@ -814,6 +643,7 @@ mod tests {
     use rv_study::{run_campaign, StudyParams};
 
     fn data() -> StudyData {
+        // The streaming path: figures never need retained records.
         run_campaign(StudyParams {
             scale: 0.03,
             ..StudyParams::default()
@@ -824,6 +654,7 @@ mod tests {
     #[test]
     fn every_figure_generates() {
         let d = data();
+        assert!(d.records.is_none(), "figures must not need records");
         for id in FIGURE_IDS {
             let f = figure(id, &d).expect("known id");
             assert!(!f.body.is_empty(), "{id} empty");

@@ -2,9 +2,11 @@
 //!
 //! A counting wrapper around the system allocator so benchmarks and
 //! `repro --bench-out` can report allocation traffic per simulated
-//! session. Counters are process-global relaxed atomics: cheap enough to
-//! leave in the hot path, and summed correctly across executor worker
-//! threads.
+//! session, plus a live-bytes gauge with a high-water mark so the
+//! constant-memory claim of the streaming results path is measurable
+//! without an external profiler. Counters are process-global relaxed
+//! atomics: cheap enough to leave in the hot path, and summed correctly
+//! across executor worker threads.
 //!
 //! This is the one module in the workspace that needs `unsafe` (the
 //! `GlobalAlloc` contract); the crate-wide `forbid(unsafe_code)` is
@@ -15,6 +17,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Raises the high-water mark to at least `live`.
+fn update_peak(live: u64) {
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_alloc(size: u64) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    update_peak(live);
+}
 
 /// A [`GlobalAlloc`] that counts allocations and allocated bytes before
 /// delegating to [`System`]. Install with `#[global_allocator]`:
@@ -30,26 +46,44 @@ pub struct CountingAlloc;
 // the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        on_alloc(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        on_alloc(layout.size() as u64);
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow is a fresh allocation of the new size for accounting
-        // purposes (that is what it costs when it cannot grow in place).
+        // purposes (that is what it costs when it cannot grow in place);
+        // the live gauge nets out the old block.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        let old = layout.size() as u64;
+        let new = new_size as u64;
+        if new >= old {
+            let live = LIVE.fetch_add(new - old, Ordering::Relaxed) + (new - old);
+            update_peak(live);
+        } else {
+            // Saturating, like dealloc: the shrunk block may predate a
+            // `reset()`.
+            let delta = old - new;
+            let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+                Some(live.saturating_sub(delta))
+            });
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // Saturating: blocks allocated before a `reset()` may outlive the
+        // gauge they were counted in.
+        let size = layout.size() as u64;
+        let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+            Some(live.saturating_sub(size))
+        });
         unsafe { System.dealloc(ptr, layout) }
     }
 }
@@ -63,8 +97,23 @@ pub fn snapshot() -> (u64, u64) {
     )
 }
 
-/// Zeroes both counters.
+/// Currently live heap bytes (allocated minus freed).
+pub fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since process start (or the last
+/// [`reset`]) — the number the campaign's flat-memory acceptance check
+/// gates on.
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Zeroes the cumulative counters and re-arms the high-water mark at the
+/// current live size (the live gauge itself is left alone so frees of
+/// pre-reset blocks keep netting out).
 pub fn reset() {
     ALLOCS.store(0, Ordering::Relaxed);
     BYTES.store(0, Ordering::Relaxed);
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }

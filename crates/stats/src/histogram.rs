@@ -70,6 +70,15 @@ impl CategoryCount {
         v.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
         v
     }
+
+    /// Merges another tally into this one. Per-category `u64` addition:
+    /// associative and commutative, so any merge order yields the same
+    /// tally bitwise.
+    pub fn merge(&mut self, other: &CategoryCount) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
 }
 
 /// A fixed-width-bin histogram over `[lo, hi)`.
@@ -141,6 +150,22 @@ impl Histogram {
     /// Total recorded samples including out-of-range ones.
     pub fn total(&self) -> u64 {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Merges another histogram into this one. Panics unless both share
+    /// the same `[lo, hi)` range and bin count — merging differently
+    /// configured histograms is a logic error, not a recoverable state.
+    /// Per-bin `u64` addition: associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.width == other.width && self.bins.len() == other.bins.len(),
+            "histogram configs differ"
+        );
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 
     /// `(bin_midpoint, count)` series for plotting.

@@ -5,6 +5,11 @@
 //! [`linear_fit`]). This crate provides those primitives plus the text
 //! rendering ([`table`], [`bar_chart`], [`cdf_plot`]) the `repro` binary
 //! prints them with.
+//!
+//! For campaigns too large to retain samples, the [`sketch`] module adds
+//! streaming mergeable counterparts ([`QuantileSketch`], [`FixedSum`],
+//! [`CoMoments`]) with bitwise merge-order independence, and every
+//! retained type here grows a `merge()` with the same guarantee.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,10 +18,12 @@ mod cdf;
 mod correlate;
 mod histogram;
 mod render;
+pub mod sketch;
 mod summary;
 
 pub use cdf::Cdf;
 pub use correlate::{linear_fit, pearson, LinearFit};
 pub use histogram::{CategoryCount, Histogram};
 pub use render::{bar_chart, cdf_plot, series_columns, table};
+pub use sketch::{CoMoments, FixedSum, QuantileSketch};
 pub use summary::Summary;

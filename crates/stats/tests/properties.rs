@@ -1,10 +1,18 @@
 //! Property-based tests for statistical invariants.
 
 use proptest::prelude::*;
-use rv_stats::{linear_fit, pearson, CategoryCount, Cdf, Histogram, Summary};
+use rv_stats::{
+    linear_fit, pearson, CategoryCount, Cdf, CoMoments, FixedSum, Histogram, QuantileSketch,
+    Summary,
+};
 
 fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+/// Three nonempty sample sets for three-way merge-associativity checks.
+fn sample_triples() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (finite_samples(), finite_samples(), finite_samples())
 }
 
 proptest! {
@@ -86,5 +94,104 @@ proptest! {
         let total: f64 = c.by_name().iter().map(|(name, _)| c.fraction(name)).sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
         prop_assert_eq!(c.total(), labels.len() as u64);
+    }
+
+    /// Sketch merge is associative bitwise:
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c).
+    #[test]
+    fn sketch_merge_associative((a, b, c) in sample_triples()) {
+        let (sa, sb, sc) = (
+            QuantileSketch::from_samples(&a),
+            QuantileSketch::from_samples(&b),
+            QuantileSketch::from_samples(&c),
+        );
+        let mut left = sa.clone();
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        left.merge(&bc);
+        let mut right = sa;
+        right.merge(&sb);
+        right.merge(&sc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Sketch merge is order-canonical: any split of a sample stream into
+    /// 1, 4, or 8 contiguous chunks folds to the identical state as the
+    /// serial fold — the invariant the campaign's per-worker accumulators
+    /// rely on.
+    #[test]
+    fn sketch_split_points_match_serial_fold(samples in finite_samples()) {
+        let serial = QuantileSketch::from_samples(&samples);
+        for parts in [1usize, 4, 8] {
+            let chunk = samples.len().div_ceil(parts);
+            let mut merged = QuantileSketch::new();
+            for piece in samples.chunks(chunk.max(1)) {
+                merged.merge(&QuantileSketch::from_samples(piece));
+            }
+            prop_assert_eq!(&merged, &serial, "split into {} parts", parts);
+        }
+    }
+
+    /// FixedSum and CoMoments share the same bitwise associativity.
+    #[test]
+    fn fixed_sum_and_comoments_merge_associative((a, b, c) in sample_triples()) {
+        let fold = |xs: &[f64]| {
+            let mut s = FixedSum::new();
+            let mut m = CoMoments::new();
+            for (i, &x) in xs.iter().enumerate() {
+                s.add(x);
+                m.add(x, (i as f64).sin() * 10.0);
+            }
+            (s, m)
+        };
+        let ((sa, ma), (sb, mb), (sc, mc)) = (fold(&a), fold(&b), fold(&c));
+        let (mut s_left, mut m_left) = (sa, ma);
+        let (mut s_bc, mut m_bc) = (sb, mb);
+        s_bc.merge(&sc);
+        m_bc.merge(&mc);
+        s_left.merge(&s_bc);
+        m_left.merge(&m_bc);
+        let (mut s_right, mut m_right) = (sa, ma);
+        s_right.merge(&sb);
+        m_right.merge(&mb);
+        s_right.merge(&sc);
+        m_right.merge(&mc);
+        prop_assert_eq!(s_left, s_right);
+        prop_assert_eq!(m_left, m_right);
+    }
+
+    /// Retained-type merges agree with rebuilding from the combined
+    /// sample multiset, so merging is equivalent to never having split.
+    #[test]
+    fn retained_merges_match_rebuild((a, b, _) in sample_triples()) {
+        let combined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+
+        let mut cdf = Cdf::from_samples(&a).unwrap();
+        cdf.merge(&Cdf::from_samples(&b).unwrap());
+        let mut sorted = combined.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(cdf, Cdf::from_samples(&sorted).unwrap());
+
+        let mut summary = Summary::from_samples(&a).unwrap();
+        summary.merge(&Summary::from_samples(&b).unwrap());
+        prop_assert_eq!(summary, Summary::from_samples(&sorted).unwrap());
+
+        let build_hist = |xs: &[f64]| {
+            let mut h = Histogram::new(-1e6, 1e6, 32);
+            xs.iter().for_each(|&x| h.add(x));
+            h
+        };
+        let mut hist = build_hist(&a);
+        hist.merge(&build_hist(&b));
+        prop_assert_eq!(hist, build_hist(&combined));
+
+        let build_cats = |xs: &[f64]| {
+            let mut c = CategoryCount::new();
+            xs.iter().for_each(|&x| c.add(if x < 0.0 { "neg" } else { "pos" }));
+            c
+        };
+        let mut cats = build_cats(&a);
+        cats.merge(&build_cats(&b));
+        prop_assert_eq!(cats, build_cats(&combined));
     }
 }

@@ -5,20 +5,27 @@
 //! fixes every clip-play attempt — strata, availability verdict (Figure
 //! 10), rating slot, session seed — before any packet is simulated. The
 //! **execute phase** ([`CampaignExecutor`](crate::CampaignExecutor)) runs
-//! those jobs on one thread or many and reassembles the
-//! [`SessionRecord`]s in canonical plan order. Output is a pure function
-//! of [`StudyParams::seed`] and [`StudyParams::scale`]; the worker count
-//! changes wall time only, never a byte of the data.
+//! those jobs on one thread or many and folds each finished session into
+//! streaming [`CampaignAggregates`] — the constant-memory results path.
+//! Output is a pure function of [`StudyParams::seed`] and
+//! [`StudyParams::scale`]; the worker count changes wall time only, never
+//! a byte of the data.
+//!
+//! [`run_campaign`] keeps only aggregates (memory independent of session
+//! count); [`run_campaign_with_records`] additionally retains every
+//! [`SessionRecord`] for dumps, CSV export, and equivalence tests — an
+//! O(sessions) cost the full-scale campaign cannot afford.
 
 use std::sync::Arc;
 
 use rv_sim::{FaultScenario, SimDuration, SimTime};
 use rv_tracer::SessionMetrics;
 
+use crate::accumulate::{CampaignAccumulator, CampaignAggregates, RecordSink};
 use crate::error::CampaignError;
-use crate::executor::{CampaignExecutor, SerialExecutor, ThreadedExecutor};
+use crate::executor::{CampaignExecutor, Fold, SerialExecutor, ThreadedExecutor};
 use crate::geography::{Country, ServerRegion, UserRegion};
-use crate::plan::plan_campaign;
+use crate::plan::{plan_campaign, CampaignPlan};
 use crate::population::{ConnectionClass, PcClass};
 
 /// Campaign configuration.
@@ -26,9 +33,11 @@ use crate::population::{ConnectionClass, PcClass};
 pub struct StudyParams {
     /// Master seed: same seed, same study, bit for bit.
     pub seed: u64,
-    /// Fraction of each user's clip count to actually play, `(0, 1]`.
-    /// 1.0 reproduces the paper's ~2,900 sessions (minutes of CPU);
-    /// 0.05–0.2 suits tests and quick runs.
+    /// Fraction of each user's clip count to actually play. `1.0`
+    /// reproduces the paper's ~2,900 sessions; `0.05–0.2` suits tests
+    /// and quick runs; integers above 1 replicate the population ×N
+    /// with identical strata proportions (`--scale 100` ≈ 290k
+    /// sessions) for scaling studies.
     pub scale: f64,
     /// Watch limit per clip (RealTracer default: 1 minute).
     pub watch_limit: SimDuration,
@@ -113,7 +122,7 @@ impl SessionRecord {
 /// executor speedups are observable.
 #[derive(Debug, Clone)]
 pub struct CampaignSummary {
-    /// Jobs the plan phase materialized.
+    /// Jobs the plan phase fixed.
     pub jobs_planned: usize,
     /// Sessions that streamed to a `Played` outcome.
     pub played: usize,
@@ -172,71 +181,130 @@ impl std::fmt::Display for CampaignSummary {
 }
 
 /// The complete study output.
+///
+/// `aggregates` is always present and is everything the figures, the
+/// failure report, and the summary need. `records` is `Some` only when
+/// the campaign was run through [`run_campaign_with_records`] — the
+/// O(sessions)-memory debug path.
 #[derive(Debug, Clone)]
 pub struct StudyData {
-    /// Every session attempt, in canonical plan order.
-    pub records: Vec<SessionRecord>,
+    /// Streaming aggregates over every session attempt.
+    pub aggregates: CampaignAggregates,
+    /// Every session attempt in canonical plan order, when retained.
+    pub records: Option<Vec<SessionRecord>>,
     /// Number of volunteers excluded for RTSP-blocking firewalls.
     pub excluded_users: u32,
     /// Number of analyzable participants.
     pub participants: u32,
     /// Run accounting. Wall time and worker split vary run to run; the
-    /// `records` never do.
+    /// aggregates never do.
     pub summary: CampaignSummary,
 }
 
 impl StudyData {
-    /// Records that played successfully.
+    /// The retained records, in canonical plan order.
+    ///
+    /// # Panics
+    /// When the campaign ran the streaming path ([`run_campaign`]);
+    /// use [`run_campaign_with_records`] for record-level access.
+    pub fn records(&self) -> &[SessionRecord] {
+        self.records
+            .as_deref()
+            .expect("records not retained: use run_campaign_with_records")
+    }
+
+    /// Retained records that played successfully. Panics like
+    /// [`StudyData::records`].
     pub fn played(&self) -> impl Iterator<Item = &SessionRecord> {
-        self.records.iter().filter(|r| r.played())
+        self.records().iter().filter(|r| r.played())
     }
 
-    /// Records carrying a rating.
+    /// Retained records carrying a rating. Panics like
+    /// [`StudyData::records`].
     pub fn rated(&self) -> impl Iterator<Item = &SessionRecord> {
-        self.records.iter().filter(|r| r.rating.is_some())
+        self.records().iter().filter(|r| r.rating.is_some())
     }
 
-    /// The failure-taxonomy report over every attempt.
+    /// The failure-taxonomy report, built from the streaming tallies in
+    /// one pass — available on both paths.
     pub fn failure_report(&self) -> crate::report::FailureReport {
-        crate::report::FailureReport::from_records(&self.records)
+        crate::report::FailureReport::from_tallies(&self.aggregates.failures)
     }
 }
 
-/// Plans and executes the whole campaign. The records are deterministic
-/// in `params.seed`, `params.scale`, and `params.faults`; `params.jobs`
-/// picks the executor. Fails with a [`CampaignError`] instead of
-/// panicking when the execute phase cannot produce a complete record set
-/// (a worker died mid-campaign).
-pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
+/// Plans and folds a campaign into accumulator `A`, timing the execute
+/// phase. The shared engine under both public entry points.
+fn run_fold<A: CampaignAccumulator>(
+    params: StudyParams,
+) -> Result<(CampaignPlan, Fold<A>, std::time::Duration), CampaignError> {
     let plan = plan_campaign(params);
     let start = std::time::Instant::now();
-    let execution = if params.jobs <= 1 {
-        SerialExecutor.execute(&plan)?
+    let fold = if params.jobs <= 1 {
+        SerialExecutor.fold(&plan)?
     } else {
-        ThreadedExecutor::new(params.jobs).execute(&plan)?
+        ThreadedExecutor::new(params.jobs).fold(&plan)?
     };
-    let records = execution.records;
-    let per_worker = execution.worker_loads;
     let wall = start.elapsed();
+    Ok((plan, fold, wall))
+}
 
+fn assemble(
+    plan: &CampaignPlan,
+    aggregates: CampaignAggregates,
+    per_worker: Vec<usize>,
+    wall: std::time::Duration,
+    records: Option<Vec<SessionRecord>>,
+) -> StudyData {
     let summary = CampaignSummary {
-        jobs_planned: plan.jobs.len(),
-        played: records.iter().filter(|r| r.played()).count(),
-        unavailable: records.iter().filter(|r| !r.available).count(),
-        workers: params.jobs.max(1),
+        jobs_planned: plan.total_jobs(),
+        played: aggregates.played as usize,
+        unavailable: aggregates.unavailable as usize,
+        workers: plan.params.jobs.max(1),
         per_worker,
         wall,
-        sim_seconds: records
-            .iter()
-            .map(|r| r.metrics.session_time.as_secs_f64())
-            .sum(),
+        sim_seconds: aggregates.sim_seconds(),
     };
-    Ok(StudyData {
+    StudyData {
+        aggregates,
         records,
         excluded_users: plan.population.excluded.len() as u32,
         participants: plan.population.participants.len() as u32,
         summary,
-    })
+    }
+}
+
+/// Plans and executes the whole campaign on the streaming results path:
+/// sessions are folded into [`CampaignAggregates`] as they finish and
+/// records are dropped, so memory is independent of session count. The
+/// aggregates are deterministic in `params.seed`, `params.scale`, and
+/// `params.faults`; `params.jobs` picks the executor. Fails with a
+/// [`CampaignError`] instead of panicking when the execute phase cannot
+/// finish (a worker died mid-campaign).
+pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
+    let (plan, fold, wall) = run_fold::<CampaignAggregates>(params)?;
+    Ok(assemble(
+        &plan,
+        fold.accumulator,
+        fold.worker_loads,
+        wall,
+        None,
+    ))
+}
+
+/// Like [`run_campaign`], but additionally retains every
+/// [`SessionRecord`] in canonical plan order — for dumps, CSV export,
+/// and aggregate-equivalence tests. O(sessions) memory.
+pub fn run_campaign_with_records(params: StudyParams) -> Result<StudyData, CampaignError> {
+    let (plan, fold, wall) = run_fold::<(CampaignAggregates, RecordSink)>(params)?;
+    let (aggregates, sink) = fold.accumulator;
+    let records = sink.into_records(plan.total_jobs())?;
+    Ok(assemble(
+        &plan,
+        aggregates,
+        fold.worker_loads,
+        wall,
+        Some(records),
+    ))
 }
 
 #[cfg(test)]
@@ -244,7 +312,7 @@ mod tests {
     use super::*;
 
     fn quick_data() -> StudyData {
-        run_campaign(StudyParams {
+        run_campaign_with_records(StudyParams {
             scale: 0.04,
             ..StudyParams::default()
         })
@@ -257,20 +325,24 @@ mod tests {
         assert_eq!(data.participants, 63);
         assert!(data.excluded_users > 0);
         let users: std::collections::BTreeSet<u32> =
-            data.records.iter().map(|r| r.user_id).collect();
+            data.records().iter().map(|r| r.user_id).collect();
         assert_eq!(users.len(), 63);
+        // The streaming aggregates see the same users.
+        assert_eq!(data.aggregates.plays_per_user.len(), 63);
     }
 
     #[test]
     fn most_sessions_play_some_are_unavailable() {
         let data = quick_data();
-        let total = data.records.len();
+        let total = data.records().len();
         let played = data.played().count();
-        let unavailable = data.records.iter().filter(|r| !r.available).count();
+        let unavailable = data.records().iter().filter(|r| !r.available).count();
         assert!(played * 10 >= total * 6, "played {played}/{total}");
         // ~10 % unavailability.
         let frac = unavailable as f64 / total as f64;
         assert!((0.02..0.25).contains(&frac), "unavailable fraction {frac}");
+        assert_eq!(data.aggregates.total_attempts as usize, total);
+        assert_eq!(data.aggregates.unavailable as usize, unavailable);
     }
 
     #[test]
@@ -279,6 +351,7 @@ mod tests {
         let rated: Vec<u8> = data.rated().map(|r| r.rating.unwrap()).collect();
         assert!(!rated.is_empty());
         assert!(rated.iter().all(|r| *r <= 10));
+        assert_eq!(data.aggregates.rated as usize, rated.len());
     }
 
     #[test]
@@ -299,18 +372,32 @@ mod tests {
     fn deterministic_given_seed() {
         let a = quick_data();
         let b = quick_data();
-        assert_eq!(a.records.len(), b.records.len());
-        for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
             assert_eq!(x.metrics, y.metrics);
             assert_eq!(x.rating, y.rating);
         }
+        assert_eq!(a.aggregates, b.aggregates);
+    }
+
+    #[test]
+    fn streaming_path_retains_no_records() {
+        let data = run_campaign(StudyParams {
+            scale: 0.04,
+            ..StudyParams::default()
+        })
+        .unwrap();
+        assert!(data.records.is_none());
+        // The aggregates still carry the study.
+        assert!(data.aggregates.played > 0);
+        assert!(data.failure_report().attempts > 0);
     }
 
     #[test]
     fn summary_accounts_for_every_job() {
         let data = quick_data();
         let s = &data.summary;
-        assert_eq!(s.jobs_planned, data.records.len());
+        assert_eq!(s.jobs_planned, data.records().len());
         assert_eq!(s.played, data.played().count());
         assert_eq!(s.per_worker.iter().sum::<usize>(), s.jobs_planned);
         assert_eq!(s.workers, 1);

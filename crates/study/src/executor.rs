@@ -1,47 +1,77 @@
-//! The execute phase: runs a [`CampaignPlan`]'s jobs and reassembles
-//! records in canonical plan order.
+//! The execute phase: runs a [`CampaignPlan`]'s jobs and folds each
+//! finished session into a [`CampaignAccumulator`].
 //!
 //! Executors differ only in *how* jobs are scheduled — [`SerialExecutor`]
 //! runs them in plan order on the calling thread; [`ThreadedExecutor`]
-//! self-schedules: workers pull the next unclaimed job off a shared
-//! atomic cursor, so a worker stuck on one slow session never strands a
-//! pre-assigned chunk behind it. Each worker collects `(index, record)`
-//! pairs locally; after the join, records are placed into canonical plan
-//! order by index. Because every [`SessionJob`] carries a self-contained
-//! seed and verdict, all executors produce bit-identical
-//! `Vec<SessionRecord>` for every seed, scale, and worker count;
+//! self-schedules: workers pull the next unclaimed *user* off a shared
+//! atomic cursor (the plan is lazy, so a user is the natural claim unit —
+//! their jobs are regenerated on demand), and a worker stuck on one slow
+//! session never strands pre-assigned work behind it. Each worker folds
+//! into a thread-local accumulator; after the join, the per-worker
+//! accumulators merge in worker-slot order. Because every [`SessionJob`]
+//! carries a self-contained seed and verdict, and because accumulators
+//! are order-independent by contract, all executors produce bit-identical
+//! aggregates for every seed, scale, and worker count;
 //! `tests/determinism.rs` enforces this across the crate boundary. Only
 //! the per-worker *load split* is scheduling-dependent (and therefore
 //! nondeterministic for the threaded executor).
+//!
+//! The historical retain-everything path is the provided
+//! [`CampaignExecutor::execute`], which folds into a [`RecordSink`] and
+//! restores canonical record order — opt-in, because its memory is
+//! O(sessions) while `fold` with aggregate accumulators is O(1) in
+//! session count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rv_sim::SimRng;
 use rv_tracer::{rate, SessionMetrics, SessionOutcome};
 
+use crate::accumulate::{CampaignAccumulator, RecordSink};
 use crate::campaign::SessionRecord;
 use crate::error::CampaignError;
 use crate::plan::{CampaignPlan, SessionJob};
 use crate::worldbuild::build_session_world;
 
-/// The outcome of an execute phase: records in canonical plan order plus
-/// the per-worker job counts actually observed during scheduling.
+/// The outcome of a fold: the merged accumulator plus the per-worker
+/// session counts actually observed during scheduling.
+#[derive(Debug)]
+pub struct Fold<A> {
+    /// Every worker's accumulator, merged in worker-slot order.
+    pub accumulator: A,
+    /// Sessions each worker ran. Always sums to the plan's job count.
+    /// For the threaded executor the split depends on thread timing and
+    /// is *not* deterministic — only the accumulator is.
+    pub worker_loads: Vec<usize>,
+}
+
+/// The outcome of a retained-record execute: records in canonical plan
+/// order plus the observed per-worker loads.
 #[derive(Debug)]
 pub struct Execution {
     /// One record per planned job, in plan order.
     pub records: Vec<SessionRecord>,
-    /// Jobs each worker ran. Always sums to `records.len()`. For the
-    /// threaded executor the split depends on thread timing and is *not*
-    /// deterministic — only the records are.
+    /// Jobs each worker ran; see [`Fold::worker_loads`].
     pub worker_loads: Vec<usize>,
 }
 
 /// A strategy for running a plan's jobs.
 pub trait CampaignExecutor {
-    /// Runs every job, returning records in canonical plan order together
-    /// with the observed per-worker loads, or a [`CampaignError`] when a
-    /// worker died before the plan finished.
-    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError>;
+    /// Runs every job, folding each finished session into a fresh `A` and
+    /// merging per-worker accumulators in canonical worker order. Fails
+    /// with a [`CampaignError`] when a worker died before the plan
+    /// finished.
+    fn fold<A: CampaignAccumulator>(&self, plan: &CampaignPlan) -> Result<Fold<A>, CampaignError>;
+
+    /// Runs every job and retains all records in canonical plan order.
+    /// O(sessions) memory — the debug/dump path, not the campaign path.
+    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError> {
+        let fold = self.fold::<RecordSink>(plan)?;
+        Ok(Execution {
+            records: fold.accumulator.into_records(plan.total_jobs())?,
+            worker_loads: fold.worker_loads,
+        })
+    }
 }
 
 /// Runs jobs one at a time on the calling thread, in plan order.
@@ -49,26 +79,34 @@ pub trait CampaignExecutor {
 pub struct SerialExecutor;
 
 impl CampaignExecutor for SerialExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError> {
-        let records: Vec<SessionRecord> = plan.jobs.iter().map(|job| run_job(plan, job)).collect();
-        let worker_loads = vec![records.len()];
-        Ok(Execution {
-            records,
-            worker_loads,
+    fn fold<A: CampaignAccumulator>(&self, plan: &CampaignPlan) -> Result<Fold<A>, CampaignError> {
+        let mut acc = A::default();
+        let mut ran = 0usize;
+        for user_idx in 0..plan.num_users() {
+            for job in plan.user_jobs(user_idx) {
+                let record = run_job(plan, &job);
+                acc.observe(&job, &record);
+                ran += 1;
+            }
+        }
+        Ok(Fold {
+            accumulator: acc,
+            worker_loads: vec![ran],
         })
     }
 }
 
-/// Fans jobs across `workers` OS threads with self-scheduling: every
-/// worker pulls the next unclaimed job index off a shared atomic cursor
-/// until the plan is exhausted.
+/// Fans users across `workers` OS threads with self-scheduling: every
+/// worker pulls the next unclaimed participant off a shared atomic
+/// cursor, regenerates their jobs from the lazy plan, and folds the
+/// results into a thread-local accumulator until the roster is exhausted.
 ///
 /// Compared to pre-assigned contiguous chunks, a long-running session
 /// cannot strand the rest of its chunk behind it — the other workers
-/// simply drain what remains. Workers collect `(index, record)` pairs in
-/// a thread-local vec; canonical order is restored by index after the
-/// join, so the output is bit-identical to [`SerialExecutor`] regardless
-/// of scheduling.
+/// simply drain the remaining users. Per-worker accumulators merge in
+/// worker-slot order after the join; since accumulators are
+/// order-independent by contract, the merged result is bit-identical to
+/// [`SerialExecutor`]'s regardless of scheduling.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadedExecutor {
     /// Number of worker threads (≥ 1).
@@ -85,43 +123,48 @@ impl ThreadedExecutor {
 }
 
 impl CampaignExecutor for ThreadedExecutor {
-    fn execute(&self, plan: &CampaignPlan) -> Result<Execution, CampaignError> {
-        if self.workers == 1 || plan.jobs.len() <= 1 {
-            return SerialExecutor.execute(plan);
+    fn fold<A: CampaignAccumulator>(&self, plan: &CampaignPlan) -> Result<Fold<A>, CampaignError> {
+        if self.workers == 1 || plan.num_users() <= 1 {
+            return SerialExecutor.fold(plan);
         }
-        let workers = self.workers.min(plan.jobs.len());
+        let workers = self.workers.min(plan.num_users());
         let cursor = AtomicUsize::new(0);
         // Join every worker explicitly: a panicked worker becomes a typed
         // error instead of propagating out of the scope and aborting the
         // caller with the worker's payload.
         let mut first_dead: Option<usize> = None;
-        let mut slots: Vec<Option<SessionRecord>> = Vec::new();
-        slots.resize_with(plan.jobs.len(), || None);
+        let mut merged = A::default();
         let mut worker_loads = vec![0usize; workers];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
                     scope.spawn(move || {
-                        let mut local: Vec<(usize, SessionRecord)> = Vec::new();
+                        let mut local = A::default();
+                        let mut ran = 0usize;
                         loop {
-                            let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(job) = plan.jobs.get(index) else {
+                            let user_idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if user_idx >= plan.num_users() {
                                 break;
-                            };
-                            local.push((index, run_job(plan, job)));
+                            }
+                            for job in plan.user_jobs(user_idx) {
+                                let record = run_job(plan, &job);
+                                local.observe(&job, &record);
+                                ran += 1;
+                            }
                         }
-                        local
+                        (local, ran)
                     })
                 })
                 .collect();
+            // Merge in worker-slot order — the canonical merge order.
+            // (Accumulators are order-independent anyway; fixing the
+            // order makes the guarantee not depend on that contract.)
             for (worker, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(local) => {
-                        worker_loads[worker] = local.len();
-                        for (index, record) in local {
-                            slots[index] = Some(record);
-                        }
+                    Ok((local, ran)) => {
+                        worker_loads[worker] = ran;
+                        merged.merge(local);
                     }
                     Err(_) => {
                         if first_dead.is_none() {
@@ -134,13 +177,8 @@ impl CampaignExecutor for ThreadedExecutor {
         if let Some(worker) = first_dead {
             return Err(CampaignError::WorkerPanicked { worker });
         }
-        let records = slots
-            .into_iter()
-            .enumerate()
-            .map(|(index, s)| s.ok_or(CampaignError::MissingRecord { index }))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Execution {
-            records,
+        Ok(Fold {
+            accumulator: merged,
             worker_loads,
         })
     }
@@ -201,6 +239,7 @@ pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accumulate::CampaignAggregates;
     use crate::campaign::StudyParams;
     use crate::plan::plan_campaign;
 
@@ -228,6 +267,25 @@ mod tests {
     }
 
     #[test]
+    fn threaded_aggregates_match_serial_bit_for_bit() {
+        let plan = plan_campaign(StudyParams {
+            scale: 0.02,
+            ..StudyParams::default()
+        });
+        let serial = SerialExecutor
+            .fold::<CampaignAggregates>(&plan)
+            .unwrap()
+            .accumulator;
+        for workers in [2, 4, 8] {
+            let threaded = ThreadedExecutor::new(workers)
+                .fold::<CampaignAggregates>(&plan)
+                .unwrap()
+                .accumulator;
+            assert_eq!(serial, threaded, "{workers} workers");
+        }
+    }
+
+    #[test]
     fn worker_loads_cover_all_jobs() {
         let plan = plan_campaign(StudyParams {
             scale: 0.02,
@@ -236,7 +294,7 @@ mod tests {
         for workers in [1, 2, 4, 7] {
             let exec = ThreadedExecutor::new(workers);
             let loads = exec.execute(&plan).unwrap().worker_loads;
-            assert_eq!(loads.iter().sum::<usize>(), plan.jobs.len());
+            assert_eq!(loads.iter().sum::<usize>(), plan.total_jobs());
             assert!(loads.len() <= workers);
         }
     }

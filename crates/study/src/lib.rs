@@ -6,15 +6,20 @@
 //! ([`build_population`]), the eleven-server roster ([`server_roster`]),
 //! the 98-clip playlist ([`build_playlist`]), per-session world
 //! construction ([`build_session_world`]), and the campaign runner that
-//! replays the whole June 2001 study and yields the [`SessionRecord`]s
-//! every figure is computed from. Campaigns run in two phases: a pure
-//! plan pass ([`plan_campaign`]) materializes every session as a
-//! [`SessionJob`], and a [`CampaignExecutor`] (serial or threaded) runs
-//! them — bit-identically, whatever the thread count.
+//! replays the whole June 2001 study and yields the streaming
+//! [`CampaignAggregates`] every figure is computed from. Campaigns run
+//! in two phases: a pure plan pass ([`plan_campaign`]) fixes every
+//! session as a [`SessionJob`] (lazily — plan memory is O(users)), and a
+//! [`CampaignExecutor`] (serial or threaded) folds them into a
+//! [`CampaignAccumulator`] — bit-identically, whatever the thread count.
+//! [`run_campaign`] keeps aggregates only (constant memory in session
+//! count); [`run_campaign_with_records`] also retains the
+//! [`SessionRecord`]s for dumps and equivalence tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accumulate;
 mod campaign;
 mod error;
 mod executor;
@@ -26,9 +31,15 @@ mod report;
 mod servers;
 mod worldbuild;
 
-pub use campaign::{run_campaign, CampaignSummary, SessionRecord, StudyData, StudyParams};
+pub use accumulate::{
+    bandwidth_bucket, CampaignAccumulator, CampaignAggregates, FailureTallies, OutcomeTally,
+    QualityMoments, RecordSink, BANDWIDTH_BINS,
+};
+pub use campaign::{
+    run_campaign, run_campaign_with_records, CampaignSummary, SessionRecord, StudyData, StudyParams,
+};
 pub use error::CampaignError;
-pub use executor::{run_job, CampaignExecutor, Execution, SerialExecutor, ThreadedExecutor};
+pub use executor::{run_job, CampaignExecutor, Execution, Fold, SerialExecutor, ThreadedExecutor};
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
     Zone,

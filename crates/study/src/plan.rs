@@ -14,6 +14,13 @@
 //! seed depend only on `(seed, user id, clip sequence number)`, so a
 //! scaled-down campaign (`scale < 1`) plans, for every user, an exact
 //! prefix of the jobs the full campaign would plan for that user.
+//!
+//! The same derive-by-key property makes the plan *lazy*: because a job
+//! is a pure function of `(params, user, clip_seq)`, the plan stores only
+//! per-user job counts (a prefix-sum table) and regenerates each user's
+//! jobs on demand via [`CampaignPlan::user_jobs`]. Plan memory is
+//! O(users), not O(sessions) — at `--scale 100` the old materialized
+//! job vector alone would dwarf the streaming aggregates it feeds.
 
 use std::sync::Arc;
 
@@ -67,7 +74,11 @@ impl SessionJob {
     }
 }
 
-/// A fully materialized campaign: world model plus every job to run.
+/// A campaign ready to execute: the world model plus a lazy job table.
+///
+/// Jobs are not stored; only the per-user prefix-sum offsets are. Workers
+/// regenerate each user's jobs on demand ([`CampaignPlan::user_jobs`]),
+/// which keeps plan memory independent of session count.
 #[derive(Debug, Clone)]
 pub struct CampaignPlan {
     /// The parameters the plan was built from.
@@ -81,19 +92,84 @@ pub struct CampaignPlan {
     /// Interned clip names, one per playlist slot: records share these
     /// instead of cloning a `String` per session.
     pub clip_names: Vec<Arc<str>>,
-    /// Every clip-play attempt, in canonical (user, sequence) order.
-    pub jobs: Vec<SessionJob>,
+    /// `job_offsets[u]` is the canonical plan index of participant `u`'s
+    /// first job; the final entry is the campaign's total job count.
+    job_offsets: Vec<usize>,
 }
 
 impl CampaignPlan {
+    /// Total clip-play attempts the campaign will run.
+    pub fn total_jobs(&self) -> usize {
+        *self.job_offsets.last().expect("offsets never empty")
+    }
+
+    /// Number of participants with planned jobs.
+    pub fn num_users(&self) -> usize {
+        self.job_offsets.len() - 1
+    }
+
+    /// Regenerates participant `user_idx`'s jobs, in play order. Pure:
+    /// every call returns bit-identical jobs, and the concatenation over
+    /// users in index order is the canonical plan order.
+    pub fn user_jobs(&self, user_idx: usize) -> Vec<SessionJob> {
+        let user = &self.population.participants[user_idx];
+        let base = self.job_offsets[user_idx];
+        let fault_horizon = self.params.session_deadline.saturating_since(SimTime::ZERO);
+        let offset = (user.id as usize * 7) % self.playlist.len();
+        let mut rating_slots_left = user.clips_to_rate;
+        let mut jobs = Vec::with_capacity(user.clips_to_play as usize);
+        for clip_seq in 0..user.clips_to_play {
+            let playlist_slot = (offset + clip_seq as usize) % self.playlist.len();
+            let entry = &self.playlist[playlist_slot];
+            let site = &self.roster[entry.server];
+            let key = SessionJob::stream_key(user.id, clip_seq);
+            // The availability draw comes from this job's own stream, not
+            // a shared generator, so verdicts are order- and
+            // scale-independent.
+            let mut availability_rng = SimRng::derive(self.params.seed, "availability", key);
+            let available = !site.clip_unavailable(&mut availability_rng);
+            let rating_slot = available && rating_slots_left > 0;
+            if rating_slot {
+                rating_slots_left -= 1;
+            }
+            jobs.push(SessionJob {
+                index: base + clip_seq as usize,
+                user: user_idx,
+                user_id: user.id,
+                clip_seq,
+                playlist_slot,
+                server: entry.server,
+                available,
+                rating_slot,
+                session_seed: SimRng::derive_seed(self.params.seed, "session", key),
+                fault_plan: FaultPlan::generate(
+                    &self.params.faults,
+                    SimRng::derive_seed(self.params.seed, "faults", key),
+                    fault_horizon,
+                ),
+            });
+        }
+        jobs
+    }
+
+    /// Materializes every job in canonical plan order. O(sessions)
+    /// memory — for tests and small runs; the executor never calls it.
+    pub fn collect_jobs(&self) -> Vec<SessionJob> {
+        (0..self.num_users())
+            .flat_map(|u| self.user_jobs(u))
+            .collect()
+    }
+
     /// Number of jobs whose clip was available at plan time.
     pub fn available_jobs(&self) -> usize {
-        self.jobs.iter().filter(|j| j.available).count()
+        (0..self.num_users())
+            .map(|u| self.user_jobs(u).iter().filter(|j| j.available).count())
+            .sum()
     }
 }
 
 /// Plans a campaign. Pure and serial: same `params`, same plan, bit for
-/// bit — and cheap, since nothing is simulated.
+/// bit — and cheap, since nothing is simulated and no jobs are stored.
 pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
     let mut rng = SimRng::seed_from_u64(params.seed);
     let roster = server_roster();
@@ -104,46 +180,12 @@ pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
         .map(|e| Arc::from(e.clip.name.as_str()))
         .collect();
 
-    let fault_horizon = params.session_deadline.saturating_since(SimTime::ZERO);
-    let mut jobs = Vec::new();
-    for (user_idx, user) in population.participants.iter().enumerate() {
-        // Each user starts at a different playlist offset. RealTracer
-        // itself always started at the top, but rotating keeps scaled-down
-        // runs representative of every server; at full scale the
-        // difference washes out over 98-clip cycles.
-        let offset = (user.id as usize * 7) % playlist.len();
-        let mut rating_slots_left = user.clips_to_rate;
-        for clip_seq in 0..user.clips_to_play {
-            let playlist_slot = (offset + clip_seq as usize) % playlist.len();
-            let entry = &playlist[playlist_slot];
-            let site = &roster[entry.server];
-            let key = SessionJob::stream_key(user.id, clip_seq);
-            // The availability draw comes from this job's own stream, not
-            // a shared generator, so verdicts are order- and
-            // scale-independent.
-            let mut availability_rng = SimRng::derive(params.seed, "availability", key);
-            let available = !site.clip_unavailable(&mut availability_rng);
-            let rating_slot = available && rating_slots_left > 0;
-            if rating_slot {
-                rating_slots_left -= 1;
-            }
-            jobs.push(SessionJob {
-                index: jobs.len(),
-                user: user_idx,
-                user_id: user.id,
-                clip_seq,
-                playlist_slot,
-                server: entry.server,
-                available,
-                rating_slot,
-                session_seed: SimRng::derive_seed(params.seed, "session", key),
-                fault_plan: FaultPlan::generate(
-                    &params.faults,
-                    SimRng::derive_seed(params.seed, "faults", key),
-                    fault_horizon,
-                ),
-            });
-        }
+    let mut job_offsets = Vec::with_capacity(population.participants.len() + 1);
+    job_offsets.push(0);
+    let mut total = 0usize;
+    for user in &population.participants {
+        total += user.clips_to_play as usize;
+        job_offsets.push(total);
     }
 
     CampaignPlan {
@@ -152,7 +194,7 @@ pub fn plan_campaign(params: StudyParams) -> CampaignPlan {
         population,
         playlist,
         clip_names,
-        jobs,
+        job_offsets,
     }
 }
 
@@ -169,7 +211,7 @@ mod tests {
     fn same_seed_identical_plan() {
         let a = plan_campaign(StudyParams::quick());
         let b = plan_campaign(StudyParams::quick());
-        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.collect_jobs(), b.collect_jobs());
         assert_eq!(a.clip_names, b.clip_names);
     }
 
@@ -180,7 +222,22 @@ mod tests {
             seed: 7,
             ..StudyParams::quick()
         });
-        assert_ne!(a.jobs, b.jobs);
+        assert_ne!(a.collect_jobs(), b.collect_jobs());
+    }
+
+    #[test]
+    fn lazy_regeneration_is_stable_and_consistent() {
+        let plan = plan_campaign(StudyParams::quick());
+        // Regenerating a user's jobs is pure...
+        for u in [0usize, 7, 31, 62] {
+            assert_eq!(plan.user_jobs(u), plan.user_jobs(u));
+        }
+        // ...and the concatenation is dense in plan order.
+        let jobs = plan.collect_jobs();
+        assert_eq!(jobs.len(), plan.total_jobs());
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+        }
     }
 
     #[test]
@@ -189,8 +246,9 @@ mod tests {
         assert_eq!(plan.population.participants.len(), 63);
         // Canonical order: jobs are grouped by user, sequence within each
         // user ascends from zero, and `index` equals position.
+        let jobs = plan.collect_jobs();
         let mut expected_seq: HashMap<u32, u32> = HashMap::new();
-        for (i, job) in plan.jobs.iter().enumerate() {
+        for (i, job) in jobs.iter().enumerate() {
             assert_eq!(job.index, i);
             let seq = expected_seq.entry(job.user_id).or_insert(0);
             assert_eq!(job.clip_seq, *seq, "user {} out of sequence", job.user_id);
@@ -199,9 +257,9 @@ mod tests {
         assert_eq!(expected_seq.len(), 63);
         // Full scale plans the paper's ~2,900 sessions.
         assert!(
-            (2_500..3_300).contains(&plan.jobs.len()),
+            (2_500..3_300).contains(&plan.total_jobs()),
             "{} jobs",
-            plan.jobs.len()
+            plan.total_jobs()
         );
     }
 
@@ -212,12 +270,14 @@ mod tests {
             scale: 0.25,
             ..StudyParams::default()
         });
+        let full_jobs = full.collect_jobs();
+        let scaled_jobs_all = scaled.collect_jobs();
         let mut full_by_user: HashMap<u32, Vec<&SessionJob>> = HashMap::new();
-        for job in &full.jobs {
+        for job in &full_jobs {
             full_by_user.entry(job.user_id).or_default().push(job);
         }
         let mut scaled_by_user: HashMap<u32, Vec<&SessionJob>> = HashMap::new();
-        for job in &scaled.jobs {
+        for job in &scaled_jobs_all {
             scaled_by_user.entry(job.user_id).or_default().push(job);
         }
         assert_eq!(full_by_user.len(), scaled_by_user.len());
@@ -243,8 +303,8 @@ mod tests {
     #[test]
     fn availability_fraction_in_figure_10_band() {
         let plan = full_scale();
-        let unavailable = plan.jobs.len() - plan.available_jobs();
-        let frac = unavailable as f64 / plan.jobs.len() as f64;
+        let unavailable = plan.total_jobs() - plan.available_jobs();
+        let frac = unavailable as f64 / plan.total_jobs() as f64;
         // Figure 10: overall clip unavailability averaged ≈ 10 %.
         assert!((0.05..0.18).contains(&frac), "unavailable fraction {frac}");
     }
@@ -252,8 +312,9 @@ mod tests {
     #[test]
     fn session_seeds_unique_over_full_scale_job_set() {
         let plan = full_scale();
+        let jobs = plan.collect_jobs();
         let mut seen = std::collections::HashSet::new();
-        for job in &plan.jobs {
+        for job in &jobs {
             assert!(
                 seen.insert(job.session_seed),
                 "seed collision at user {} seq {}",
@@ -264,30 +325,30 @@ mod tests {
         // And the seeds are well spread, not clustered in a few high or
         // low bits the way the old `wrapping_mul`/`<< 20` mixing was:
         // population-count over the whole set should straddle 32.
-        let mean_ones: f64 = plan
-            .jobs
+        let mean_ones: f64 = jobs
             .iter()
             .map(|j| f64::from(j.session_seed.count_ones()))
             .sum::<f64>()
-            / plan.jobs.len() as f64;
+            / jobs.len() as f64;
         assert!((30.0..34.0).contains(&mean_ones), "mean ones {mean_ones}");
     }
 
     #[test]
     fn fault_plans_empty_when_off_and_scheduled_when_on() {
         let off = plan_campaign(StudyParams::quick());
-        assert!(off.jobs.iter().all(|j| j.fault_plan.is_empty()));
+        assert!(off.collect_jobs().iter().all(|j| j.fault_plan.is_empty()));
 
-        let on = plan_campaign(StudyParams {
+        let on_jobs = plan_campaign(StudyParams {
             faults: rv_sim::FaultScenario::default_on(),
             ..StudyParams::quick()
-        });
-        let faulted = on.jobs.iter().filter(|j| !j.fault_plan.is_empty()).count();
+        })
+        .collect_jobs();
+        let faulted = on_jobs.iter().filter(|j| !j.fault_plan.is_empty()).count();
         assert!(faulted > 0, "default-on scenario scheduled no faults");
         assert!(
-            faulted * 2 < on.jobs.len(),
+            faulted * 2 < on_jobs.len(),
             "faults must stay the minority: {faulted}/{}",
-            on.jobs.len()
+            on_jobs.len()
         );
         // Fault plans ride the same derive-by-key scheme as session
         // seeds: replanning yields the identical trouble.
@@ -295,14 +356,14 @@ mod tests {
             faults: rv_sim::FaultScenario::default_on(),
             ..StudyParams::quick()
         });
-        assert_eq!(on.jobs, again.jobs);
+        assert_eq!(on_jobs, again.collect_jobs());
     }
 
     #[test]
     fn rating_slots_respect_user_budgets() {
         let plan = full_scale();
         let mut slots: HashMap<u32, u32> = HashMap::new();
-        for job in &plan.jobs {
+        for job in plan.collect_jobs() {
             if job.rating_slot {
                 assert!(job.available, "rating slot on an unavailable job");
                 *slots.entry(job.user_id).or_insert(0) += 1;

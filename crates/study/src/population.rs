@@ -204,9 +204,20 @@ pub struct Population {
 /// Builds the full participant roster, deterministically from `rng`.
 ///
 /// `scale` in `(0, 1]` shrinks every user's clip count proportionally (for
-/// fast test runs); 1.0 reproduces Figure 7's totals exactly.
+/// fast test runs); 1.0 reproduces Figure 7's totals exactly. Above 1,
+/// the population is replicated: the base 63-user roster is built at
+/// per-replica fraction `scale / ceil(scale)` and cloned `ceil(scale)`
+/// times with an id stride of 1,000,000, so total session count grows
+/// ∝ `scale` while every stratum proportion (country, connection, PC,
+/// firewall, rating mix) stays exactly identical — the scaling knob for
+/// constant-memory campaign studies.
 pub fn build_population(rng: &mut SimRng, scale: f64) -> Population {
-    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "scale must be positive and finite"
+    );
+    let replicas = if scale <= 1.0 { 1 } else { scale.ceil() as u32 };
+    let scale = scale / f64::from(replicas);
     let mut users = Vec::new();
     let mut id = 0;
     for (country, n_users, total_clips) in COUNTRY_TARGETS {
@@ -303,6 +314,20 @@ pub fn build_population(rng: &mut SimRng, scale: f64) -> Population {
             u
         })
         .collect();
+    // Replication happens after every RNG draw, so a replicated
+    // population is the base population (at the per-replica fraction)
+    // repeated verbatim: identical strata, disjoint user ids (the base
+    // roster and the excluded volunteers all sit far below the stride).
+    if replicas > 1 {
+        let base = users.clone();
+        for r in 1..replicas {
+            users.extend(base.iter().map(|u| {
+                let mut c = u.clone();
+                c.id = u.id + r * 1_000_000;
+                c
+            }));
+        }
+    }
     Population {
         participants: users,
         excluded,
@@ -439,6 +464,50 @@ mod tests {
     fn zero_scale_rejected() {
         let mut rng = SimRng::seed_from_u64(6);
         build_population(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn scale_above_one_replicates_with_identical_strata() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let base = build_population(&mut rng, 1.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let big = build_population(&mut rng, 3.0);
+        assert_eq!(big.participants.len(), base.participants.len() * 3);
+        // Exactly the base roster, repeated with an id stride.
+        for (i, u) in big.participants.iter().enumerate() {
+            let b = &base.participants[i % base.participants.len()];
+            let replica = (i / base.participants.len()) as u32;
+            assert_eq!(u.id, b.id + replica * 1_000_000);
+            assert_eq!(u.country, b.country);
+            assert_eq!(u.connection, b.connection);
+            assert_eq!(u.pc, b.pc);
+            assert_eq!(u.clips_to_play, b.clips_to_play);
+            assert_eq!(u.clips_to_rate, b.clips_to_rate);
+        }
+        // Exclusions are not replicated.
+        assert_eq!(big.excluded.len(), base.excluded.len());
+        // Ids never collide.
+        let ids: std::collections::BTreeSet<u32> = big.participants.iter().map(|u| u.id).collect();
+        assert_eq!(ids.len(), big.participants.len());
+    }
+
+    #[test]
+    fn fractional_scale_above_one_grows_sessions_proportionally() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let full: u32 = build_population(&mut rng, 1.0)
+            .participants
+            .iter()
+            .map(|u| u.clips_to_play)
+            .sum();
+        let mut rng = SimRng::seed_from_u64(8);
+        let grown: u32 = build_population(&mut rng, 2.5)
+            .participants
+            .iter()
+            .map(|u| u.clips_to_play)
+            .sum();
+        // 2.5× the sessions, within per-user rounding slack.
+        let ratio = f64::from(grown) / f64::from(full);
+        assert!((2.2..=2.8).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

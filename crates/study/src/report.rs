@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use rv_rtsp::TransportKind;
 
+use crate::accumulate::{FailureTallies, OutcomeTally};
 use crate::campaign::SessionRecord;
 
 /// Outcome counts for one group of attempts (a server, a country, a
@@ -86,6 +87,46 @@ pub struct FailureReport {
 }
 
 impl FailureReport {
+    /// Builds the report from streaming [`FailureTallies`] — the one-pass
+    /// path: the executor folded every attempt into the tallies as it
+    /// finished, so no record scan happens here. The tallies' `BTreeMap`s
+    /// carry the same orderings the record scan produced, so both
+    /// constructors yield identical reports.
+    pub fn from_tallies(tallies: &FailureTallies) -> Self {
+        let breakdown = |label: String, t: &OutcomeTally| FailureBreakdown {
+            label,
+            attempts: t.attempts as usize,
+            played: t.played as usize,
+            degraded: t.degraded as usize,
+            unsuccessful: t.unsuccessful as usize,
+        };
+        FailureReport {
+            attempts: tallies.outcomes.values().map(|n| *n as usize).sum(),
+            outcomes: tallies
+                .outcomes
+                .iter()
+                .map(|(label, n)| (*label, *n as usize))
+                .collect(),
+            retried: tallies.retried as usize,
+            fallbacks: tallies.fallbacks as usize,
+            by_server: tallies
+                .by_server
+                .iter()
+                .map(|(name, t)| breakdown(name.to_string(), t))
+                .collect(),
+            by_country: tallies
+                .by_country
+                .iter()
+                .map(|(name, t)| breakdown(name.clone(), t))
+                .collect(),
+            by_transport: tallies
+                .by_transport
+                .iter()
+                .map(|(name, t)| breakdown(name.to_string(), t))
+                .collect(),
+        }
+    }
+
     /// Tallies `records` into the report. Grouping maps are ordered, so
     /// the report is as deterministic as the records themselves.
     pub fn from_records(records: &[SessionRecord]) -> Self {
@@ -209,18 +250,18 @@ impl std::fmt::Display for FailureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::{run_campaign, StudyParams};
+    use crate::campaign::{run_campaign, run_campaign_with_records, StudyParams};
     use rv_sim::FaultScenario;
 
     #[test]
     fn report_accounts_for_every_attempt() {
-        let data = run_campaign(StudyParams {
+        let data = run_campaign_with_records(StudyParams {
             scale: 0.04,
             ..StudyParams::default()
         })
         .unwrap();
-        let report = FailureReport::from_records(&data.records);
-        assert_eq!(report.attempts, data.records.len());
+        let report = FailureReport::from_records(data.records());
+        assert_eq!(report.attempts, data.records().len());
         let outcome_total: usize = report.outcomes.iter().map(|(_, c)| c).sum();
         assert_eq!(outcome_total, report.attempts);
         let server_total: usize = report.by_server.iter().map(|b| b.attempts).sum();
@@ -236,6 +277,21 @@ mod tests {
     }
 
     #[test]
+    fn tallies_and_records_build_identical_reports() {
+        for faults in [FaultScenario::off(), FaultScenario::default_on()] {
+            let data = run_campaign_with_records(StudyParams {
+                scale: 0.04,
+                faults,
+                ..StudyParams::default()
+            })
+            .unwrap();
+            let from_records = FailureReport::from_records(data.records());
+            let from_tallies = FailureReport::from_tallies(&data.aggregates.failures);
+            assert_eq!(from_records, from_tallies);
+        }
+    }
+
+    #[test]
     fn faults_raise_the_failure_rate() {
         let base = StudyParams {
             scale: 0.08,
@@ -247,8 +303,9 @@ mod tests {
             ..base
         })
         .unwrap();
-        let clean_report = FailureReport::from_records(&clean.records);
-        let fault_report = FailureReport::from_records(&faulted.records);
+        // Streaming path: reports come straight off the tallies.
+        let clean_report = clean.failure_report();
+        let fault_report = faulted.failure_report();
         assert!(
             fault_report.failure_rate() > clean_report.failure_rate(),
             "faults {:.3} vs clean {:.3}",

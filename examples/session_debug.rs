@@ -37,14 +37,16 @@ fn main() {
         user.pc.cpu_power()
     );
 
-    let visited: Vec<&rv_study::SessionJob> =
-        plan.jobs.iter().filter(|j| j.user_id == user.id).collect();
+    let visited: Vec<rv_study::SessionJob> = plan
+        .collect_jobs()
+        .into_iter()
+        .filter(|j| j.user_id == user.id)
+        .collect();
     let job = visited
         .iter()
         .find(|j| plan.roster[j.server].name == want_server)
-        .copied()
         .unwrap_or_else(|| {
-            let j = visited[0];
+            let j = &visited[0];
             eprintln!(
                 "user {} never visits {want_server}; using {} instead",
                 user.id, plan.roster[j.server].name

@@ -26,13 +26,10 @@ fn main() {
         std::process::exit(1);
     });
 
+    let agg = &data.aggregates;
     println!(
         "{} participants, {} sessions, {} played, {} rated, {} unavailable\n",
-        data.participants,
-        data.records.len(),
-        data.played().count(),
-        data.rated().count(),
-        data.records.iter().filter(|r| !r.available).count(),
+        data.participants, agg.total_attempts, agg.played, agg.rated, agg.unavailable,
     );
 
     for id in ["fig11", "fig16", "fig20", "fig26"] {

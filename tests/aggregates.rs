@@ -1,0 +1,60 @@
+//! Streaming/retained equivalence: the aggregates folded live during a
+//! campaign must be exactly what a rebuild from the retained record list
+//! produces, and every figure rendered from either must match bit for
+//! bit. This is the contract that lets `repro` default to the
+//! constant-memory path without changing a single published number.
+
+use realvideo_core::all_figures;
+use rv_study::{run_campaign_with_records, CampaignAggregates, StudyParams};
+
+fn check_equivalence(params: StudyParams, label: &str) {
+    let data = run_campaign_with_records(params).expect("campaign runs");
+    // The campaign streamed `data.aggregates` as each session finished;
+    // rebuilding from the retained records must land on the same bits.
+    let rebuilt = CampaignAggregates::from_records(data.records());
+    assert_eq!(
+        data.aggregates, rebuilt,
+        "streaming vs rebuilt aggregates differ ({label})"
+    );
+
+    // And therefore every rendered figure is byte-identical.
+    let mut from_rebuilt = data.clone();
+    from_rebuilt.aggregates = rebuilt;
+    let a = all_figures(&data);
+    let b = all_figures(&from_rebuilt);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.body, y.body, "figure {} differs ({label})", x.id);
+    }
+
+    // The failure report is also aggregate-derived on both paths.
+    assert_eq!(
+        format!("{}", data.failure_report()),
+        format!("{}", from_rebuilt.failure_report()),
+        "failure report differs ({label})"
+    );
+}
+
+#[test]
+fn streaming_aggregates_match_retained_records_fault_free() {
+    check_equivalence(
+        StudyParams {
+            scale: 0.2,
+            ..StudyParams::default()
+        },
+        "faults off",
+    );
+}
+
+#[test]
+fn streaming_aggregates_match_retained_records_with_faults() {
+    check_equivalence(
+        StudyParams {
+            scale: 0.2,
+            faults: rv_sim::FaultScenario::default_on(),
+            ..StudyParams::default()
+        },
+        "faults on",
+    );
+}

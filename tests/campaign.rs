@@ -5,10 +5,10 @@
 use realvideo_core::{all_figures, figure};
 use rv_rtsp::TransportKind;
 use rv_stats::Cdf;
-use rv_study::{run_campaign, ConnectionClass, StudyParams, UserRegion};
+use rv_study::{run_campaign_with_records, ConnectionClass, StudyParams, UserRegion};
 
 fn campaign() -> rv_study::StudyData {
-    run_campaign(StudyParams {
+    run_campaign_with_records(StudyParams {
         scale: 0.08,
         ..StudyParams::default()
     })
@@ -20,18 +20,18 @@ fn campaign_structure_matches_study() {
     let data = campaign();
     assert_eq!(data.participants, 63);
     let countries: std::collections::BTreeSet<_> =
-        data.records.iter().map(|r| r.user_country).collect();
+        data.records().iter().map(|r| r.user_country).collect();
     assert_eq!(countries.len(), 12, "12 user countries");
     let servers: std::collections::BTreeSet<_> =
-        data.records.iter().map(|r| r.server_name).collect();
+        data.records().iter().map(|r| r.server_name).collect();
     assert!(servers.len() >= 9, "most of the 11 servers visited");
 }
 
 #[test]
 fn unavailability_is_about_ten_percent() {
     let data = campaign();
-    let unavailable = data.records.iter().filter(|r| !r.available).count();
-    let frac = unavailable as f64 / data.records.len() as f64;
+    let unavailable = data.records().iter().filter(|r| !r.available).count();
+    let frac = unavailable as f64 / data.records().len() as f64;
     assert!((0.04..0.20).contains(&frac), "unavailable fraction {frac}");
 }
 
@@ -169,8 +169,8 @@ fn every_figure_renders_from_campaign_data() {
 fn campaign_is_deterministic() {
     let a = campaign();
     let b = campaign();
-    assert_eq!(a.records.len(), b.records.len());
-    for (x, y) in a.records.iter().zip(&b.records) {
+    assert_eq!(a.records().len(), b.records().len());
+    for (x, y) in a.records().iter().zip(b.records()) {
         assert_eq!(x.metrics, y.metrics);
     }
 }

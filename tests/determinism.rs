@@ -1,8 +1,10 @@
 //! The headline invariant of the plan/execute split: campaign output is
 //! bit-identical for every worker count. A figure regenerated with
-//! `--jobs 8` must match one regenerated with `--jobs 1` byte for byte.
+//! `--jobs 8` must match one regenerated with `--jobs 1` byte for byte —
+//! both the streaming aggregates every figure is computed from and the
+//! opt-in retained records.
 
-use rv_study::{run_campaign, StudyParams};
+use rv_study::{run_campaign, run_campaign_with_records, StudyParams};
 
 fn params(jobs: usize) -> StudyParams {
     StudyParams {
@@ -14,18 +16,25 @@ fn params(jobs: usize) -> StudyParams {
 
 #[test]
 fn parallel_execution_is_bit_identical_to_serial() {
-    let serial = run_campaign(params(1)).unwrap();
-    assert!(!serial.records.is_empty());
+    let serial = run_campaign_with_records(params(1)).unwrap();
+    assert!(!serial.records().is_empty());
     for jobs in [4, 8] {
-        let parallel = run_campaign(params(jobs)).unwrap();
+        let parallel = run_campaign_with_records(params(jobs)).unwrap();
+        // The streaming aggregates are the primary output: merged across
+        // workers in canonical order, they must be *equal*, not just
+        // statistically close.
         assert_eq!(
-            serial.records.len(),
-            parallel.records.len(),
+            serial.aggregates, parallel.aggregates,
+            "aggregates differ at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.records().len(),
+            parallel.records().len(),
             "record count differs at jobs={jobs}"
         );
         assert_eq!(serial.participants, parallel.participants);
         assert_eq!(serial.excluded_users, parallel.excluded_users);
-        for (i, (s, p)) in serial.records.iter().zip(&parallel.records).enumerate() {
+        for (i, (s, p)) in serial.records().iter().zip(parallel.records()).enumerate() {
             assert_eq!(s.user_id, p.user_id, "record {i} user at jobs={jobs}");
             assert_eq!(s.server_name, p.server_name, "record {i} server");
             assert_eq!(s.clip_name, p.clip_name, "record {i} clip");
@@ -37,7 +46,22 @@ fn parallel_execution_is_bit_identical_to_serial() {
         assert_eq!(parallel.summary.workers, jobs);
         assert_eq!(
             parallel.summary.per_worker.iter().sum::<usize>(),
-            parallel.records.len()
+            parallel.records().len()
+        );
+    }
+}
+
+#[test]
+fn streaming_aggregates_are_identical_across_worker_counts() {
+    // Same invariant on the constant-memory path, where no records exist
+    // to compare: the aggregates themselves carry the bit-identity.
+    let serial = run_campaign(params(1)).unwrap();
+    assert!(serial.records.is_none(), "streaming path retained records");
+    for jobs in [4, 8] {
+        let parallel = run_campaign(params(jobs)).unwrap();
+        assert_eq!(
+            serial.aggregates, parallel.aggregates,
+            "streaming aggregates differ at jobs={jobs}"
         );
     }
 }
@@ -45,8 +69,8 @@ fn parallel_execution_is_bit_identical_to_serial() {
 #[test]
 fn seed_and_scale_select_the_data_not_the_executor() {
     // Different seeds must differ (the invariant is not vacuous)...
-    let a = run_campaign(params(4)).unwrap();
-    let b = run_campaign(StudyParams {
+    let a = run_campaign_with_records(params(4)).unwrap();
+    let b = run_campaign_with_records(StudyParams {
         seed: 0xBEEF,
         ..params(4)
     })
@@ -54,10 +78,12 @@ fn seed_and_scale_select_the_data_not_the_executor() {
     let a_played: Vec<f64> = a.played().map(|r| r.metrics.frame_rate).collect();
     let b_played: Vec<f64> = b.played().map(|r| r.metrics.frame_rate).collect();
     assert_ne!(a_played, b_played);
+    assert_ne!(a.aggregates, b.aggregates);
     // ...and a parallel re-run of the same seed must not.
-    let c = run_campaign(params(4)).unwrap();
+    let c = run_campaign_with_records(params(4)).unwrap();
     let c_played: Vec<f64> = c.played().map(|r| r.metrics.frame_rate).collect();
     assert_eq!(a_played, c_played);
+    assert_eq!(a.aggregates, c.aggregates);
 }
 
 fn faulted_params(jobs: usize) -> StudyParams {
@@ -69,11 +95,15 @@ fn faulted_params(jobs: usize) -> StudyParams {
 
 #[test]
 fn faulted_campaign_is_bit_identical_across_worker_counts() {
-    let serial = run_campaign(faulted_params(1)).unwrap();
+    let serial = run_campaign_with_records(faulted_params(1)).unwrap();
     for jobs in [4, 8] {
-        let parallel = run_campaign(faulted_params(jobs)).unwrap();
-        assert_eq!(serial.records.len(), parallel.records.len());
-        for (i, (s, p)) in serial.records.iter().zip(&parallel.records).enumerate() {
+        let parallel = run_campaign_with_records(faulted_params(jobs)).unwrap();
+        assert_eq!(
+            serial.aggregates, parallel.aggregates,
+            "faulted aggregates differ at jobs={jobs}"
+        );
+        assert_eq!(serial.records().len(), parallel.records().len());
+        for (i, (s, p)) in serial.records().iter().zip(parallel.records()).enumerate() {
             assert_eq!(s.metrics, p.metrics, "record {i} metrics at jobs={jobs}");
             assert_eq!(s.rating, p.rating, "record {i} rating at jobs={jobs}");
         }
@@ -109,10 +139,11 @@ fn zero_rate_fault_scenario_matches_fault_free_campaign() {
         },
         ..params(4)
     };
-    let clean = run_campaign(params(4)).unwrap();
-    let armed = run_campaign(zero).unwrap();
-    assert_eq!(clean.records.len(), armed.records.len());
-    for (c, a) in clean.records.iter().zip(&armed.records) {
+    let clean = run_campaign_with_records(params(4)).unwrap();
+    let armed = run_campaign_with_records(zero).unwrap();
+    assert_eq!(clean.aggregates, armed.aggregates);
+    assert_eq!(clean.records().len(), armed.records().len());
+    for (c, a) in clean.records().iter().zip(armed.records()) {
         assert_eq!(c.metrics, a.metrics);
         assert_eq!(c.rating, a.rating);
     }

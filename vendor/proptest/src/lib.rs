@@ -225,6 +225,18 @@ macro_rules! impl_range_strategy_float {
                 self.start + u * (self.end - self.start)
             }
         }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // rng.unit() is in [0, 1); use a closed-interval variant so
+                // `hi` itself is reachable (endpoints matter for inclusive
+                // ranges).
+                let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (u as $t) * (hi - lo)
+            }
+        }
     )+};
 }
 
