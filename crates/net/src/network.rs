@@ -8,15 +8,19 @@
 //! The hot path is event-driven rather than scan-the-world:
 //!
 //! - Routes are **interned** at [`Network::set_route`] time into an indexed
-//!   table (`RouteId` → `Arc<[LinkId]>`). `send` resolves the route once and
+//!   table (`RouteId` → `Arc<[LinkId]>`). `send` resolves the route once
+//!   through a dense host×host matrix (one multiply-add, no hashing) and
 //!   every packet carries `(RouteId, hop)` through the links as an opaque
-//!   tag, so per-hop forwarding is two array indexes — no `HashMap` lookup,
+//!   tag, so per-hop forwarding is two array indexes — no map lookup,
 //!   no O(route-length) scan for "which hop is this link".
-//! - A **due-time index** (`link_wake`, an [`EventQueue<LinkId>`]) tracks
+//! - A **due-time index** (`link_wake`, a [`TimerWheel<LinkId>`]) tracks
 //!   when each serving link completes, so `poll(now)` touches only links
-//!   with work due instead of iterating every link. The queue holds exactly
+//!   with work due instead of iterating every link. The wheel holds exactly
 //!   one entry per serving link (pushed on idle→serving, refreshed after a
-//!   drain), so `next_wake` is an O(1) peek with no stale entries.
+//!   drain), so `next_wake` is an O(1) peek with no stale entries — and
+//!   schedule/advance are O(1) slot operations instead of heap sifts.
+//!   In-flight propagation arrivals ride a second wheel with the same
+//!   `(at, seq)` FIFO pop order the old `EventQueue` heap guaranteed.
 //!
 //! Determinism: links due at the same instant drain in ascending `LinkId`
 //! order — the same order the scan-all loop used — and in-flight arrivals
@@ -24,10 +28,10 @@
 //! reference scan ([`Network::poll_scan_all`], retained for the
 //! equivalence property tests).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rv_sim::{earliest, EventQueue, OutagePolicy, SimRng, SimTime};
+use rv_sim::{earliest, OutagePolicy, SimRng, SimTime, TimerWheel};
 
 use crate::link::{Link, LinkParams, LinkStats};
 use crate::packet::{HostId, NodeId, Packet};
@@ -44,6 +48,9 @@ pub struct LinkId(pub u32);
 /// silently forwarded along a path that no longer exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RouteId(pub u32);
+
+/// Sentinel in the dense route matrix: no route installed for the pair.
+const NO_ROUTE: u32 = u32::MAX;
 
 /// Packs `(route, hop)` into the opaque u64 tag a [`Link`] carries.
 fn pack_tag(route: RouteId, hop: u32) -> u64 {
@@ -74,21 +81,28 @@ pub struct Network<P> {
     /// host -> node mapping (hosts are nodes with an inbox).
     host_nodes: Vec<NodeId>,
     links: Vec<Link<P>>,
-    /// Source routes: (src host, dst host) -> interned route id.
-    routes: HashMap<(HostId, HostId), RouteId>,
+    /// Source routes as a dense host×host matrix: entry
+    /// `src * num_hosts + dst` is the interned route id, or
+    /// [`NO_ROUTE`]. Session topologies have a handful of hosts, so the
+    /// matrix is tiny and route resolution is one multiply-add — no
+    /// hashing, no allocation.
+    route_ids: Vec<u32>,
     /// Interned route table, indexed by `RouteId`. Entries are immutable
     /// once issued; replaced routes leave their entry in place so stale
     /// ids can still be resolved for the misrouted check.
     route_table: Vec<Arc<[LinkId]>>,
     /// Due-time index over serving links: exactly one entry per link with
     /// a serialization in progress, keyed by its completion time.
-    link_wake: EventQueue<LinkId>,
+    link_wake: TimerWheel<LinkId>,
     /// Scratch buffer for the due links of one poll round (reused so the
     /// hot path never allocates).
     due_scratch: Vec<LinkId>,
     /// Packets that finished a link and are propagating.
-    in_flight: EventQueue<Transit<P>>,
+    in_flight: TimerWheel<Transit<P>>,
     inboxes: Vec<VecDeque<Packet<P>>>,
+    /// Emptied inboxes recycled across [`Network::reset_for_rebuild`]
+    /// cycles, so a rebuilt topology's hosts start with warm buffers.
+    spare_inboxes: Vec<VecDeque<Packet<P>>>,
     /// Packets dropped because no route existed.
     unroutable: u64,
     /// Packets dropped mid-flight because their route changed under them.
@@ -105,12 +119,13 @@ impl<P> Network<P> {
             num_nodes: 0,
             host_nodes: Vec::new(),
             links: Vec::new(),
-            routes: HashMap::new(),
+            route_ids: Vec::new(),
             route_table: Vec::new(),
-            link_wake: EventQueue::new(),
+            link_wake: TimerWheel::new(),
             due_scratch: Vec::new(),
-            in_flight: EventQueue::new(),
+            in_flight: TimerWheel::new(),
             inboxes: Vec::new(),
+            spare_inboxes: Vec::new(),
             unroutable: 0,
             misrouted: 0,
             delivered: 0,
@@ -122,8 +137,35 @@ impl<P> Network<P> {
         let node = self.add_node();
         let host = HostId(self.host_nodes.len() as u32);
         self.host_nodes.push(node);
-        self.inboxes.push(VecDeque::new());
+        self.inboxes
+            .push(self.spare_inboxes.pop().unwrap_or_default());
+        // Re-stride the dense route matrix for the new host count.
+        let n = self.host_nodes.len();
+        let old = std::mem::replace(&mut self.route_ids, vec![NO_ROUTE; n * n]);
+        for (i, rid) in old.into_iter().enumerate() {
+            if rid != NO_ROUTE {
+                let (src, dst) = (i / (n - 1), i % (n - 1));
+                self.route_ids[src * n + dst] = rid;
+            }
+        }
         host
+    }
+
+    /// The dense-matrix slot for a host pair.
+    #[inline]
+    fn route_slot(&self, src: HostId, dst: HostId) -> usize {
+        src.0 as usize * self.host_nodes.len() + dst.0 as usize
+    }
+
+    /// The interned route id currently routing `src` → `dst`, if any.
+    /// One multiply-add and one load — the hot path of `send` and both
+    /// drain arms.
+    #[inline]
+    fn route_id(&self, src: HostId, dst: HostId) -> Option<RouteId> {
+        match self.route_ids[self.route_slot(src, dst)] {
+            NO_ROUTE => None,
+            rid => Some(RouteId(rid)),
+        }
     }
 
     /// Adds an interior node (router) with no inbox.
@@ -169,19 +211,20 @@ impl<P> Network<P> {
         }
         assert_eq!(at, self.host_node(dst), "route does not end at destination");
         let rid = RouteId(self.route_table.len() as u32);
+        assert!(rid.0 != NO_ROUTE, "route id space exhausted");
         self.route_table.push(route.into());
-        self.routes.insert((src, dst), rid);
+        let slot = self.route_slot(src, dst);
+        self.route_ids[slot] = rid.0;
     }
 
     /// Whether a route exists between two hosts.
     pub fn has_route(&self, src: HostId, dst: HostId) -> bool {
-        self.routes.contains_key(&(src, dst))
+        self.route_id(src, dst).is_some()
     }
 
     /// The interned link sequence currently routing `src` → `dst`.
     pub fn route(&self, src: HostId, dst: HostId) -> Option<&[LinkId]> {
-        self.routes
-            .get(&(src, dst))
+        self.route_id(src, dst)
             .map(|rid| &*self.route_table[rid.0 as usize])
     }
 
@@ -189,8 +232,7 @@ impl<P> Network<P> {
     /// packet carries its `(RouteId, hop)` through every link. Returns
     /// `false` if no route exists or the first link dropped it immediately.
     pub fn send(&mut self, now: SimTime, packet: Packet<P>) -> bool {
-        let key = (packet.src.host, packet.dst.host);
-        let Some(&rid) = self.routes.get(&key) else {
+        let Some(rid) = self.route_id(packet.src.host, packet.dst.host) else {
             self.unroutable += 1;
             return false;
         };
@@ -222,6 +264,13 @@ impl<P> Network<P> {
     /// touched, via the `link_wake` index. Ties at one instant drain in
     /// ascending `LinkId` order, matching [`Network::poll_scan_all`].
     pub fn poll(&mut self, now: SimTime) -> usize {
+        // Fast path: nothing due. Equivalent to running the loop body once
+        // and finding both wheels empty, at the cost of two cached reads —
+        // drivers re-poll every settle iteration, so this is the common
+        // case.
+        if self.next_wake().is_none_or(|t| t > now) {
+            return 0;
+        }
         let mut moved = 0;
         loop {
             // Collect the links with serializations due. Each serving link
@@ -280,11 +329,13 @@ impl<P> Network<P> {
     fn drain_link(&mut self, lid: LinkId, now: SimTime, progress: &mut bool) -> usize {
         let Network {
             links,
-            routes,
+            host_nodes,
+            route_ids,
             in_flight,
             misrouted,
             ..
         } = self;
+        let num_hosts = host_nodes.len();
         let link = &mut links[lid.0 as usize];
         let mut moved = 0;
         let drained = link.poll(now, &mut |arrive_at, packet, tag| {
@@ -292,7 +343,8 @@ impl<P> Network<P> {
             // The route existed at send time, but may have been replaced
             // since; a packet stranded by a route change is dropped and
             // counted rather than panicking the simulation.
-            if routes.get(&(packet.src.host, packet.dst.host)) == Some(&route) {
+            let slot = packet.src.host.0 as usize * num_hosts + packet.dst.host.0 as usize;
+            if route_ids[slot] == route.0 {
                 in_flight.push(arrive_at, Transit { packet, route, hop });
                 moved += 1;
             } else {
@@ -317,7 +369,7 @@ impl<P> Network<P> {
             *progress = true;
             // Same staleness rule as the serialization arm: a replaced
             // route strands the packet, counted not panicked.
-            if self.routes.get(&(packet.src.host, packet.dst.host)) != Some(&route) {
+            if self.route_id(packet.src.host, packet.dst.host) != Some(route) {
                 self.misrouted += 1;
                 continue;
             }
@@ -422,6 +474,29 @@ impl<P> Network<P> {
     /// Number of links.
     pub fn num_links(&self) -> usize {
         self.links.len()
+    }
+
+    /// Scrubs every piece of topology and traffic state while keeping the
+    /// allocated storage — timer wheels, inboxes, scratch buffers, route
+    /// tables — so the next session's rebuild schedules into warm memory.
+    /// A reset network is logically indistinguishable from
+    /// [`Network::new`]; see [`crate::NetBuilder::build_with_payload_into`].
+    pub fn reset_for_rebuild(&mut self) {
+        self.num_nodes = 0;
+        self.host_nodes.clear();
+        self.links.clear();
+        self.route_ids.clear();
+        self.route_table.clear();
+        self.link_wake.reset();
+        self.due_scratch.clear();
+        self.in_flight.reset();
+        for mut q in self.inboxes.drain(..) {
+            q.clear();
+            self.spare_inboxes.push(q);
+        }
+        self.unroutable = 0;
+        self.misrouted = 0;
+        self.delivered = 0;
     }
 }
 

@@ -89,8 +89,19 @@ impl NetBuilder {
 
     /// As [`NetBuilder::build`] but for an arbitrary payload type.
     pub fn build_with_payload<P>(self, rng: &mut SimRng) -> Network<P> {
-        let mut net: Network<P> = Network::new();
+        self.build_onto(rng, Network::new())
+    }
 
+    /// As [`NetBuilder::build_with_payload`] but rebuilding onto a retired
+    /// network, recycling its storage (timer wheels, inboxes, tables). The
+    /// result is logically identical to a fresh build; it merely schedules
+    /// into warm memory instead of allocating.
+    pub fn build_with_payload_into<P>(self, rng: &mut SimRng, mut net: Network<P>) -> Network<P> {
+        net.reset_for_rebuild();
+        self.build_onto(rng, net)
+    }
+
+    fn build_onto<P>(self, rng: &mut SimRng, mut net: Network<P>) -> Network<P> {
         // Create nodes in declaration order so ids match handles.
         let mut node_ids: Vec<NodeId> = Vec::with_capacity(self.net_nodes as usize);
         let mut host_ids: Vec<(u32, HostId)> = Vec::new();

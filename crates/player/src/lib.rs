@@ -58,9 +58,18 @@ impl Player {
 
     /// Advances playout, returning frame events.
     pub fn poll(&mut self, now: SimTime) -> Vec<PlayoutEvent> {
-        let events = self.playout.poll(now);
+        let mut events = Vec::new();
+        self.poll_into(now, &mut events);
+        events
+    }
+
+    /// [`Player::poll`] appending events to `out`, so a session loop can
+    /// reuse one event buffer instead of allocating per poll.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<PlayoutEvent>) {
+        let start = out.len();
+        self.playout.poll_into(now, out);
         // Partial frames whose deadline passed will never play; drop them.
-        if let Some(last) = events
+        if let Some(last) = out[start..]
             .iter()
             .rev()
             .find_map(|e| e.played_at.is_some().then_some(e.pts))
@@ -68,7 +77,6 @@ impl Player {
             self.assembler
                 .expire_before(last.saturating_sub(SimDuration::from_secs(1)));
         }
-        events
     }
 
     /// Playout state.

@@ -8,7 +8,7 @@
 //! dropped. An emptied buffer halts playback for up to 20 seconds while it
 //! refills, exactly as RealPlayer did (paper, Section II.B).
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use rv_sim::{SimDuration, SimTime};
 
@@ -115,7 +115,11 @@ pub struct Playout {
     /// Relative decode speed: 1.0 = typical new PC, lower = slower.
     cpu_power: f64,
     state: PlayoutState,
-    buffer: BTreeMap<u64, Buffered>, // keyed by pts micros
+    /// Frames awaiting playout, sorted by pts micros. Frames arrive
+    /// near-ordered and leave strictly from the front, so a sorted ring
+    /// buffer (binary-search insert near the back, `pop_front` drain)
+    /// replaces a `BTreeMap` with zero steady-state allocation.
+    buffer: VecDeque<(u64, Buffered)>,
     session_start: Option<SimTime>,
     /// Wall instant corresponding to `origin` media time.
     epoch: SimTime,
@@ -137,7 +141,7 @@ impl Playout {
             cfg,
             cpu_power,
             state: PlayoutState::Buffering,
-            buffer: BTreeMap::new(),
+            buffer: VecDeque::new(),
             session_start: None,
             epoch: SimTime::ZERO,
             origin: SimDuration::ZERO,
@@ -166,8 +170,8 @@ impl Playout {
 
     /// Media span buffered ahead of the cursor.
     pub fn buffered_span(&self) -> SimDuration {
-        match self.buffer.last_key_value() {
-            Some((&last, _)) => SimDuration::from_micros(last).saturating_sub(self.cursor),
+        match self.buffer.back() {
+            Some(&(last, _)) => SimDuration::from_micros(last).saturating_sub(self.cursor),
             None => SimDuration::ZERO,
         }
     }
@@ -183,9 +187,11 @@ impl Playout {
             self.session_start = Some(now);
         }
         // Duplicate pts (e.g. rung-switch overlap): first one wins.
-        self.buffer
-            .entry(frame.pts.as_micros())
-            .or_insert(Buffered { frame });
+        let pts_us = frame.pts.as_micros();
+        let pos = self.buffer.partition_point(|(p, _)| *p < pts_us);
+        if self.buffer.get(pos).is_none_or(|(p, _)| *p != pts_us) {
+            self.buffer.insert(pos, (pts_us, Buffered { frame }));
+        }
     }
 
     /// Media time currently due, when playing.
@@ -195,17 +201,19 @@ impl Playout {
 
     /// Advances the engine, emitting playout events.
     pub fn poll(&mut self, now: SimTime) -> Vec<PlayoutEvent> {
+        let mut events = Vec::new();
+        self.poll_into(now, &mut events);
+        events
+    }
+
+    /// [`Playout::poll`] appending events to `out`, so a driver loop can
+    /// reuse one buffer for the whole session.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<PlayoutEvent>) {
         match self.state {
-            PlayoutState::Buffering => {
-                self.poll_buffering(now);
-                Vec::new()
-            }
-            PlayoutState::Playing => self.poll_playing(now),
-            PlayoutState::Rebuffering => {
-                self.poll_rebuffering(now);
-                Vec::new()
-            }
-            PlayoutState::Ended => Vec::new(),
+            PlayoutState::Buffering => self.poll_buffering(now),
+            PlayoutState::Playing => self.poll_playing(now, out),
+            PlayoutState::Rebuffering => self.poll_rebuffering(now),
+            PlayoutState::Ended => {}
         }
     }
 
@@ -217,7 +225,7 @@ impl Playout {
         let timed_out = now.saturating_since(start) >= self.cfg.prebuffer_timeout;
         if span >= self.cfg.prebuffer || (timed_out && !self.buffer.is_empty()) {
             // Playout begins at the earliest buffered frame.
-            let first = SimDuration::from_micros(*self.buffer.keys().next().expect("nonempty"));
+            let first = SimDuration::from_micros(self.buffer.front().expect("nonempty").0);
             self.origin = first;
             self.cursor = first;
             self.epoch = now;
@@ -228,16 +236,15 @@ impl Playout {
         }
     }
 
-    fn poll_playing(&mut self, now: SimTime) -> Vec<PlayoutEvent> {
-        let mut events = Vec::new();
+    fn poll_playing(&mut self, now: SimTime, events: &mut Vec<PlayoutEvent>) {
         let clock = self.media_clock(now);
 
-        while let Some((&pts_us, _)) = self.buffer.first_key_value() {
+        while let Some(&(pts_us, _)) = self.buffer.front() {
             let pts = SimDuration::from_micros(pts_us);
             if pts > clock {
                 break;
             }
-            let Buffered { frame } = self.buffer.remove(&pts_us).expect("present");
+            let (_, Buffered { frame }) = self.buffer.pop_front().expect("present");
             self.cursor = pts;
             let due_wall = self.epoch + (pts - self.origin);
             // The frame plays when due and present: the later of its
@@ -297,7 +304,6 @@ impl Playout {
                 self.stats.rebuffer_events += 1;
             }
         }
-        events
     }
 
     fn poll_rebuffering(&mut self, now: SimTime) {
@@ -308,7 +314,7 @@ impl Playout {
             || (halted >= self.cfg.rebuffer_halt && !self.buffer.is_empty())
         {
             // Resume: the playout clock skips the halt.
-            let first = SimDuration::from_micros(*self.buffer.keys().next().expect("nonempty"));
+            let first = SimDuration::from_micros(self.buffer.front().expect("nonempty").0);
             self.origin = first;
             self.cursor = first;
             self.epoch = now;
@@ -328,7 +334,7 @@ impl Playout {
             PlayoutState::Buffering => self
                 .session_start
                 .map(|s| (s + self.cfg.prebuffer_timeout).max(now + SimDuration::from_millis(50))),
-            PlayoutState::Playing => self.buffer.first_key_value().map(|(&pts_us, _)| {
+            PlayoutState::Playing => self.buffer.front().map(|&(pts_us, _)| {
                 // A straggler that arrived with pts earlier than the playout
                 // origin is already overdue; saturating keeps its wake-up in
                 // the present instead of panicking on time underflow.

@@ -47,6 +47,10 @@ pub struct ReassemblyStats {
 #[derive(Debug)]
 struct PartialFrame {
     got: Vec<bool>,
+    /// FEC groups this frame has fragments in (tiny: a fragment run spans
+    /// at most a couple of groups), so completion can drop the frame from
+    /// exactly those groups instead of scanning the whole group map.
+    member_of: Vec<u32>,
     received: u16,
     bytes: u32,
     pts: SimDuration,
@@ -60,14 +64,25 @@ struct FecGroup {
     /// Size of the largest member fragment, from the parity packet: the
     /// best available estimate for a recovered fragment's size.
     parity_len: u16,
-    /// Incomplete frames that have fragments in this group.
-    frames: HashSet<(u8, u32)>,
+    /// Incomplete frames that have fragments in this group. A plain Vec:
+    /// membership is a handful of frames, and the backing allocation is
+    /// recycled when the group retires.
+    frames: Vec<(u8, u32)>,
 }
 
 /// Reassembles frames from media packets.
 #[derive(Debug)]
 pub struct Assembler {
     partial: HashMap<(u8, u32), PartialFrame>,
+    /// Retired fragment bitmaps, recycled so steady-state reassembly
+    /// allocates nothing per frame.
+    spare_got: Vec<Vec<bool>>,
+    /// Retired group-membership lists, recycled with the bitmaps.
+    spare_member: Vec<Vec<u32>>,
+    /// Retired FEC-group frame lists, recycled as groups die.
+    spare_frames: Vec<Vec<(u8, u32)>>,
+    /// Reused key buffer for `expire_before`.
+    expire_scratch: Vec<(u8, u32)>,
     /// Frames already delivered; re-received fragments must not rebuild them.
     completed: HashSet<(u8, u32)>,
     groups: BTreeMap<u32, FecGroup>,
@@ -96,6 +111,10 @@ impl Assembler {
     pub fn new() -> Self {
         Assembler {
             partial: HashMap::new(),
+            spare_got: Vec::new(),
+            spare_member: Vec::new(),
+            spare_frames: Vec::new(),
+            expire_scratch: Vec::new(),
             completed: HashSet::new(),
             groups: BTreeMap::new(),
             max_seq: None,
@@ -173,13 +192,24 @@ impl Assembler {
         if self.completed.contains(&key) {
             return; // duplicate of an already-delivered frame
         }
-        let entry = self.partial.entry(key).or_insert_with(|| PartialFrame {
-            got: vec![false; usize::from(pkt.frag_count)],
-            received: 0,
-            bytes: 0,
-            pts: SimDuration::from_micros(pkt.pts_micros),
-            key: pkt.key,
-        });
+        let entry = match self.partial.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut got = self.spare_got.pop().unwrap_or_default();
+                got.clear();
+                got.resize(usize::from(pkt.frag_count), false);
+                let mut member_of = self.spare_member.pop().unwrap_or_default();
+                member_of.clear();
+                v.insert(PartialFrame {
+                    got,
+                    member_of,
+                    received: 0,
+                    bytes: 0,
+                    pts: SimDuration::from_micros(pkt.pts_micros),
+                    key: pkt.key,
+                })
+            }
+        };
         let idx = usize::from(pkt.frag_index);
         if idx >= entry.got.len() || entry.got[idx] {
             return; // duplicate or malformed
@@ -188,17 +218,25 @@ impl Assembler {
         entry.received += 1;
         entry.bytes += u32::from(pkt.payload_len);
 
-        let group = self.groups.entry(pkt.group_id).or_default();
+        let spare_frames = &mut self.spare_frames;
+        let group = self.groups.entry(pkt.group_id).or_insert_with(|| FecGroup {
+            frames: spare_frames.pop().unwrap_or_default(),
+            ..FecGroup::default()
+        });
         group.data_received += 1;
 
         if entry.received == entry.got.len() as u16 {
-            let done = self.partial.remove(&key).expect("present");
+            let mut done = self.partial.remove(&key).expect("present");
+            self.spare_got.push(std::mem::take(&mut done.got));
             self.completed.insert(key);
             self.stats.frames_completed += 1;
             // The frame left the partial set; drop it from group tracking.
-            for g in self.groups.values_mut() {
-                g.frames.remove(&key);
+            for gid in done.member_of.drain(..) {
+                if let Some(g) = self.groups.get_mut(&gid) {
+                    g.frames.retain(|k| *k != key);
+                }
             }
+            self.spare_member.push(done.member_of);
             out.push(CompleteFrame {
                 index: pkt.frame_index,
                 rung: pkt.rung,
@@ -208,11 +246,12 @@ impl Assembler {
                 completed_at: now,
             });
         } else {
-            self.groups
-                .entry(pkt.group_id)
-                .or_default()
-                .frames
-                .insert(key);
+            if !group.frames.contains(&key) {
+                group.frames.push(key);
+            }
+            if !entry.member_of.contains(&pkt.group_id) {
+                entry.member_of.push(pkt.group_id);
+            }
             self.try_recover(now, pkt.group_id, out);
         }
     }
@@ -257,12 +296,19 @@ impl Assembler {
             return;
         };
         let recovered_len = self.groups[&group_id].parity_len;
-        let done = self.partial.remove(&key).expect("candidate exists");
+        let mut done = self.partial.remove(&key).expect("candidate exists");
+        self.spare_got.push(std::mem::take(&mut done.got));
         self.completed.insert(key);
-        self.groups.remove(&group_id);
-        for g in self.groups.values_mut() {
-            g.frames.remove(&key);
+        if let Some(mut dead) = self.groups.remove(&group_id) {
+            dead.frames.clear();
+            self.spare_frames.push(dead.frames);
         }
+        for gid in done.member_of.drain(..) {
+            if let Some(g) = self.groups.get_mut(&gid) {
+                g.frames.retain(|k| *k != key);
+            }
+        }
+        self.spare_member.push(done.member_of);
         self.stats.frames_completed += 1;
         self.stats.frames_recovered += 1;
         // The recovered fragment's bytes are synthesized; the parity
@@ -312,21 +358,37 @@ impl Assembler {
     /// Discards partial frames older than `horizon` (their playout deadline
     /// passed; holding them forever would leak).
     pub fn expire_before(&mut self, horizon: SimDuration) {
-        let stale: Vec<(u8, u32)> = self
-            .partial
-            .iter()
-            .filter(|(_, p)| p.pts < horizon)
-            .map(|(k, _)| *k)
-            .collect();
-        for key in stale {
-            self.partial.remove(&key);
-            for g in self.groups.values_mut() {
-                g.frames.remove(&key);
+        let mut stale = std::mem::take(&mut self.expire_scratch);
+        stale.clear();
+        stale.extend(
+            self.partial
+                .iter()
+                .filter(|(_, p)| p.pts < horizon)
+                .map(|(k, _)| *k),
+        );
+        for key in stale.drain(..) {
+            if let Some(mut dead) = self.partial.remove(&key) {
+                self.spare_got.push(std::mem::take(&mut dead.got));
+                for gid in dead.member_of.drain(..) {
+                    if let Some(g) = self.groups.get_mut(&gid) {
+                        g.frames.retain(|k| *k != key);
+                    }
+                }
+                self.spare_member.push(dead.member_of);
             }
         }
-        // Old FEC groups with no live frames can go too.
-        self.groups
-            .retain(|_, g| !g.frames.is_empty() || g.parity.is_none());
+        self.expire_scratch = stale;
+        // Old FEC groups with no live frames can go too, their frame-list
+        // backings returned to the spare pool.
+        let mut spare_frames = std::mem::take(&mut self.spare_frames);
+        self.groups.retain(|_, g| {
+            let keep = !g.frames.is_empty() || g.parity.is_none();
+            if !keep {
+                spare_frames.push(std::mem::take(&mut g.frames));
+            }
+            keep
+        });
+        self.spare_frames = spare_frames;
     }
 }
 

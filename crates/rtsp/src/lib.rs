@@ -15,10 +15,12 @@
 
 mod message;
 mod session;
+mod smallstr;
 mod transport;
 
 pub use message::{DecodeError, Decoder, Message, Method, Status};
 pub use session::{ClientEvent, ClientSession, ClientState, ServerHandler, ServerSession};
+pub use smallstr::SmallStr;
 pub use transport::{
     negotiate, FirewallPolicy, NegotiationError, TransportKind, TransportPreference, TransportSpec,
 };

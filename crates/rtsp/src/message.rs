@@ -6,8 +6,10 @@
 //! control connection runs over the simulated TCP byte stream and must
 //! survive arbitrary segmentation.
 
-use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
+
+use crate::smallstr::SmallStr;
 
 /// RTSP request methods used by the streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +106,12 @@ impl Status {
 }
 
 /// An RTSP message: request or response, headers, optional body.
+///
+/// Headers live in a `Vec` in insertion order with [`SmallStr`]
+/// name/value storage: building or parsing a typical control message
+/// costs one allocation (the header vector) instead of a `String` pair
+/// plus a map node per header. Lookup stays case-insensitive; setting an
+/// existing name replaces its value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// A client request.
@@ -111,9 +119,9 @@ pub enum Message {
         /// The method.
         method: Method,
         /// The target URL, e.g. `rtsp://server/clip.rm`.
-        url: String,
+        url: SmallStr,
         /// Header fields (names case-preserved, lookup case-insensitive).
-        headers: BTreeMap<String, String>,
+        headers: Vec<(SmallStr, SmallStr)>,
         /// Message body.
         body: Vec<u8>,
     },
@@ -122,7 +130,7 @@ pub enum Message {
         /// Status code.
         status: Status,
         /// Header fields.
-        headers: BTreeMap<String, String>,
+        headers: Vec<(SmallStr, SmallStr)>,
         /// Message body.
         body: Vec<u8>,
     },
@@ -133,8 +141,8 @@ impl Message {
     pub fn request(method: Method, url: &str) -> Message {
         Message::Request {
             method,
-            url: url.to_string(),
-            headers: BTreeMap::new(),
+            url: SmallStr::from(url),
+            headers: Vec::new(),
             body: Vec::new(),
         }
     }
@@ -143,36 +151,51 @@ impl Message {
     pub fn response(status: Status) -> Message {
         Message::Response {
             status,
-            headers: BTreeMap::new(),
+            headers: Vec::new(),
             body: Vec::new(),
         }
     }
 
-    /// Adds a header (builder style).
-    pub fn with_header(mut self, name: &str, value: &str) -> Message {
-        self.headers_mut()
-            .insert(name.to_string(), value.to_string());
+    fn set_header(&mut self, name: &str, value: SmallStr) {
+        let headers = self.headers_mut();
+        match headers.iter_mut().find(|(k, _)| k.as_str() == name) {
+            Some((_, v)) => *v = value,
+            None => headers.push((SmallStr::from(name), value)),
+        }
+    }
+
+    /// Adds a header (builder style). Setting a name twice replaces the
+    /// first value. Accepts `&str` or an owned [`SmallStr`] (the latter
+    /// moves in without re-copying a spilled value).
+    pub fn with_header(mut self, name: &str, value: impl Into<SmallStr>) -> Message {
+        self.set_header(name, value.into());
+        self
+    }
+
+    /// Adds a header rendering `value` through [`fmt::Display`] — the
+    /// `CSeq`/`Bandwidth` path, with no intermediate `String`.
+    pub fn with_header_display(mut self, name: &str, value: impl fmt::Display) -> Message {
+        self.set_header(name, SmallStr::from_display(value));
         self
     }
 
     /// Sets the body and Content-Length (builder style).
     pub fn with_body(mut self, body: Vec<u8>) -> Message {
-        self.headers_mut()
-            .insert("Content-Length".to_string(), body.len().to_string());
+        self.set_header("Content-Length", SmallStr::from_display(body.len()));
         match &mut self {
             Message::Request { body: b, .. } | Message::Response { body: b, .. } => *b = body,
         }
         self
     }
 
-    /// The message headers.
-    pub fn headers(&self) -> &BTreeMap<String, String> {
+    /// The message headers, in insertion (and wire) order.
+    pub fn headers(&self) -> &[(SmallStr, SmallStr)] {
         match self {
             Message::Request { headers, .. } | Message::Response { headers, .. } => headers,
         }
     }
 
-    fn headers_mut(&mut self) -> &mut BTreeMap<String, String> {
+    fn headers_mut(&mut self) -> &mut Vec<(SmallStr, SmallStr)> {
         match self {
             Message::Request { headers, .. } | Message::Response { headers, .. } => headers,
         }
@@ -195,22 +218,40 @@ impl Message {
 
     /// Serializes to the RTSP wire format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = String::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes onto the end of `out`, so a send loop can reuse one
+    /// staging buffer across messages.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut text = WriteBytes(out);
         match self {
             Message::Request { method, url, .. } => {
-                out.push_str(&format!("{method} {url} RTSP/1.0\r\n"));
+                write!(text, "{method} {url} RTSP/1.0\r\n").expect("Vec write never errors");
             }
             Message::Response { status, .. } => {
-                out.push_str(&format!("RTSP/1.0 {} {}\r\n", status.0, status.reason()));
+                write!(text, "RTSP/1.0 {} {}\r\n", status.0, status.reason())
+                    .expect("Vec write never errors");
             }
         }
         for (k, v) in self.headers() {
-            out.push_str(&format!("{k}: {v}\r\n"));
+            write!(text, "{k}: {v}\r\n").expect("Vec write never errors");
         }
-        out.push_str("\r\n");
-        let mut bytes = out.into_bytes();
-        bytes.extend_from_slice(self.body());
-        bytes
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(self.body());
+    }
+}
+
+/// `fmt::Write` adapter over a byte buffer (RTSP text is ASCII; UTF-8
+/// passes through byte-for-byte).
+struct WriteBytes<'a>(&'a mut Vec<u8>);
+
+impl fmt::Write for WriteBytes<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -258,6 +299,13 @@ impl Decoder {
         Self::default()
     }
 
+    /// Discards all buffered bytes, keeping the buffer's capacity — a
+    /// reset decoder behaves like a fresh one but feeds into warm memory.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
     /// Appends received bytes.
     pub fn feed(&mut self, bytes: &[u8]) {
         if self.pos == self.buf.len() {
@@ -285,11 +333,13 @@ impl Decoder {
         let Some(header_end) = find_crlf_crlf(buf) else {
             return Ok(None);
         };
-        let header_text = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+        // Borrowed when the header block is valid UTF-8 (always, for our
+        // own encoder's output); lossily copied only for invalid input.
+        let header_text = String::from_utf8_lossy(&buf[..header_end]);
         let mut lines = header_text.split("\r\n");
-        let start = lines.next().unwrap_or_default().to_string();
+        let start = lines.next().unwrap_or_default();
 
-        let mut headers = BTreeMap::new();
+        let mut headers: Vec<(SmallStr, SmallStr)> = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -297,7 +347,11 @@ impl Decoder {
             let Some((name, value)) = line.split_once(':') else {
                 return Err(DecodeError::BadHeader(line.to_string()));
             };
-            headers.insert(name.trim().to_string(), value.trim().to_string());
+            let (name, value) = (name.trim(), value.trim());
+            match headers.iter_mut().find(|(k, _)| k.as_str() == name) {
+                Some((_, v)) => *v = SmallStr::from(value),
+                None => headers.push((SmallStr::from(name), SmallStr::from(value))),
+            }
         }
 
         let content_length = match headers
@@ -306,49 +360,45 @@ impl Decoder {
         {
             Some((_, v)) => v
                 .parse::<usize>()
-                .map_err(|_| DecodeError::BadContentLength(v.clone()))?,
+                .map_err(|_| DecodeError::BadContentLength(v.to_string()))?,
             None => 0,
         };
 
         let body_start = header_end + 4;
-        let buf = &self.buf[self.pos..];
         if buf.len() < body_start + content_length {
             return Ok(None); // body incomplete
         }
         let body = buf[body_start..body_start + content_length].to_vec();
-        self.pos += body_start + content_length;
 
         // Parse the start line.
-        if let Some(rest) = start.strip_prefix("RTSP/1.0 ") {
+        let msg = if let Some(rest) = start.strip_prefix("RTSP/1.0 ") {
             let mut parts = rest.splitn(2, ' ');
-            let code = parts
-                .next()
-                .and_then(|c| c.parse::<u16>().ok())
-                .ok_or_else(|| DecodeError::BadStartLine(start.clone()))?;
-            Ok(Some(Message::Response {
-                status: Status(code),
-                headers,
-                body,
-            }))
+            match parts.next().and_then(|c| c.parse::<u16>().ok()) {
+                Some(code) => Ok(Message::Response {
+                    status: Status(code),
+                    headers,
+                    body,
+                }),
+                None => Err(DecodeError::BadStartLine(start.to_string())),
+            }
         } else {
             let mut parts = start.split(' ');
             let method_str = parts.next().unwrap_or_default();
-            let url = parts
-                .next()
-                .ok_or_else(|| DecodeError::BadStartLine(start.clone()))?;
-            let version = parts.next();
-            if version != Some("RTSP/1.0") {
-                return Err(DecodeError::BadStartLine(start.clone()));
+            match (parts.next(), parts.next()) {
+                (Some(url), Some("RTSP/1.0")) => match Method::from_str(method_str) {
+                    Some(method) => Ok(Message::Request {
+                        method,
+                        url: SmallStr::from(url),
+                        headers,
+                        body,
+                    }),
+                    None => Err(DecodeError::UnknownMethod(method_str.to_string())),
+                },
+                _ => Err(DecodeError::BadStartLine(start.to_string())),
             }
-            let method = Method::from_str(method_str)
-                .ok_or_else(|| DecodeError::UnknownMethod(method_str.to_string()))?;
-            Ok(Some(Message::Request {
-                method,
-                url: url.to_string(),
-                headers,
-                body,
-            }))
-        }
+        };
+        self.pos += body_start + content_length;
+        msg.map(Some)
     }
 }
 

@@ -5,6 +5,7 @@
 //! [`ServerHandler`] and drive the client through explicit request methods.
 
 use crate::message::{Message, Method, Status};
+use crate::smallstr::SmallStr;
 use crate::transport::TransportSpec;
 
 /// Progress of a client session.
@@ -81,8 +82,7 @@ impl ClientSession {
     fn request(&mut self, method: Method) -> Message {
         self.cseq += 1;
         self.pending = Some((self.cseq, method));
-        let mut msg =
-            Message::request(method, &self.url).with_header("CSeq", &self.cseq.to_string());
+        let mut msg = Message::request(method, &self.url).with_header_display("CSeq", self.cseq);
         if let Some(id) = &self.session_id {
             msg = msg.with_header("Session", id);
         }
@@ -100,7 +100,7 @@ impl ClientSession {
     pub fn setup(&mut self, spec: TransportSpec) -> Message {
         assert_eq!(self.state, ClientState::SettingUp, "setup() out of order");
         self.request(Method::Setup)
-            .with_header("Transport", &spec.encode())
+            .with_header("Transport", spec.encode())
     }
 
     /// Builds the PLAY request.
@@ -133,7 +133,7 @@ impl ClientSession {
         );
         self.cseq += 1;
         let mut msg = Message::request(Method::SetParameter, &self.url)
-            .with_header("CSeq", &self.cseq.to_string())
+            .with_header_display("CSeq", self.cseq)
             .with_header(name, value);
         if let Some(id) = &self.session_id {
             msg = msg.with_header("Session", id);
@@ -254,7 +254,7 @@ impl ServerSession {
         else {
             return Message::response(Status(400));
         };
-        let cseq = msg.header("CSeq").unwrap_or("0").to_string();
+        let cseq = SmallStr::from(msg.header("CSeq").unwrap_or("0"));
         if let Some(bw) = msg.header("Bandwidth").and_then(|v| v.parse().ok()) {
             handler.client_bandwidth(bw);
         }
@@ -279,14 +279,14 @@ impl ServerSession {
                         let id = format!("sess-{}", self.session_counter);
                         self.session_id = Some(id.clone());
                         respond(Status::OK)
-                            .with_header("Session", &id)
-                            .with_header("Transport", &spec.encode())
+                            .with_header("Session", id.as_str())
+                            .with_header("Transport", spec.encode())
                     }
                     Err(status) => respond(status),
                 }
             }
             Method::Play => {
-                if self.session_matches(headers.get("Session")) {
+                if self.session_matches(msg.header("Session")) {
                     handler.play(url);
                     respond(Status::OK)
                 } else {
@@ -311,7 +311,7 @@ impl ServerSession {
         }
     }
 
-    fn session_matches(&self, got: Option<&String>) -> bool {
+    fn session_matches(&self, got: Option<&str>) -> bool {
         match (&self.session_id, got) {
             (Some(a), Some(b)) => a == b,
             _ => false,

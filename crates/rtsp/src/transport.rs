@@ -7,6 +7,9 @@
 //! negotiation outcome.
 
 use std::fmt;
+use std::fmt::Write as _;
+
+use crate::smallstr::SmallStr;
 
 /// The transport finally carrying stream data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,13 +85,15 @@ impl TransportSpec {
 
     /// Serializes to a Transport header value, e.g.
     /// `x-real-rdt/udp;client_port=5002;server_port=6970`.
-    pub fn encode(&self) -> String {
-        let mut s = match self.kind {
-            TransportKind::Udp => format!("x-real-rdt/udp;client_port={}", self.client_port),
-            TransportKind::Tcp => "x-real-rdt/tcp;interleaved".to_string(),
-        };
+    pub fn encode(&self) -> SmallStr {
+        let mut s = SmallStr::new();
+        match self.kind {
+            TransportKind::Udp => write!(s, "x-real-rdt/udp;client_port={}", self.client_port),
+            TransportKind::Tcp => write!(s, "x-real-rdt/tcp;interleaved"),
+        }
+        .expect("SmallStr never errors");
         if let Some(sp) = self.server_port {
-            s.push_str(&format!(";server_port={sp}"));
+            write!(s, ";server_port={sp}").expect("SmallStr never errors");
         }
         s
     }

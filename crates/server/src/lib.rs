@@ -16,4 +16,4 @@ mod server;
 
 pub use catalog::Catalog;
 pub use ratecontrol::{ReceiverReport, TfrcConfig, TfrcController, TokenBucket};
-pub use server::{RealServer, ServerConfig, ServerStats, REPORT_PARAM};
+pub use server::{RealServer, ServerConfig, ServerScratch, ServerStats, REPORT_PARAM};

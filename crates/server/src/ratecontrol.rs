@@ -8,6 +8,7 @@
 //! the TCP-equation throughput for the measured RTT and loss and caps the
 //! stream rate there, probing gently upward when the path is clean.
 
+use rv_rtsp::SmallStr;
 use rv_sim::{SimDuration, SimTime};
 
 /// A receiver report, carried on the control channel.
@@ -20,9 +21,14 @@ pub struct ReceiverReport {
 }
 
 impl ReceiverReport {
-    /// Serializes as `loss:recv` for a SET_PARAMETER header value.
-    pub fn encode(&self) -> String {
-        format!("{:.6}:{:.1}", self.loss_rate, self.recv_rate_bps)
+    /// Serializes as `loss:recv` for a SET_PARAMETER header value. The
+    /// rendering fits [`SmallStr`] inline, so the once-a-second report
+    /// path does not allocate.
+    pub fn encode(&self) -> SmallStr {
+        SmallStr::from_display(format_args!(
+            "{:.6}:{:.1}",
+            self.loss_rate, self.recv_rate_bps
+        ))
     }
 
     /// Parses the `loss:recv` form.

@@ -15,10 +15,12 @@
 //!   exceeds the available rate (Scalable Video Technology),
 //! * protects UDP data with one XOR-parity packet per FEC group.
 
+use std::sync::Arc;
+
 use rv_media::{packetize_frame_into, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
 use rv_net::Addr;
 use rv_rtsp::{Decoder, ServerHandler, ServerSession, Status, TransportKind, TransportSpec};
-use rv_sim::{PayloadBytes, SimDuration, SimTime};
+use rv_sim::{PayloadPool, SimDuration, SimTime};
 use rv_transport::{Stack, TcpHandle, UdpHandle};
 
 use crate::catalog::Catalog;
@@ -159,7 +161,13 @@ struct ActiveStream {
     /// headroom between rung rate and path rate is what keeps the buffer
     /// full and playout smooth.
     max_rung: usize,
-    schedule: FrameSchedule,
+    schedule: Arc<FrameSchedule>,
+    /// Schedules already generated for this stream, one slot per rung.
+    /// SureStream oscillates between adjacent rungs for the life of a
+    /// stream, and [`FrameSchedule::generate`] is pure in (encoding,
+    /// content, duration, seed) — so each rung's schedule is computed at
+    /// most once per PLAY and shared from here on every revisit.
+    schedules: Vec<Option<Arc<FrameSchedule>>>,
     next_frame: usize,
     play_epoch: SimTime,
     /// High-water mark of transmitted presentation time.
@@ -176,6 +184,41 @@ struct ActiveStream {
     last_switch: SimTime,
     tcp_bytes_acked_prev: u64,
     last_timeout_check: SimTime,
+}
+
+/// Recyclable server storage harvested from a retired session's server.
+///
+/// Everything here is capacity, not state: a server built from scratch
+/// behaves bit-identically to one built fresh — its staging buffers and
+/// payload pool simply start warm, so steady-state streaming allocates
+/// nothing. The payload pool is the big win: its working set of recycled
+/// backings (sized by how long TCP holds sent bytes for retransmit) is
+/// paid for once per worker instead of once per session.
+#[derive(Debug)]
+pub struct ServerScratch {
+    decoder: Decoder,
+    txbuf: Vec<u8>,
+    udp_scratch: Vec<u8>,
+    udp_bounds: Vec<(Addr, usize, usize)>,
+    pkt_scratch: Vec<MediaPacket>,
+    payload_pool: PayloadPool,
+    ctrl_buf: Vec<u8>,
+    pending_reports: Vec<ReceiverReport>,
+}
+
+impl Default for ServerScratch {
+    fn default() -> Self {
+        ServerScratch {
+            decoder: Decoder::new(),
+            txbuf: Vec::new(),
+            udp_scratch: Vec::new(),
+            udp_bounds: Vec::new(),
+            pkt_scratch: Vec::new(),
+            payload_pool: PayloadPool::new(),
+            ctrl_buf: Vec::new(),
+            pending_reports: Vec::new(),
+        }
+    }
 }
 
 /// The streaming server for one session.
@@ -207,6 +250,11 @@ pub struct RealServer {
     udp_bounds: Vec<(Addr, usize, usize)>,
     /// Reusable packetization scratch (one frame's packets).
     pkt_scratch: Vec<MediaPacket>,
+    /// Recycled payload backings for the pump flushes: once warm, staging
+    /// a pump's bytes onto the wire allocates nothing.
+    payload_pool: PayloadPool,
+    /// Reused staging buffer for outgoing control responses.
+    ctrl_buf: Vec<u8>,
 }
 
 impl RealServer {
@@ -221,6 +269,28 @@ impl RealServer {
         udp: UdpHandle,
         clip_seed: u64,
     ) -> Self {
+        Self::with_scratch(
+            cfg,
+            catalog,
+            ctrl,
+            data_tcp,
+            udp,
+            clip_seed,
+            ServerScratch::default(),
+        )
+    }
+
+    /// As [`RealServer::new`] but reusing a retired server's storage (see
+    /// [`ServerScratch`]). Behavior is identical to a fresh server.
+    pub fn with_scratch(
+        cfg: ServerConfig,
+        catalog: Catalog,
+        ctrl: TcpHandle,
+        data_tcp: TcpHandle,
+        udp: UdpHandle,
+        clip_seed: u64,
+        scratch: ServerScratch,
+    ) -> Self {
         RealServer {
             core: ServerCore {
                 catalog,
@@ -230,10 +300,10 @@ impl RealServer {
                 negotiated: None,
                 pending_play: None,
                 pending_teardown: false,
-                pending_reports: Vec::new(),
+                pending_reports: scratch.pending_reports,
             },
             rtsp: ServerSession::new(),
-            decoder: Decoder::new(),
+            decoder: scratch.decoder,
             ctrl,
             data_tcp,
             udp,
@@ -243,11 +313,35 @@ impl RealServer {
             clip_seed,
             stats: ServerStats::default(),
             alive: true,
-            txbuf: Vec::new(),
-            udp_scratch: Vec::new(),
-            udp_bounds: Vec::new(),
-            pkt_scratch: Vec::new(),
+            txbuf: scratch.txbuf,
+            udp_scratch: scratch.udp_scratch,
+            udp_bounds: scratch.udp_bounds,
+            pkt_scratch: scratch.pkt_scratch,
+            payload_pool: scratch.payload_pool,
+            ctrl_buf: scratch.ctrl_buf,
             cfg,
+        }
+    }
+
+    /// Tears the server down, harvesting its reusable storage for the
+    /// next session (capacity only — no session state survives).
+    pub fn into_scratch(mut self) -> ServerScratch {
+        self.decoder.reset();
+        self.txbuf.clear();
+        self.udp_scratch.clear();
+        self.udp_bounds.clear();
+        self.pkt_scratch.clear();
+        self.ctrl_buf.clear();
+        self.core.pending_reports.clear();
+        ServerScratch {
+            decoder: self.decoder,
+            txbuf: self.txbuf,
+            udp_scratch: self.udp_scratch,
+            udp_bounds: self.udp_bounds,
+            pkt_scratch: self.pkt_scratch,
+            payload_pool: self.payload_pool,
+            ctrl_buf: self.ctrl_buf,
+            pending_reports: self.core.pending_reports,
         }
     }
 
@@ -397,8 +491,9 @@ impl RealServer {
             match self.decoder.next_message() {
                 Ok(Some(msg)) => {
                     let resp = self.rtsp.on_request(&mut self.core, &msg);
-                    let encoded = resp.encode();
-                    stack.tcp(self.ctrl).send(&encoded);
+                    self.ctrl_buf.clear();
+                    resp.encode_into(&mut self.ctrl_buf);
+                    stack.tcp(self.ctrl).send(&self.ctrl_buf);
                     handled += 1;
                 }
                 Ok(None) => break,
@@ -483,13 +578,16 @@ impl RealServer {
             TransportKind::Tcp => None,
         };
 
-        let schedule = self.schedule_for(&clip, initial);
+        let mut schedules: Vec<Option<Arc<FrameSchedule>>> = vec![None; clip.ladder.len()];
+        let schedule = Arc::new(self.schedule_for(&clip, initial));
+        schedules[initial] = Some(Arc::clone(&schedule));
         self.stream = Some(ActiveStream {
             transport: spec.kind,
             client_udp,
             rung: initial,
             max_rung,
             schedule,
+            schedules,
             next_frame: 0,
             play_epoch: now,
             sent_until: SimDuration::ZERO,
@@ -694,7 +792,7 @@ impl RealServer {
         if self.txbuf.is_empty() {
             return;
         }
-        let chunk = PayloadBytes::copy_from_slice(&self.txbuf);
+        let chunk = self.payload_pool.copy_in(&self.txbuf);
         stack.tcp(self.data_tcp).send_bytes(chunk);
         self.txbuf.clear();
     }
@@ -706,7 +804,7 @@ impl RealServer {
         if self.udp_bounds.is_empty() {
             return;
         }
-        let backing = PayloadBytes::copy_from_slice(&self.udp_scratch);
+        let backing = self.payload_pool.copy_in(&self.udp_scratch);
         for (dst, start, len) in self.udp_bounds.drain(..) {
             stack
                 .udp(self.udp)
@@ -788,7 +886,14 @@ impl RealServer {
 
     fn switch_rung(&mut self, now: SimTime, stream: &mut ActiveStream, rung: usize) {
         stream.rung = rung;
-        stream.schedule = self.schedule_for(&stream.clip, rung);
+        stream.schedule = match &stream.schedules[rung] {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = Arc::new(self.schedule_for(&stream.clip, rung));
+                stream.schedules[rung] = Some(Arc::clone(&s));
+                s
+            }
+        };
         stream.next_frame = stream.schedule.first_frame_at(stream.sent_until);
         stream.fec_buf.clear();
         stream.thin_debt = 0.0;

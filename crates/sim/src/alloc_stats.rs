@@ -14,22 +14,85 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
 static LIVE: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
 
+/// Number of power-of-two size classes tracked by the histogram.
+pub const SIZE_CLASSES: usize = 20;
+
+/// Allocation counts by power-of-two size class: bucket `i` counts
+/// allocations of `2^(i-1) < size <= 2^i` bytes (bucket 0: 0 or 1 byte),
+/// with everything `> 2^(SIZE_CLASSES-2)` in the last bucket. A cheap
+/// fingerprint of *what* is allocating when no profiler is available.
+static BY_SIZE: [AtomicU64; SIZE_CLASSES] = [const { AtomicU64::new(0) }; SIZE_CLASSES];
+
+fn size_class(size: u64) -> usize {
+    (64 - size.leading_zeros() as usize).min(SIZE_CLASSES - 1)
+}
+
 /// Raises the high-water mark to at least `live`.
 fn update_peak(live: u64) {
     PEAK.fetch_max(live, Ordering::Relaxed);
 }
 
+/// Sample one allocation backtrace per this many allocations (0 = off).
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
+static SAMPLES: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+const MAX_SAMPLES: usize = 4096;
+
+std::thread_local! {
+    /// Reentrancy guard: capturing/formatting a backtrace allocates, and
+    /// those allocations must not recurse into the sampler.
+    static IN_SAMPLER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Turns on backtrace sampling: every `every`-th allocation records its
+/// backtrace (pass 0 to turn sampling off). A profiler of last resort —
+/// expensive while on, so only for targeted probes.
+pub fn start_sampling(every: u64) {
+    SAMPLE_EVERY.store(every, Ordering::Relaxed);
+}
+
+/// Drains and returns the `(size, backtrace)` samples collected so far.
+pub fn take_samples() -> Vec<(u64, String)> {
+    match SAMPLES.lock() {
+        Ok(mut v) => std::mem::take(&mut *v),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn maybe_sample(size: u64, count: u64) {
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if every == 0 || !count.is_multiple_of(every) {
+        return;
+    }
+    IN_SAMPLER.with(|flag| {
+        if flag.get() {
+            return;
+        }
+        flag.set(true);
+        let bt = std::backtrace::Backtrace::force_capture();
+        let text = format!("{bt}");
+        if let Ok(mut v) = SAMPLES.lock() {
+            if v.len() < MAX_SAMPLES {
+                v.push((size, text));
+            }
+        }
+        flag.set(false);
+    });
+}
+
 fn on_alloc(size: u64) {
-    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let count = ALLOCS.fetch_add(1, Ordering::Relaxed) + 1;
     BYTES.fetch_add(size, Ordering::Relaxed);
+    BY_SIZE[size_class(size)].fetch_add(1, Ordering::Relaxed);
     let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
     update_peak(live);
+    maybe_sample(size, count);
 }
 
 /// A [`GlobalAlloc`] that counts allocations and allocated bytes before
@@ -61,6 +124,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         // the live gauge nets out the old block.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        BY_SIZE[size_class(new_size as u64)].fetch_add(1, Ordering::Relaxed);
         let old = layout.size() as u64;
         let new = new_size as u64;
         if new >= old {
@@ -86,6 +150,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
         });
         unsafe { System.dealloc(ptr, layout) }
     }
+}
+
+/// Cumulative allocation counts per power-of-two size class since process
+/// start (or the last [`reset`]); bucket `i` covers sizes up to `2^i`
+/// bytes (see [`SIZE_CLASSES`]).
+pub fn size_histogram() -> [u64; SIZE_CLASSES] {
+    let mut out = [0u64; SIZE_CLASSES];
+    for (slot, counter) in out.iter_mut().zip(BY_SIZE.iter()) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    out
 }
 
 /// Cumulative `(allocations, bytes)` since process start (or the last
@@ -115,5 +190,8 @@ pub fn peak_bytes() -> u64 {
 pub fn reset() {
     ALLOCS.store(0, Ordering::Relaxed);
     BYTES.store(0, Ordering::Relaxed);
+    for counter in &BY_SIZE {
+        counter.store(0, Ordering::Relaxed);
+    }
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }

@@ -199,6 +199,97 @@ impl<const N: usize> PartialEq<[u8; N]> for PayloadBytes {
     }
 }
 
+/// A recycling allocator for [`PayloadBytes`] backings.
+///
+/// The data path's one unavoidable copy ([`PayloadBytes::copy_from_slice`]
+/// on the way into the shared representation) is also its one unavoidable
+/// *allocation* — and on a server pumping media every ~20 ms, those add up
+/// to thousands per session. The pool removes them: it keeps a small set
+/// of fixed-capacity `Arc<[u8]>` backings and copies new payloads into
+/// whichever one has no outstanding windows (`Arc` strong count of one —
+/// checked via [`Arc::get_mut`], so reuse is possible exactly when no
+/// other view of the bytes can exist). Once the working set is warm,
+/// [`PayloadPool::copy_in`] allocates nothing.
+///
+/// Windows handed out are byte-for-byte identical to fresh allocations
+/// (length-exact, contents fully overwritten), so pooling is invisible to
+/// everything but the allocator.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    chunks: Vec<Arc<[u8]>>,
+    chunk_capacity: usize,
+    /// Rotating scan start. Windows release in roughly FIFO order (ACKed
+    /// TCP data, delivered UDP datagrams), so the chunk freed longest ago
+    /// sits just past the one most recently claimed; starting the scan
+    /// there makes reuse O(1) amortized instead of rescanning the pinned
+    /// prefix on every call.
+    cursor: usize,
+}
+
+/// Default backing capacity: comfortably above one pacing pump's staged
+/// bytes at the highest simulated media rates.
+const DEFAULT_POOL_CHUNK: usize = 16 * 1024;
+
+impl PayloadPool {
+    /// A pool with the default chunk capacity.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_POOL_CHUNK)
+    }
+
+    /// A pool whose recycled backings hold up to `capacity` bytes.
+    /// Payloads larger than that fall back to a fresh exact allocation.
+    pub fn with_chunk_capacity(capacity: usize) -> Self {
+        PayloadPool {
+            chunks: Vec::new(),
+            chunk_capacity: capacity.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Copies `bytes` into a recycled backing when one is free, a fresh
+    /// one otherwise. The returned window is indistinguishable from
+    /// [`PayloadBytes::copy_from_slice`].
+    pub fn copy_in(&mut self, bytes: &[u8]) -> PayloadBytes {
+        if bytes.is_empty() {
+            return PayloadBytes::empty();
+        }
+        let len = u32::try_from(bytes.len()).expect("payload exceeds u32::MAX bytes");
+        if bytes.len() > self.chunk_capacity {
+            return PayloadBytes::copy_from_slice(bytes);
+        }
+        let n = self.chunks.len();
+        for probe in 0..n {
+            let i = (self.cursor + probe) % n;
+            // Strong count 1 ⇔ every window into this backing is gone.
+            if let Some(buf) = Arc::get_mut(&mut self.chunks[i]) {
+                buf[..bytes.len()].copy_from_slice(bytes);
+                self.cursor = i + 1;
+                return PayloadBytes {
+                    buf: Arc::clone(&self.chunks[i]),
+                    off: 0,
+                    len,
+                };
+            }
+        }
+        // Every backing still has live windows: grow the working set.
+        let mut fresh = vec![0u8; self.chunk_capacity];
+        fresh[..bytes.len()].copy_from_slice(bytes);
+        let arc: Arc<[u8]> = Arc::from(fresh);
+        self.chunks.push(Arc::clone(&arc));
+        self.cursor = 0;
+        PayloadBytes {
+            buf: arc,
+            off: 0,
+            len,
+        }
+    }
+
+    /// Number of backings the pool currently owns (instrumentation/tests).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
 /// A byte-offset-indexed chain of [`PayloadBytes`] chunks: the TCP
 /// send/receive buffer representation.
 ///
@@ -461,6 +552,41 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r.read_vec(usize::MAX), vec![5]);
         assert_eq!(r.read_with(10, &mut |_| panic!("empty rope")), 0);
+    }
+
+    #[test]
+    fn pool_recycles_backing_once_windows_drop() {
+        let mut pool = PayloadPool::with_chunk_capacity(64);
+        let a = pool.copy_in(&[1, 2, 3]);
+        assert_eq!(a, [1u8, 2, 3]);
+        assert_eq!(pool.chunk_count(), 1);
+        // `a` still alive: a second copy_in must not clobber it.
+        let b = pool.copy_in(&[9, 9]);
+        assert!(!a.same_backing(&b));
+        assert_eq!(pool.chunk_count(), 2);
+        assert_eq!(a, [1u8, 2, 3]);
+        drop(a);
+        drop(b);
+        // Both backings free again: no growth, contents exact.
+        let c = pool.copy_in(&[7; 64]);
+        assert_eq!(pool.chunk_count(), 2);
+        assert_eq!(c, [7u8; 64]);
+        // Slices keep the backing pinned too.
+        let s = c.slice(1..5);
+        drop(c);
+        let d = pool.copy_in(&[8]);
+        assert!(!s.same_backing(&d), "live slice must pin its backing");
+        assert_eq!(s, [7u8, 7, 7, 7]);
+    }
+
+    #[test]
+    fn pool_oversize_payloads_fall_back_to_exact_alloc() {
+        let mut pool = PayloadPool::with_chunk_capacity(4);
+        let big = pool.copy_in(&[5; 100]);
+        assert_eq!(big.len(), 100);
+        assert_eq!(big, [5u8; 100]);
+        assert_eq!(pool.chunk_count(), 0, "oversize payloads are not pooled");
+        assert!(pool.copy_in(&[]).is_empty());
     }
 
     #[test]

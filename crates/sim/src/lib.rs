@@ -48,8 +48,9 @@ mod event;
 mod fault;
 mod rng;
 mod time;
+mod wheel;
 
-pub use bytes::{ByteRope, PayloadBytes};
+pub use bytes::{ByteRope, PayloadBytes, PayloadPool};
 pub use clock::{run_until, Clock, StepOutcome};
 pub use event::{earliest, EventQueue, Scheduled};
 pub use fault::{
@@ -57,3 +58,4 @@ pub use fault::{
 };
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use wheel::{TimerWheel, WheelToken};

@@ -1,0 +1,580 @@
+//! A hierarchical timing wheel with the exact pop order of [`EventQueue`].
+//!
+//! The wheel replaces the comparison-based `BinaryHeap` queue on the
+//! simulator's hottest path. Schedule, cancel, and advance are O(1)
+//! amortized instead of O(log n), and — because the slot arrays and the
+//! due buffer are plain vectors whose capacity survives
+//! [`TimerWheel::reset`] — a recycled wheel schedules without allocating
+//! at all.
+//!
+//! # Layout
+//!
+//! The tick quantum is one microsecond: exactly the resolution of
+//! [`SimTime`]. Six levels of 64 slots each cover an absolute horizon of
+//! 64⁶ ticks (≈ 19.1 hours of simulated time — far beyond any session
+//! deadline):
+//!
+//! | level | slot width | level span |
+//! |-------|------------|------------|
+//! | 0     | 1 µs       | 64 µs      |
+//! | 1     | 64 µs      | 4.096 ms   |
+//! | 2     | 4.096 ms   | 262 ms     |
+//! | 3     | 262 ms     | 16.8 s     |
+//! | 4     | 16.8 s     | 17.9 min   |
+//! | 5     | 17.9 min   | 19.1 h     |
+//!
+//! Slots are addressed *absolutely*: an event due at tick `t` lives at
+//! level `l`, slot `(t >> 6l) & 63`, where `l` is the highest base-64
+//! digit in which `t` differs from the wheel's cursor. Each level keeps a
+//! 64-bit occupancy bitmap, so finding the earliest pending slot is a
+//! handful of trailing-zeros instructions. Events past the horizon go to
+//! a (rare, reverse-sorted) overflow list.
+//!
+//! # Determinism contract
+//!
+//! [`TimerWheel::pop`] yields events in strictly increasing `(at, seq)`
+//! order — bit-identical to [`EventQueue`], whose binary heap it
+//! replaces; `tests/properties.rs` proves the equivalence over arbitrary
+//! schedule/cancel/advance interleavings. Two mechanisms make the slot
+//! machinery invisible:
+//!
+//! - A level-0 slot spans exactly one tick, so every event in it shares
+//!   `at`; the drain sorts the slot by `seq` (cascaded entries may sit
+//!   interleaved out of push order) before it is exposed.
+//! - Drained-but-unpopped events wait in a *due buffer* in `(at, seq)`
+//!   order. A push at an already-drained instant inserts into the due
+//!   buffer at its sorted position, exactly where the heap would have
+//!   surfaced it.
+//!
+//! [`EventQueue`]: crate::EventQueue
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+use crate::event::Scheduled;
+use crate::time::SimTime;
+
+/// Bits per level: 64 slots.
+const SLOT_BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// First tick past the wheel's absolute horizon (64^LEVELS µs ≈ 19.1 h).
+const HORIZON: u64 = 1 << (SLOT_BITS * LEVELS);
+
+/// Handle to a scheduled event, returned by [`TimerWheel::push`] and
+/// accepted by [`TimerWheel::cancel`].
+///
+/// The token records where the event lives (`at`) and which one it is
+/// (`seq`), so cancellation is a small slot scan, not a queue walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelToken {
+    at: SimTime,
+    seq: u64,
+}
+
+/// A hierarchical timing wheel over [`Scheduled`] events.
+///
+/// Drop-in replacement for [`EventQueue`] on hot paths: same `push` /
+/// `next_time` / `pop` / `pop_due` surface and the same `(at, seq)` pop
+/// order, plus O(1) amortized `cancel` and a capacity-preserving
+/// [`TimerWheel::reset`] so executors can recycle wheels across sessions
+/// without reallocation.
+///
+/// [`EventQueue`]: crate::EventQueue
+#[derive(Debug, Clone)]
+pub struct TimerWheel<E> {
+    /// `LEVELS * SLOTS` buckets, flat-indexed `level * SLOTS + slot`.
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// Per-level occupancy bitmaps: bit `s` set ⇔ `slots[l*SLOTS+s]`
+    /// is non-empty.
+    occupied: [u64; LEVELS],
+    /// Events at or past [`HORIZON`], sorted by *descending* `(at, seq)`
+    /// so the earliest is `last()` and pops are O(1).
+    overflow: Vec<Scheduled<E>>,
+    /// Drained-but-unpopped events in ascending `(at, seq)` order.
+    due: VecDeque<Scheduled<E>>,
+    /// The next undrained tick: every pending event with `at < cursor`
+    /// lives in the due buffer, everything else in a slot or overflow.
+    cursor: u64,
+    /// Empty slot vectors with retained capacity, recycled by cascades.
+    spare: Vec<Vec<Scheduled<E>>>,
+    /// Memoized [`TimerWheel::next_time`] (`None` = dirty). Drivers poll
+    /// the wake-up time far more often than the queue changes; the cache
+    /// makes the repeat peeks O(1) like the heap's they replaced.
+    next_cache: Cell<Option<Option<SimTime>>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel anchored at tick zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            due: VecDeque::new(),
+            cursor: 0,
+            spare: Vec::new(),
+            next_cache: Cell::new(None),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `event` at `at` and returns a token for
+    /// [`TimerWheel::cancel`].
+    pub fn push(&mut self, at: SimTime, event: E) -> WheelToken {
+        self.next_cache.set(None);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Scheduled { at, seq, event };
+        if at.as_micros() < self.cursor {
+            // The instant was already drained: surface the event through
+            // the due buffer at its sorted (at, seq) position — exactly
+            // where the reference heap would pop it. In the simulator
+            // this is always an append (components never schedule into
+            // the past), but arbitrary interleavings stay correct.
+            let pos = self.due.partition_point(|e| (e.at, e.seq) < (at, seq));
+            self.due.insert(pos, entry);
+        } else {
+            self.insert_wheel(entry);
+        }
+        self.len += 1;
+        WheelToken { at, seq }
+    }
+
+    /// Places a not-yet-due entry into its level/slot (or overflow).
+    fn insert_wheel(&mut self, entry: Scheduled<E>) {
+        let t = entry.at.as_micros();
+        debug_assert!(t >= self.cursor);
+        if t >= HORIZON {
+            let key = (entry.at, entry.seq);
+            let pos = self.overflow.partition_point(|e| (e.at, e.seq) > key);
+            self.overflow.insert(pos, entry);
+            return;
+        }
+        let (level, slot) = locate(self.cursor, t);
+        let idx = level * SLOTS + slot;
+        if self.slots[idx].is_empty() {
+            if self.slots[idx].capacity() == 0 {
+                if let Some(recycled) = self.spare.pop() {
+                    self.slots[idx] = recycled;
+                }
+            }
+            self.occupied[level] |= 1 << slot;
+        }
+        self.slots[idx].push(entry);
+    }
+
+    /// Advances the cursor, cascading every level whose current-slot
+    /// digit changed: entries parked there now belong to finer levels.
+    fn advance_cursor(&mut self, to: u64) {
+        let from = self.cursor;
+        if to <= from {
+            return;
+        }
+        self.cursor = to;
+        // Highest changed digit first: its cascade may repopulate the
+        // lower levels' current slots, which the descending walk then
+        // re-cascades in turn. Levels above the highest changed digit
+        // cannot cascade, so the walk starts there (usually level 0 or
+        // 1: the loop is empty or a single iteration).
+        let top = (63 - (from ^ to).leading_zeros()) as usize / SLOT_BITS;
+        for level in (1..=top.min(LEVELS - 1)).rev() {
+            let shift = SLOT_BITS * level;
+            if (from >> shift) == (to >> shift) {
+                continue;
+            }
+            let slot = ((to >> shift) & (SLOTS as u64 - 1)) as usize;
+            if self.occupied[level] & (1 << slot) == 0 {
+                continue;
+            }
+            self.occupied[level] &= !(1 << slot);
+            let idx = level * SLOTS + slot;
+            let mut drained = std::mem::take(&mut self.slots[idx]);
+            for entry in drained.drain(..) {
+                // Every entry here is ≥ cursor (a slot strictly between
+                // `from` and `to` would contradict the earliest-scan that
+                // chose `to`), and it differs from the cursor only below
+                // `level`, so it re-inserts strictly finer.
+                self.insert_wheel(entry);
+            }
+            self.spare.push(drained);
+        }
+    }
+
+    /// The earliest occupied (level, slot), if any. A lower level always
+    /// holds earlier events than any higher one (see module docs).
+    fn earliest_slot(&self) -> Option<(usize, usize)> {
+        self.occupied
+            .iter()
+            .position(|bits| *bits != 0)
+            .map(|level| (level, self.occupied[level].trailing_zeros() as usize))
+    }
+
+    /// The instant of the earliest pending event, if any. Exact — safe
+    /// for drivers that jump the clock to it.
+    pub fn next_time(&self) -> Option<SimTime> {
+        if let Some(cached) = self.next_cache.get() {
+            return cached;
+        }
+        let next = self.compute_next_time();
+        self.next_cache.set(Some(next));
+        next
+    }
+
+    fn compute_next_time(&self) -> Option<SimTime> {
+        if let Some(front) = self.due.front() {
+            return Some(front.at);
+        }
+        if let Some((level, slot)) = self.earliest_slot() {
+            let bucket = &self.slots[level * SLOTS + slot];
+            debug_assert!(!bucket.is_empty());
+            if level == 0 {
+                // One tick per level-0 slot: all entries share `at`.
+                return Some(bucket[0].at);
+            }
+            return bucket.iter().map(|e| e.at).min();
+        }
+        self.overflow.last().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event (ties broken by push
+    /// order, like [`EventQueue`]).
+    ///
+    /// [`EventQueue`]: crate::EventQueue
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.next_cache.set(None);
+        loop {
+            if let Some(entry) = self.due.pop_front() {
+                self.len -= 1;
+                return Some(entry);
+            }
+            match self.earliest_slot() {
+                Some((level, slot)) => {
+                    let idx = level * SLOTS + slot;
+                    if self.slots[idx].len() == 1 {
+                        // Singleton bucket — the common case on the
+                        // packet path. Its lone entry is the global
+                        // earliest (lower levels are empty, every other
+                        // slot starts later, a same-tick peer would share
+                        // this slot), so return it directly: no cascade,
+                        // no due-buffer round trip, and the slot keeps
+                        // its capacity in place.
+                        let entry = self.slots[idx].pop().expect("len checked");
+                        self.occupied[level] &= !(1 << slot);
+                        self.advance_cursor(entry.at.as_micros() + 1);
+                        self.len -= 1;
+                        return Some(entry);
+                    }
+                    if level == 0 {
+                        self.occupied[0] &= !(1 << slot);
+                        // All entries share one tick; only cascade
+                        // interleaving can disorder their seqs. Seqs are
+                        // unique, so unstable sort is deterministic.
+                        self.slots[slot].sort_unstable_by_key(|e| e.seq);
+                        let tick = self.slots[slot][0].at.as_micros();
+                        self.due.extend(self.slots[slot].drain(..));
+                        self.advance_cursor(tick + 1);
+                    } else {
+                        // Jump the cursor straight to the slot's earliest
+                        // tick: the cascade re-homes that entry directly
+                        // into level 0 (one move, not one per level).
+                        // Every slot between the old cursor and the jump
+                        // target is empty — an occupied one would hold an
+                        // earlier event than the earliest-scan's choice.
+                        // Retry.
+                        let min_at = self.slots[idx]
+                            .iter()
+                            .map(|e| e.at.as_micros())
+                            .min()
+                            .expect("occupied bit set on empty slot");
+                        self.advance_cursor(min_at);
+                    }
+                }
+                None => {
+                    let entry = self.overflow.pop()?;
+                    self.len -= 1;
+                    return Some(entry);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now` — the poll-driver workhorse, mirroring
+    /// [`EventQueue::pop_due`].
+    ///
+    /// [`EventQueue::pop_due`]: crate::EventQueue::pop_due
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Scheduled<E>> {
+        if self.next_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Cancels the event `token` refers to. Returns the cancelled event,
+    /// or `None` if it already popped (or was already cancelled).
+    pub fn cancel(&mut self, token: WheelToken) -> Option<E> {
+        self.next_cache.set(None);
+        let t = token.at.as_micros();
+        if t < self.cursor {
+            // Drained: it is in the due buffer iff still pending.
+            let pos = self
+                .due
+                .partition_point(|e| (e.at, e.seq) < (token.at, token.seq));
+            if pos < self.due.len() {
+                let e = &self.due[pos];
+                if e.at == token.at && e.seq == token.seq {
+                    let entry = self.due.remove(pos).expect("index checked");
+                    self.len -= 1;
+                    return Some(entry.event);
+                }
+            }
+            return None;
+        }
+        if t >= HORIZON {
+            let key = (token.at, token.seq);
+            let pos = self.overflow.partition_point(|e| (e.at, e.seq) > key);
+            if pos < self.overflow.len() {
+                let e = &self.overflow[pos];
+                if e.at == token.at && e.seq == token.seq {
+                    let entry = self.overflow.remove(pos);
+                    self.len -= 1;
+                    return Some(entry.event);
+                }
+            }
+            return None;
+        }
+        // Pending entries always sit exactly where a push at their `at`
+        // would land them today (cascades re-home them whenever the
+        // cursor's digits change), so the token pinpoints the slot.
+        let (level, slot) = locate(self.cursor, t);
+        let idx = level * SLOTS + slot;
+        let bucket = &mut self.slots[idx];
+        let pos = bucket.iter().position(|e| e.seq == token.seq)?;
+        // Within-slot order is irrelevant (level-0 drains sort by seq,
+        // cascades redistribute by location), so swap_remove is safe.
+        let entry = bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.occupied[level] &= !(1 << slot);
+        }
+        self.len -= 1;
+        Some(entry.event)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending events, keeping allocated capacity. The cursor
+    /// and sequence counter restart from zero, so a cleared wheel is
+    /// indistinguishable from a fresh one except that scheduling into
+    /// warm slots no longer allocates.
+    pub fn clear(&mut self) {
+        for (level, bits) in self.occupied.iter_mut().enumerate() {
+            let mut remaining = *bits;
+            while remaining != 0 {
+                let slot = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                self.slots[level * SLOTS + slot].clear();
+            }
+            *bits = 0;
+        }
+        self.overflow.clear();
+        self.due.clear();
+        self.cursor = 0;
+        self.next_cache.set(None);
+        self.next_seq = 0;
+        self.len = 0;
+    }
+
+    /// Alias of [`TimerWheel::clear`] named for the recycling path:
+    /// executors reset a session's wheels and hand the warm storage to
+    /// the next session.
+    pub fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// The (level, slot) for tick `t` relative to `cursor`: the highest
+/// base-64 digit in which they differ picks the level.
+fn locate(cursor: u64, t: u64) -> (usize, usize) {
+    let diff = cursor ^ t;
+    let level = if diff == 0 {
+        0
+    } else {
+        (63 - diff.leading_zeros()) as usize / SLOT_BITS
+    };
+    let slot = ((t >> (SLOT_BITS * level)) & (SLOTS as u64 - 1)) as usize;
+    (level, slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(3), "c");
+        w.push(SimTime::from_secs(1), "a");
+        w.push(SimTime::from_secs(2), "b");
+        assert_eq!(w.pop().unwrap().event, "a");
+        assert_eq!(w.pop().unwrap().event, "b");
+        assert_eq!(w.pop().unwrap().event, "c");
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            w.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(w.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(1), "early");
+        w.push(SimTime::from_secs(5), "late");
+        let now = SimTime::from_secs(2);
+        assert_eq!(w.pop_due(now).unwrap().event, "early");
+        assert!(w.pop_due(now).is_none());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn push_at_drained_instant_pops_next() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_millis(7);
+        w.push(t, 0u32);
+        w.push(t + SimDuration::from_secs(1), 99);
+        assert_eq!(w.pop().unwrap().event, 0);
+        // Same instant, scheduled after the first pop: the heap would
+        // surface it before the 1-second event, so the wheel must too.
+        w.push(t, 1);
+        assert_eq!(w.next_time(), Some(t));
+        assert_eq!(w.pop().unwrap().event, 1);
+        assert_eq!(w.pop().unwrap().event, 99);
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        let mut w = TimerWheel::new();
+        // One event per level span, plus one past the horizon.
+        let times = [
+            1u64,
+            70,
+            5_000,
+            300_000,
+            20_000_000,
+            2_000_000_000,
+            HORIZON + 5,
+        ];
+        for (i, t) in times.iter().enumerate() {
+            w.push(SimTime::from_micros(*t), i);
+        }
+        for (i, t) in times.iter().enumerate() {
+            let ev = w.pop().unwrap();
+            assert_eq!(ev.event, i);
+            assert_eq!(ev.at, SimTime::from_micros(*t));
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut w = TimerWheel::new();
+        let a = w.push(SimTime::from_millis(1), "a");
+        let b = w.push(SimTime::from_millis(2), "b");
+        let c = w.push(SimTime::from_millis(1), "c");
+        assert_eq!(w.cancel(b), Some("b"));
+        assert_eq!(w.cancel(b), None, "double-cancel is a no-op");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop().unwrap().event, "a");
+        assert_eq!(w.cancel(a), None, "popped events cannot be cancelled");
+        assert_eq!(w.pop().unwrap().event, "c");
+        assert_eq!(w.cancel(c), None);
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+    }
+
+    #[test]
+    fn cancel_in_due_buffer_and_overflow() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::from_millis(3);
+        w.push(t, 0u8);
+        w.push(t, 1);
+        let far = w.push(SimTime::from_micros(HORIZON + 77), 9);
+        assert_eq!(w.pop().unwrap().event, 0);
+        // Entry 1 now sits in the due buffer.
+        let one = w.push(t, 2); // drained instant → due buffer too
+        assert_eq!(w.cancel(one), Some(2));
+        assert_eq!(w.cancel(far), Some(9));
+        assert_eq!(w.pop().unwrap().event, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_and_restarts() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime::from_secs(9), 1u8);
+        w.push(SimTime::from_micros(HORIZON + 1), 2);
+        assert!(!w.is_empty());
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.next_time(), None);
+        assert!(w.pop().is_none());
+        // Recycled wheel behaves like a fresh one.
+        w.push(SimTime::from_micros(5), 3);
+        assert_eq!(w.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut w = TimerWheel::new();
+        let base = SimTime::from_secs(10);
+        w.push(base + SimDuration::from_millis(30), 3u32);
+        w.push(base + SimDuration::from_millis(10), 1);
+        assert_eq!(w.pop().unwrap().event, 1);
+        w.push(base + SimDuration::from_millis(20), 2);
+        assert_eq!(w.pop().unwrap().event, 2);
+        assert_eq!(w.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn next_time_is_exact_across_levels() {
+        let mut w = TimerWheel::new();
+        // Two events in one coarse slot: next_time must report the
+        // earlier one, not the slot boundary.
+        w.push(SimTime::from_micros(100_000), 1u8);
+        w.push(SimTime::from_micros(99_000), 0);
+        assert_eq!(w.next_time(), Some(SimTime::from_micros(99_000)));
+        assert_eq!(w.pop().unwrap().event, 0);
+        assert_eq!(w.next_time(), Some(SimTime::from_micros(100_000)));
+    }
+}

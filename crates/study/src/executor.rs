@@ -25,13 +25,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rv_sim::SimRng;
-use rv_tracer::{rate, SessionMetrics, SessionOutcome};
+use rv_tracer::{rate, SessionMetrics, SessionOutcome, WorldScratch};
 
 use crate::accumulate::{CampaignAccumulator, RecordSink};
 use crate::campaign::SessionRecord;
 use crate::error::CampaignError;
 use crate::plan::{CampaignPlan, SessionJob};
-use crate::worldbuild::build_session_world;
+use crate::worldbuild::build_session_world_with;
 
 /// The outcome of a fold: the merged accumulator plus the per-worker
 /// session counts actually observed during scheduling.
@@ -82,9 +82,10 @@ impl CampaignExecutor for SerialExecutor {
     fn fold<A: CampaignAccumulator>(&self, plan: &CampaignPlan) -> Result<Fold<A>, CampaignError> {
         let mut acc = A::default();
         let mut ran = 0usize;
+        let mut scratch = WorldScratch::default();
         for user_idx in 0..plan.num_users() {
             for job in plan.user_jobs(user_idx) {
-                let record = run_job(plan, &job);
+                let record = run_job_with(plan, &job, &mut scratch);
                 acc.observe(&job, &record);
                 ran += 1;
             }
@@ -142,13 +143,14 @@ impl CampaignExecutor for ThreadedExecutor {
                     scope.spawn(move || {
                         let mut local = A::default();
                         let mut ran = 0usize;
+                        let mut scratch = WorldScratch::default();
                         loop {
                             let user_idx = cursor.fetch_add(1, Ordering::Relaxed);
                             if user_idx >= plan.num_users() {
                                 break;
                             }
                             for job in plan.user_jobs(user_idx) {
-                                let record = run_job(plan, &job);
+                                let record = run_job_with(plan, &job, &mut scratch);
                                 local.observe(&job, &record);
                                 ran += 1;
                             }
@@ -187,19 +189,32 @@ impl CampaignExecutor for ThreadedExecutor {
 /// Runs one job to a [`SessionRecord`]. Pure in `(plan, job)`: no shared
 /// mutable state, so any thread may run any job in any order.
 pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
+    run_job_with(plan, job, &mut WorldScratch::default())
+}
+
+/// As [`run_job`] but recycling world storage across calls. `scratch` is
+/// capacity-only and carries no session state, so results stay pure in
+/// `(plan, job)` — the executors' bit-identity guarantee does not depend
+/// on which scratch (or how fresh a scratch) ran the job.
+pub fn run_job_with(
+    plan: &CampaignPlan,
+    job: &SessionJob,
+    scratch: &mut WorldScratch,
+) -> SessionRecord {
     let user = &plan.population.participants[job.user];
     let site = &plan.roster[job.server];
     let entry = &plan.playlist[job.playlist_slot];
     let params = &plan.params;
 
     let (metrics, rating) = if job.available {
-        let mut world = build_session_world(
+        let mut world = build_session_world_with(
             user,
             site,
             &entry.clip,
             params.watch_limit,
             job.session_seed,
             &job.fault_plan,
+            scratch,
         );
         let metrics = world.run(params.session_deadline);
         // Degraded sessions are still rated: a user who sat through a
@@ -211,6 +226,7 @@ pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
         } else {
             None
         };
+        world.retire(scratch);
         (metrics, rating)
     } else {
         (

@@ -39,7 +39,9 @@ pub use campaign::{
     run_campaign, run_campaign_with_records, CampaignSummary, SessionRecord, StudyData, StudyParams,
 };
 pub use error::CampaignError;
-pub use executor::{run_job, CampaignExecutor, Execution, Fold, SerialExecutor, ThreadedExecutor};
+pub use executor::{
+    run_job, run_job_with, CampaignExecutor, Execution, Fold, SerialExecutor, ThreadedExecutor,
+};
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
     Zone,
@@ -52,4 +54,4 @@ pub use population::{
 };
 pub use report::{FailureBreakdown, FailureReport};
 pub use servers::{server_roster, ServerSite};
-pub use worldbuild::build_session_world;
+pub use worldbuild::{build_session_world, build_session_world_with};

@@ -12,6 +12,7 @@ use rv_server::{Catalog, RealServer, ServerConfig};
 use rv_sim::{FaultPlan, SimDuration, SimRng};
 use rv_tracer::{
     client_data_tcp_config, ports, ClientConfig, FaultLinkMap, SessionWorld, TracerClient,
+    WorldScratch,
 };
 use rv_transport::{Segment, Stack, TcpConfig};
 
@@ -104,6 +105,32 @@ pub fn build_session_world(
     session_seed: u64,
     fault_plan: &FaultPlan,
 ) -> SessionWorld {
+    let mut scratch = WorldScratch::default();
+    build_session_world_with(
+        user,
+        site,
+        clip,
+        watch_limit,
+        session_seed,
+        fault_plan,
+        &mut scratch,
+    )
+}
+
+/// As [`build_session_world`] but recycling storage harvested from a
+/// previously retired world. Executors thread one [`WorldScratch`] per
+/// worker through consecutive sessions; the worlds built are
+/// bit-identical to fresh ones, they just reuse warm allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn build_session_world_with(
+    user: &UserProfile,
+    site: &ServerSite,
+    clip: &Clip,
+    watch_limit: SimDuration,
+    session_seed: u64,
+    fault_plan: &FaultPlan,
+    scratch: &mut WorldScratch,
+) -> SessionWorld {
     let mut rng = SimRng::seed_from_u64(session_seed);
 
     // --- topology ---
@@ -136,7 +163,10 @@ pub fn build_session_world(
         .cross_traffic(site.access_congestion(), 0.02);
     b.duplex(cloud_b, server, server_access);
 
-    let net = b.build_with_payload::<Segment>(&mut rng.fork(1));
+    let net = match scratch.net.take() {
+        Some(old) => b.build_with_payload_into(&mut rng.fork(1), old),
+        None => b.build_with_payload::<Segment>(&mut rng.fork(1)),
+    };
 
     // --- stacks & sockets ---
     let mut client_stack = Stack::new(HostId(0));
@@ -177,13 +207,14 @@ pub fn build_session_world(
         prefers_udp: site.prefers_udp,
         ..ServerConfig::default()
     };
-    let real_server = RealServer::new(
+    let real_server = RealServer::with_scratch(
         server_cfg,
         catalog,
         s_ctrl,
         s_data,
         s_udp,
         session_seed ^ 0x5EED,
+        scratch.server.take().unwrap_or_default(),
     );
 
     // --- client ---
@@ -216,7 +247,13 @@ pub fn build_session_world(
     };
     client_cfg.cpu_power = user.pc.cpu_power();
     client_cfg.watch_limit = watch_limit;
-    let tracer = TracerClient::new(client_cfg, c_ctrl, c_data, c_udp);
+    let tracer = TracerClient::with_scratch(
+        client_cfg,
+        c_ctrl,
+        c_data,
+        c_udp,
+        scratch.client.take().unwrap_or_default(),
+    );
 
     let mut world = SessionWorld::new(net, client_stack, server_stack, real_server, tracer);
     world.set_faults(fault_plan, &study_fault_links());

@@ -11,8 +11,8 @@ use rv_media::{Clip, MediaPacket, StreamDepacketizer};
 use rv_net::Addr;
 use rv_player::{Player, PlayoutConfig, PlayoutEvent, PlayoutState};
 use rv_rtsp::{
-    ClientEvent, ClientSession, Decoder, FirewallPolicy, TransportKind, TransportPreference,
-    TransportSpec,
+    ClientEvent, ClientSession, Decoder, FirewallPolicy, Message, TransportKind,
+    TransportPreference, TransportSpec,
 };
 use rv_server::{ReceiverReport, REPORT_PARAM};
 use rv_sim::{SimDuration, SimTime};
@@ -112,6 +112,17 @@ enum Phase {
     Done,
 }
 
+/// Capacity-only scratch harvested from a retired [`TracerClient`],
+/// ready to seed the next one. Holds no session state — only warmed
+/// buffers — so a client built from scratch storage behaves
+/// bit-identically to one built fresh.
+#[derive(Debug, Default)]
+pub struct ClientScratch {
+    decoder: Decoder,
+    events: Vec<PlayoutEvent>,
+    encode_buf: Vec<u8>,
+}
+
 /// The instrumented client.
 #[derive(Debug)]
 pub struct TracerClient {
@@ -152,18 +163,32 @@ pub struct TracerClient {
     /// bit-compatible with. The harness hardens the client when it arms
     /// a non-empty fault plan.
     hardened: bool,
+    /// Reused staging buffer for outgoing control messages.
+    encode_buf: Vec<u8>,
 }
 
 impl TracerClient {
     /// Creates a client over pre-created sockets (`ctrl` and `data_tcp`
     /// unconnected TCP sockets, `udp` bound to `cfg.udp_port`).
     pub fn new(cfg: ClientConfig, ctrl: TcpHandle, data_tcp: TcpHandle, udp: UdpHandle) -> Self {
+        Self::with_scratch(cfg, ctrl, data_tcp, udp, ClientScratch::default())
+    }
+
+    /// As [`TracerClient::new`] but seeded with buffers recycled from a
+    /// retired client.
+    pub fn with_scratch(
+        cfg: ClientConfig,
+        ctrl: TcpHandle,
+        data_tcp: TcpHandle,
+        udp: UdpHandle,
+        scratch: ClientScratch,
+    ) -> Self {
         let player = Player::new(cfg.playout, cfg.cpu_power);
         let backoff = cfg.retry_backoff;
         TracerClient {
             session: ClientSession::new(&cfg.url),
             cfg,
-            decoder: Decoder::new(),
+            decoder: scratch.decoder,
             ctrl,
             data_tcp,
             udp,
@@ -175,7 +200,7 @@ impl TracerClient {
             start_time: None,
             play_start: None,
             last_report: SimTime::ZERO,
-            events: Vec::new(),
+            events: scratch.events,
             last_rung: 0,
             outcome: None,
             metrics: None,
@@ -186,6 +211,20 @@ impl TracerClient {
             next_retry_at: None,
             fell_back: false,
             hardened: false,
+            encode_buf: scratch.encode_buf,
+        }
+    }
+
+    /// Retires this client, harvesting its buffers (emptied, capacity
+    /// kept) for the next session's client.
+    pub fn into_scratch(mut self) -> ClientScratch {
+        self.decoder.reset();
+        self.events.clear();
+        self.encode_buf.clear();
+        ClientScratch {
+            decoder: self.decoder,
+            events: self.events,
+            encode_buf: self.encode_buf,
         }
     }
 
@@ -276,14 +315,14 @@ impl TracerClient {
             let msg = self
                 .session
                 .describe()
-                .with_header("Bandwidth", &self.cfg.max_bandwidth_bps.to_string());
-            stack.tcp(self.ctrl).send(&msg.encode());
+                .with_header_display("Bandwidth", self.cfg.max_bandwidth_bps);
+            self.send_control(stack, &msg);
             self.set_phase(Phase::Describing, now);
             work += 1;
         }
         if self.phase == Phase::ConnectingData && stack.tcp(self.data_tcp).is_established() {
             let msg = self.session.play();
-            stack.tcp(self.ctrl).send(&msg.encode());
+            self.send_control(stack, &msg);
             self.set_phase(Phase::Starting, now);
             work += 1;
         }
@@ -296,6 +335,14 @@ impl TracerClient {
     fn set_phase(&mut self, phase: Phase, now: SimTime) {
         self.phase = phase;
         self.phase_entered = now;
+    }
+
+    /// Serializes `msg` into the reused staging buffer and queues it on
+    /// the control connection — no per-message allocation.
+    fn send_control(&mut self, stack: &mut Stack, msg: &Message) {
+        self.encode_buf.clear();
+        msg.encode_into(&mut self.encode_buf);
+        stack.tcp(self.ctrl).send(&self.encode_buf);
     }
 
     /// Detects connection errors and silent stalls; classifies them into
@@ -351,7 +398,7 @@ impl TracerClient {
                     // black-holes datagrams (NAT/firewall). Renegotiate
                     // TCP over the still-live control connection.
                     let msg = self.session.resetup(TransportSpec::tcp());
-                    stack.tcp(self.ctrl).send(&msg.encode());
+                    self.send_control(stack, &msg);
                     self.fell_back = true;
                     self.transport = None;
                     self.set_phase(Phase::SettingUp, now);
@@ -441,7 +488,7 @@ impl TracerClient {
                     self.clip = Clip::parse_description(name, &body);
                     let spec = self.pick_transport();
                     let msg = self.session.setup(spec);
-                    stack.tcp(self.ctrl).send(&msg.encode());
+                    self.send_control(stack, &msg);
                     self.set_phase(Phase::SettingUp, now);
                 }
                 ClientEvent::Unavailable(_) => {
@@ -457,7 +504,7 @@ impl TracerClient {
                         }
                         TransportKind::Udp => {
                             let msg = self.session.play();
-                            stack.tcp(self.ctrl).send(&msg.encode());
+                            self.send_control(stack, &msg);
                             self.set_phase(Phase::Starting, now);
                         }
                     }
@@ -519,7 +566,7 @@ impl TracerClient {
         }
 
         let before = self.events.len();
-        self.events.extend(self.player.poll(now));
+        self.player.poll_into(now, &mut self.events);
         work += self.events.len() - before;
 
         // Receiver reports keep the server's UDP rate control fed.
@@ -534,7 +581,7 @@ impl TracerClient {
                 recv_rate_bps: bytes as f64 * 8.0 / interval.max(0.1),
             };
             let msg = self.session.set_parameter(REPORT_PARAM, &report.encode());
-            stack.tcp(self.ctrl).send(&msg.encode());
+            self.send_control(stack, &msg);
             work += 1;
         }
 
@@ -545,7 +592,7 @@ impl TracerClient {
         if watched_out || self.player.state() == PlayoutState::Ended {
             self.outcome = Some(SessionOutcome::Played);
             let msg = self.session.teardown();
-            stack.tcp(self.ctrl).send(&msg.encode());
+            self.send_control(stack, &msg);
             self.set_phase(Phase::TearingDown, now);
             work += 1;
         }

@@ -13,7 +13,9 @@ use rv_transport::{Segment, Stack, TcpConfig};
 
 use rv_sim::FaultPlan;
 
-use crate::client::{ClientConfig, TracerClient};
+use rv_server::ServerScratch;
+
+use crate::client::{ClientConfig, ClientScratch, TracerClient};
 use crate::faults::{FaultAction, FaultInjector, FaultLinkMap};
 use crate::metrics::SessionMetrics;
 
@@ -91,6 +93,22 @@ pub fn two_host_world(
     let server = RealServer::new(server_cfg, catalog, s_ctrl, s_data, s_udp, seed);
     let client = TracerClient::new(client_cfg, c_ctrl, c_data, c_udp);
     SessionWorld::new(net, client_stack, server_stack, server, client)
+}
+
+/// Recycled storage carried from one retired [`SessionWorld`] to the
+/// next. Everything inside is capacity-only — retired worlds are
+/// scrubbed of session state before harvesting — so worlds built from
+/// scratch storage are bit-identical to worlds built fresh. Executors
+/// keep one of these per worker and thread it through consecutive
+/// sessions.
+#[derive(Debug, Default)]
+pub struct WorldScratch {
+    /// A retired network whose wheels/inboxes/tables keep their capacity.
+    pub net: Option<Network<Segment>>,
+    /// Buffers harvested from the retired server.
+    pub server: Option<ServerScratch>,
+    /// Buffers harvested from the retired client.
+    pub client: Option<ClientScratch>,
 }
 
 /// One complete streaming world: network, two stacks, server, client.
@@ -264,6 +282,18 @@ impl SessionWorld {
                     .unwrap_or(rv_rtsp::TransportKind::Tcp),
             )
         })
+    }
+
+    /// Retires this world, harvesting its recyclable storage into
+    /// `scratch` for the next session. The network is scrubbed here (not
+    /// at rebuild) so in-flight payload `Arc`s drop now and their pool
+    /// chunks are free for reuse by the time the next server copies
+    /// packets in.
+    pub fn retire(mut self, scratch: &mut WorldScratch) {
+        self.net.reset_for_rebuild();
+        scratch.net = Some(self.net);
+        scratch.server = Some(self.server.into_scratch());
+        scratch.client = Some(self.client.into_scratch());
     }
 
     /// Convenience: host ids for the conventional two-host layout.

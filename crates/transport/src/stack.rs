@@ -216,9 +216,16 @@ impl Stack {
     /// may safely skip polls where this is `false` and the application has
     /// not run since the last poll.
     pub fn needs_poll(&self, net: &Network<Segment>, now: SimTime) -> bool {
-        net.inbox_len(self.host) > 0
-            || self.has_pending_work()
-            || self.next_wake().is_some_and(|t| t <= now)
+        if net.inbox_len(self.host) > 0 || !self.pending_rsts.is_empty() {
+            return true;
+        }
+        // One pass over the sockets covers both remaining conditions
+        // (deferred output, due timer) — this runs several times per
+        // simulated instant, so it stays a single sweep of field reads.
+        self.tcp
+            .iter()
+            .any(|s| s.has_pending_work() || s.next_wake().is_some_and(|t| t <= now))
+            || self.udp.iter().any(|s| s.has_pending_work())
     }
 }
 

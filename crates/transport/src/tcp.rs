@@ -16,7 +16,7 @@
 //! simulator carries structured segments; sizes still include real header
 //! overhead).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use rv_net::{Addr, Packet};
 use rv_sim::{ByteRope, PayloadBytes, SimDuration, SimTime};
@@ -154,9 +154,13 @@ pub struct TcpSocket {
     // --- receive side ---
     rcv_nxt: u64,
     recv_buf: ByteRope,
-    /// Out-of-order payloads keyed by sequence, stored by value (the
-    /// segment's shared slice — no byte copy on insertion or absorption).
-    ooo: BTreeMap<u64, PayloadBytes>,
+    /// Out-of-order payloads as a `(sequence, payload)` vector sorted by
+    /// sequence, stored by value (the segment's shared slice — no byte
+    /// copy on insertion or absorption). Reassembly windows are tiny (a
+    /// few segments behind one loss), so a sorted vector beats a
+    /// `BTreeMap`: binary-search insert, no per-segment node allocation,
+    /// and the storage is reusable across connections.
+    ooo: Vec<(u64, PayloadBytes)>,
     ooo_bytes: usize,
     peer_fin: bool,
 
@@ -210,7 +214,7 @@ impl TcpSocket {
             rtt_sample: None,
             rcv_nxt: 0,
             recv_buf: ByteRope::new(),
-            ooo: BTreeMap::new(),
+            ooo: Vec::new(),
             ooo_bytes: 0,
             peer_fin: false,
             fin_seq: None,
@@ -608,9 +612,11 @@ impl TcpSocket {
                     .cfg
                     .recv_capacity
                     .saturating_sub(self.recv_buf.len() + self.ooo_bytes);
-                if data.len() <= room && !self.ooo.contains_key(&seq) {
+                let pos = self.ooo.partition_point(|(s, _)| *s < seq);
+                let duplicate = self.ooo.get(pos).is_some_and(|(s, _)| *s == seq);
+                if data.len() <= room && !duplicate {
                     self.ooo_bytes += data.len();
-                    self.ooo.insert(seq, data);
+                    self.ooo.insert(pos, (seq, data));
                 }
             }
             // ACK every data segment (old/duplicate data is re-ACKed too —
@@ -630,7 +636,8 @@ impl TcpSocket {
     /// Pulls contiguous out-of-order segments into the receive buffer,
     /// stopping when the in-order buffer is full.
     fn absorb_ooo(&mut self) {
-        while let Some((&seq, data)) = self.ooo.first_key_value() {
+        while let Some((seq, data)) = self.ooo.first() {
+            let seq = *seq;
             if seq > self.rcv_nxt {
                 break;
             }
@@ -641,14 +648,14 @@ impl TcpSocket {
                 if len - skip > room {
                     break; // no room yet; keep it out-of-order
                 }
-                let (_, data) = self.ooo.pop_first().expect("checked nonempty");
+                let (_, data) = self.ooo.remove(0);
                 self.ooo_bytes -= len;
                 self.rcv_nxt += (len - skip) as u64;
                 // Partial overlap narrows the stored slice in place.
                 self.recv_buf.push(data.slice(skip..));
             } else {
                 // Fully old segment: discard.
-                let (_, data) = self.ooo.pop_first().expect("checked nonempty");
+                let (_, data) = self.ooo.remove(0);
                 self.ooo_bytes -= data.len();
             }
         }
