@@ -31,8 +31,19 @@
 //!
 //! `--bench-out PATH` additionally writes the run's throughput accounting
 //! (wall time, sessions/sec, simulated-seconds/sec, worker split, peak
-//! memory) as a JSON object, so CI and benchmarking scripts can track
+//! memory, phase walls, per-worker profile, and the campaign counter
+//! totals) as a JSON object, so CI and benchmarking scripts can track
 //! campaign performance without scraping the human-readable summary line.
+//!
+//! `--profile` prints the phase walls (plan/execute/figures) and the
+//! per-worker busy/idle split to stderr after the run.
+//!
+//! `repro trace --user U --clip C [--faults] [--trace-out PREFIX]` replays
+//! one planned session with the flight recorder armed and writes the
+//! timeline as `PREFIX.jsonl` (one event per line) and `PREFIX.chrome.json`
+//! (Chrome `trace_event` format, loadable in Perfetto). Unknown user/clip
+//! keys exit non-zero listing nearby valid keys instead of writing an
+//! empty trace.
 
 use realvideo_core::analysis::{csv_header, csv_row};
 use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
@@ -69,6 +80,11 @@ fn main() {
     let mut params = StudyParams::default();
     let mut bench_out: Option<String> = None;
     let mut dump_records: Option<String> = None;
+    let mut trace_mode = false;
+    let mut trace_user: Option<u32> = None;
+    let mut trace_clip: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +128,32 @@ fn main() {
                 );
             }
             "--faults" => params.faults = rv_sim::FaultScenario::default_on(),
+            "--profile" => profile = true,
+            "trace" => trace_mode = true,
+            "--user" => {
+                i += 1;
+                trace_user = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--user wants a participant id")),
+                );
+            }
+            "--clip" => {
+                i += 1;
+                trace_clip = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--clip wants a clip name")),
+                );
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-out wants a path prefix")),
+                );
+            }
             "list" => {
                 println!("available figures:");
                 for id in FIGURE_IDS {
@@ -126,6 +168,10 @@ fn main() {
             other => die(&format!("unknown argument {other:?}; try `repro list`")),
         }
         i += 1;
+    }
+    if trace_mode {
+        run_trace(params, trace_user, trace_clip, trace_out);
+        return;
     }
     if ids.is_empty() && bench_out.is_none() && dump_records.is_none() {
         die("nothing to do; try `repro all` or `repro list`");
@@ -165,52 +211,8 @@ fn main() {
     #[cfg(not(feature = "alloc-stats"))]
     let alloc_peak: Option<u64> = None;
     eprintln!("{}", data.summary);
+    eprintln!("counters: {}", counters_line(&data.summary.counters));
     eprintln!("campaign done: {} rated\n", data.aggregates.rated);
-
-    if let Some(path) = bench_out {
-        let s = &data.summary;
-        let per_worker: Vec<String> = s.per_worker.iter().map(|n| n.to_string()).collect();
-        let json = format!(
-            concat!(
-                "{{\n",
-                "  \"seed\": {},\n",
-                "  \"scale\": {},\n",
-                "  \"jobs\": {},\n",
-                "  \"jobs_planned\": {},\n",
-                "  \"played\": {},\n",
-                "  \"unavailable\": {},\n",
-                "  \"wall_secs\": {:.6},\n",
-                "  \"sessions_per_sec\": {:.3},\n",
-                "  \"sim_seconds\": {:.3},\n",
-                "  \"sim_seconds_per_sec\": {:.3},\n",
-                "  \"allocs_per_session\": {},\n",
-                "  \"bytes_allocated_per_session\": {},\n",
-                "  \"peak_alloc_bytes\": {},\n",
-                "  \"peak_rss_mb\": {},\n",
-                "  \"per_worker\": [{}]\n",
-                "}}\n"
-            ),
-            params.seed,
-            params.scale,
-            s.workers,
-            s.jobs_planned,
-            s.played,
-            s.unavailable,
-            s.wall.as_secs_f64(),
-            s.sessions_per_sec(),
-            s.sim_seconds,
-            s.sim_seconds_per_sec(),
-            alloc_json(alloc_snapshot.map(|(allocs, _)| allocs), s.jobs_planned),
-            alloc_json(alloc_snapshot.map(|(_, bytes)| bytes), s.jobs_planned),
-            alloc_peak.map_or("null".to_string(), |p| p.to_string()),
-            peak_rss_mb().map_or("null".to_string(), |mb| format!("{mb:.1}")),
-            per_worker.join(", "),
-        );
-        if let Err(e) = std::fs::write(&path, json) {
-            die(&format!("cannot write --bench-out {path:?}: {e}"));
-        }
-        eprintln!("wrote campaign bench record to {path}");
-    }
 
     if let Some(path) = dump_records {
         let mut out = String::with_capacity(64 * (data.records().len() + 1));
@@ -230,6 +232,7 @@ fn main() {
         }
     }
 
+    let figures_start = std::time::Instant::now();
     for id in ids {
         if id == "failures" {
             println!("{}", data.failure_report());
@@ -268,6 +271,136 @@ fn main() {
         println!("==================================================================");
         println!("{body}");
     }
+    let figures_wall = figures_start.elapsed();
+
+    if profile {
+        let s = &data.summary;
+        eprintln!(
+            "phase profile: plan {:.3}s | execute {:.3}s | figures {:.3}s",
+            s.plan_wall.as_secs_f64(),
+            s.wall.as_secs_f64(),
+            figures_wall.as_secs_f64(),
+        );
+        for (w, p) in s.profiles.iter().enumerate() {
+            eprintln!(
+                "  worker {w}: {} sessions over {} claims, busy {:.3}s, idle {:.3}s",
+                p.sessions,
+                p.claims,
+                p.busy.as_secs_f64(),
+                p.idle().as_secs_f64(),
+            );
+        }
+    }
+
+    if let Some(path) = bench_out {
+        let s = &data.summary;
+        let per_worker: Vec<String> = s.per_worker.iter().map(|n| n.to_string()).collect();
+        let counters: Vec<String> = s
+            .counters
+            .iter()
+            .map(|(c, v)| format!("\"{}\": {v}", c.name()))
+            .collect();
+        let workers: Vec<String> = s
+            .profiles
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"sessions\": {}, \"claims\": {}, \"busy_secs\": {:.6}, \"idle_secs\": {:.6}}}",
+                    p.sessions,
+                    p.claims,
+                    p.busy.as_secs_f64(),
+                    p.idle().as_secs_f64(),
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"seed\": {},\n",
+                "  \"scale\": {},\n",
+                "  \"jobs\": {},\n",
+                "  \"jobs_planned\": {},\n",
+                "  \"played\": {},\n",
+                "  \"unavailable\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"sessions_per_sec\": {:.3},\n",
+                "  \"sim_seconds\": {:.3},\n",
+                "  \"sim_seconds_per_sec\": {:.3},\n",
+                "  \"allocs_per_session\": {},\n",
+                "  \"bytes_allocated_per_session\": {},\n",
+                "  \"peak_alloc_bytes\": {},\n",
+                "  \"peak_rss_mb\": {},\n",
+                "  \"per_worker\": [{}],\n",
+                "  \"phases\": {{\"plan_secs\": {:.6}, \"execute_secs\": {:.6}, \"figures_secs\": {:.6}}},\n",
+                "  \"workers\": [{}],\n",
+                "  \"counters\": {{{}}}\n",
+                "}}\n"
+            ),
+            params.seed,
+            params.scale,
+            s.workers,
+            s.jobs_planned,
+            s.played,
+            s.unavailable,
+            s.wall.as_secs_f64(),
+            s.sessions_per_sec(),
+            s.sim_seconds,
+            s.sim_seconds_per_sec(),
+            alloc_json(alloc_snapshot.map(|(allocs, _)| allocs), s.jobs_planned),
+            alloc_json(alloc_snapshot.map(|(_, bytes)| bytes), s.jobs_planned),
+            alloc_peak.map_or("null".to_string(), |p| p.to_string()),
+            peak_rss_mb().map_or("null".to_string(), |mb| format!("{mb:.1}")),
+            per_worker.join(", "),
+            s.plan_wall.as_secs_f64(),
+            s.wall.as_secs_f64(),
+            figures_wall.as_secs_f64(),
+            workers.join(", "),
+            counters.join(", "),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write --bench-out {path:?}: {e}"));
+        }
+        eprintln!("wrote campaign bench record to {path}");
+    }
+}
+
+/// `name=value` pairs for every campaign counter, in registry order.
+fn counters_line(counters: &rv_sim::CounterSet) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::new();
+    for (c, v) in counters.iter() {
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        let _ = write!(line, "{}={v}", c.name());
+    }
+    line
+}
+
+/// The `repro trace` subcommand: replay one planned session with the
+/// flight recorder armed and write the timeline next to the caller.
+fn run_trace(params: StudyParams, user: Option<u32>, clip: Option<String>, out: Option<String>) {
+    let user = user.unwrap_or_else(|| die("trace wants --user <participant id>"));
+    let clip = clip.unwrap_or_else(|| die("trace wants --clip <clip name>"));
+    let trace = rv_study::trace_session(params, user, &clip)
+        .unwrap_or_else(|e| die(&format!("trace: {e}")));
+    let prefix = out.unwrap_or_else(|| format!("trace_u{user}"));
+    let jsonl_path = format!("{prefix}.jsonl");
+    let chrome_path = format!("{prefix}.chrome.json");
+    if let Err(e) = std::fs::write(&jsonl_path, trace.to_jsonl()) {
+        die(&format!("cannot write {jsonl_path:?}: {e}"));
+    }
+    if let Err(e) = std::fs::write(&chrome_path, trace.to_chrome_trace()) {
+        die(&format!("cannot write {chrome_path:?}: {e}"));
+    }
+    eprintln!(
+        "traced user {user} clip {clip}: {} events, outcome {}, faults {}",
+        trace.records.len(),
+        trace.metrics.outcome.label(),
+        if trace.faulted { "on" } else { "off" },
+    );
+    eprintln!("counters: {}", counters_line(&trace.counters));
+    eprintln!("wrote {jsonl_path} and {chrome_path}");
 }
 
 fn die(msg: &str) -> ! {

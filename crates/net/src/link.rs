@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use rv_sim::trace::{self, DropCause, TraceEvent};
 use rv_sim::{OutagePolicy, SimDuration, SimRng, SimTime};
 
 use crate::congestion::{CongestionParams, CongestionProcess};
@@ -124,6 +125,9 @@ pub struct Link<P> {
     /// single random draw as the organic loss models so a zero burst
     /// leaves the RNG stream untouched.
     extra_loss_ppm: u32,
+    /// Identity the link reports in trace events (the owning network's
+    /// link index). Purely observational; zero for standalone links.
+    trace_tag: u32,
     stats: LinkStats,
 }
 
@@ -143,8 +147,15 @@ impl<P> Link<P> {
             serving: None,
             down: None,
             extra_loss_ppm: 0,
+            trace_tag: 0,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Sets the identity this link reports in trace events. The owning
+    /// [`Network`](crate::Network) tags each link with its `LinkId`.
+    pub fn set_trace_tag(&mut self, tag: u32) {
+        self.trace_tag = tag;
     }
 
     /// Static parameters.
@@ -177,6 +188,12 @@ impl<P> Link<P> {
                 // any random draw (only reachable with faults injected, so
                 // the fault-free RNG stream is untouched).
                 self.stats.dropped_outage += 1;
+                trace::emit(now, || TraceEvent::PacketDrop {
+                    link: self.trace_tag,
+                    cause: DropCause::Outage,
+                    bytes: packet.size,
+                    queued_bytes: self.queued_bytes,
+                });
                 return false;
             }
             Some(OutagePolicy::CarryInFlight) => {
@@ -184,10 +201,20 @@ impl<P> Link<P> {
                 // the queue keeps accepting until it overflows.
                 if self.queued_bytes.saturating_add(packet.size) > self.params.queue_bytes {
                     self.stats.dropped_queue += 1;
+                    trace::emit(now, || TraceEvent::PacketDrop {
+                        link: self.trace_tag,
+                        cause: DropCause::Queue,
+                        bytes: packet.size,
+                        queued_bytes: self.queued_bytes,
+                    });
                     return false;
                 }
                 self.queued_bytes += packet.size;
                 self.stats.enqueued += 1;
+                trace::emit(now, || TraceEvent::QueueDepth {
+                    link: self.trace_tag,
+                    queued_bytes: self.queued_bytes,
+                });
                 self.queue.push_back((packet, tag));
                 return true;
             }
@@ -199,14 +226,30 @@ impl<P> Link<P> {
             + f64::from(self.extra_loss_ppm) * 1e-6;
         if self.rng.chance(p_loss) {
             self.stats.dropped_loss += 1;
+            trace::emit(now, || TraceEvent::PacketDrop {
+                link: self.trace_tag,
+                cause: DropCause::Loss,
+                bytes: packet.size,
+                queued_bytes: self.queued_bytes,
+            });
             return false;
         }
         if self.queued_bytes.saturating_add(packet.size) > self.params.queue_bytes {
             self.stats.dropped_queue += 1;
+            trace::emit(now, || TraceEvent::PacketDrop {
+                link: self.trace_tag,
+                cause: DropCause::Queue,
+                bytes: packet.size,
+                queued_bytes: self.queued_bytes,
+            });
             return false;
         }
         self.queued_bytes += packet.size;
         self.stats.enqueued += 1;
+        trace::emit(now, || TraceEvent::QueueDepth {
+            link: self.trace_tag,
+            queued_bytes: self.queued_bytes,
+        });
         self.queue.push_back((packet, tag));
         if self.serving.is_none() {
             self.start_next(now);

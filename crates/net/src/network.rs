@@ -189,7 +189,9 @@ impl<P> Network<P> {
         rng: SimRng,
     ) -> LinkId {
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(from, to, params, rng));
+        let mut link = Link::new(from, to, params, rng);
+        link.set_trace_tag(id.0);
+        self.links.push(link);
         id
     }
 
@@ -474,6 +476,13 @@ impl<P> Network<P> {
     /// Number of links.
     pub fn num_links(&self) -> usize {
         self.links.len()
+    }
+
+    /// Total timer-wheel cascade work done by this network's due-time
+    /// indexes since the last rebuild — the `wheel_cascades` campaign
+    /// counter.
+    pub fn wheel_cascades(&self) -> u64 {
+        self.link_wake.cascades() + self.in_flight.cascades()
     }
 
     /// Scrubs every piece of topology and traffic state while keeping the

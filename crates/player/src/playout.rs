@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use rv_sim::trace::{self, TraceEvent};
 use rv_sim::{SimDuration, SimTime};
 
 use crate::reassembly::CompleteFrame;
@@ -302,6 +303,7 @@ impl Playout {
                 self.state = PlayoutState::Rebuffering;
                 self.rebuffer_since = Some(now);
                 self.stats.rebuffer_events += 1;
+                trace::emit(now, || TraceEvent::RebufferStart);
             }
         }
     }
@@ -321,10 +323,16 @@ impl Playout {
             self.stats.rebuffer_time += halted;
             self.rebuffer_since = None;
             self.state = PlayoutState::Playing;
+            trace::emit(now, || TraceEvent::RebufferEnd {
+                stalled_us: halted.as_micros(),
+            });
         } else if self.source_ended && self.buffer.is_empty() {
             self.stats.rebuffer_time += halted;
             self.rebuffer_since = None;
             self.state = PlayoutState::Ended;
+            trace::emit(now, || TraceEvent::RebufferEnd {
+                stalled_us: halted.as_micros(),
+            });
         }
     }
 

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use rv_media::{packetize_frame_into, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
 use rv_net::Addr;
 use rv_rtsp::{Decoder, ServerHandler, ServerSession, Status, TransportKind, TransportSpec};
+use rv_sim::trace::{self, TraceEvent};
 use rv_sim::{PayloadPool, SimDuration, SimTime};
 use rv_transport::{Stack, TcpHandle, UdpHandle};
 
@@ -89,6 +90,9 @@ pub struct ServerStats {
     pub switches_up: u64,
     /// Malformed control messages dropped.
     pub control_errors: u64,
+    /// Process crashes injected by the fault plan. Survives restarts,
+    /// like the rest of the lifetime counters.
+    pub crashes: u64,
 }
 
 /// Decisions + state shared with the RTSP handler callbacks.
@@ -356,6 +360,7 @@ impl RealServer {
     /// reconnecting client fails fast as "refused" rather than timing out.
     pub fn crash(&mut self, stack: &mut Stack) {
         self.alive = false;
+        self.stats.crashes += 1;
         self.stream = None;
         self.core.negotiated = None;
         self.core.client_max_bps = None;
@@ -430,9 +435,26 @@ impl RealServer {
             return 0; // dead processes do no work; the stack still RSTs
         }
         let mut work = self.recover_connections(stack);
+        let unadmitted = self.core.negotiated.is_none();
         work += self.pump_control(stack);
+        if unadmitted {
+            if let Some(spec) = self.core.negotiated {
+                trace::emit(now, || TraceEvent::ServerAdmit {
+                    transport: match spec.kind {
+                        TransportKind::Udp => "udp",
+                        TransportKind::Tcp => "tcp",
+                    },
+                });
+            }
+        }
         work += self.apply_control_events(now, stack);
-        work + self.pump_data(now, stack)
+        let pumped = self.pump_data(now, stack);
+        if pumped > 0 {
+            trace::emit(now, || TraceEvent::ServerPump {
+                packets: pumped as u32,
+            });
+        }
+        work + pumped
     }
 
     /// A client that aborted (RST) kills its session: the daemon recycles
@@ -885,6 +907,11 @@ impl RealServer {
     }
 
     fn switch_rung(&mut self, now: SimTime, stream: &mut ActiveStream, rung: usize) {
+        let from = stream.rung as u8;
+        trace::emit(now, || TraceEvent::ServerRungSwitch {
+            from,
+            to: rung as u8,
+        });
         stream.rung = rung;
         stream.schedule = match &stream.schedules[rung] {
             Some(s) => Arc::clone(s),

@@ -44,14 +44,17 @@ pub mod alloc_stats;
 mod bytes;
 mod chacha;
 mod clock;
+mod counters;
 mod event;
 mod fault;
 mod rng;
 mod time;
+pub mod trace;
 mod wheel;
 
 pub use bytes::{ByteRope, PayloadBytes, PayloadPool};
 pub use clock::{run_until, Clock, StepOutcome};
+pub use counters::{Counter, CounterSet};
 pub use event::{earliest, EventQueue, Scheduled};
 pub use fault::{
     FaultPlan, FaultScenario, FaultSegment, LinkOutage, LossBurst, OutagePolicy, ServerCrash,

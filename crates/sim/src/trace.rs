@@ -1,0 +1,796 @@
+//! Flight recorder: sim-time-stamped, typed trace events.
+//!
+//! The recorder is a thread-local sink that instrumented components feed
+//! through [`emit`]. It is **off by default**: every instrumentation site
+//! costs one thread-local load and a branch, the event value is built
+//! inside a closure that never runs, and nothing allocates — so a binary
+//! with the recorder compiled in produces bit-identical dumps, aggregates,
+//! and figures whether or not any trace was ever taken. Tracing never
+//! draws from a [`SimRng`](crate::SimRng) and never mutates simulation
+//! state, so an *enabled* recorder cannot perturb the simulation either:
+//! the trace is a pure observation.
+//!
+//! One sink per thread, by design: the `repro trace` subcommand replays a
+//! single session serially, and parallel campaign workers (which never
+//! trace) cannot cross-contaminate because thread-local state is
+//! per-worker.
+//!
+//! ```
+//! use rv_sim::{trace, SimTime};
+//!
+//! trace::start();
+//! trace::emit(SimTime::from_millis(5), || trace::TraceEvent::RebufferStart);
+//! let records = trace::finish();
+//! assert_eq!(records.len(), 1);
+//! assert!(!trace::active());
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// Why a link dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Random loss process (Gilbert or uniform) discarded the packet.
+    Loss,
+    /// The bounded link queue was full.
+    Queue,
+    /// The link was administratively down (fault injection).
+    Outage,
+}
+
+impl DropCause {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Loss => "loss",
+            DropCause::Queue => "queue",
+            DropCause::Outage => "outage",
+        }
+    }
+}
+
+/// A typed event in the session timeline.
+///
+/// Names and fields form the JSONL schema validated by CI; adding a
+/// variant is fine, renaming one is a schema change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A session world starts running (emitted by the study layer).
+    SessionBegin {
+        /// Participant id from the campaign roster.
+        user: u32,
+        /// Clip name being requested.
+        clip: String,
+    },
+    /// The session reached a terminal outcome.
+    SessionEnd {
+        /// Outcome label (`SessionOutcome::label`).
+        outcome: &'static str,
+    },
+    /// A link came (back) up.
+    LinkUp {
+        /// Link tag (study topology index).
+        link: u32,
+    },
+    /// A link went down.
+    LinkDown {
+        /// Link tag (study topology index).
+        link: u32,
+    },
+    /// A link dropped a packet.
+    PacketDrop {
+        /// Link tag (study topology index).
+        link: u32,
+        /// Why it was dropped.
+        cause: DropCause,
+        /// Size of the dropped packet in bytes.
+        bytes: u32,
+        /// Queue occupancy in bytes after the drop.
+        queued_bytes: u32,
+    },
+    /// Queue occupancy sample, taken when a packet is accepted.
+    QueueDepth {
+        /// Link tag (study topology index).
+        link: u32,
+        /// Queue occupancy in bytes including the accepted packet.
+        queued_bytes: u32,
+    },
+    /// TCP retransmitted a segment.
+    TcpRetransmit {
+        /// Local port of the retransmitting socket.
+        port: u16,
+        /// Relative sequence number of the segment.
+        seq: u32,
+        /// Payload bytes retransmitted.
+        bytes: u32,
+        /// `true` for a dup-ACK fast retransmit, `false` for an RTO.
+        fast: bool,
+    },
+    /// TCP's retransmission timer fired.
+    TcpRto {
+        /// Local port of the socket.
+        port: u16,
+        /// The (already backed-off) timeout that will arm next, in µs.
+        rto_us: u64,
+    },
+    /// TCP congestion window changed on a loss-response edge
+    /// (fast-retransmit entry, RTO collapse, or recovery exit) — the
+    /// per-ACK additive increases are deliberately not traced.
+    TcpCwnd {
+        /// Local port of the socket.
+        port: u16,
+        /// New congestion window in bytes.
+        cwnd: u32,
+        /// New slow-start threshold in bytes.
+        ssthresh: u32,
+    },
+    /// The server admitted a session (SETUP accepted).
+    ServerAdmit {
+        /// Negotiated data transport ("udp" or "tcp").
+        transport: &'static str,
+    },
+    /// One server pump pass emitted packets.
+    ServerPump {
+        /// Packets handed to the transport in this pass.
+        packets: u32,
+    },
+    /// The server process crashed (fault injection).
+    ServerCrash,
+    /// The server process restarted.
+    ServerRestart,
+    /// The server's rate controller switched encoding rung.
+    ServerRungSwitch {
+        /// Rung streamed before the switch.
+        from: u8,
+        /// Rung streamed after the switch.
+        to: u8,
+    },
+    /// The playout buffer ran dry: rebuffering starts.
+    RebufferStart,
+    /// Playout resumed after a rebuffer.
+    RebufferEnd {
+        /// How long playback was stalled, in µs.
+        stalled_us: u64,
+    },
+    /// The client FSM moved to a new phase.
+    ClientPhase {
+        /// Phase name (`Connecting`, `Playing`, ...).
+        phase: &'static str,
+    },
+    /// The client tore down and is retrying the session.
+    ClientRetry {
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The client fell back from UDP to TCP data transport.
+    TransportFallback,
+    /// The client observed a rung change in the media stream.
+    RungSwitch {
+        /// Rung of the previous media packet.
+        from: u8,
+        /// Rung of the current media packet.
+        to: u8,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event name used in the JSONL schema and as the
+    /// Chrome trace event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::SessionBegin { .. } => "session_begin",
+            TraceEvent::SessionEnd { .. } => "session_end",
+            TraceEvent::LinkUp { .. } => "link_up",
+            TraceEvent::LinkDown { .. } => "link_down",
+            TraceEvent::PacketDrop { .. } => "packet_drop",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::TcpRetransmit { .. } => "tcp_retransmit",
+            TraceEvent::TcpRto { .. } => "tcp_rto",
+            TraceEvent::TcpCwnd { .. } => "tcp_cwnd",
+            TraceEvent::ServerAdmit { .. } => "server_admit",
+            TraceEvent::ServerPump { .. } => "server_pump",
+            TraceEvent::ServerCrash => "server_crash",
+            TraceEvent::ServerRestart => "server_restart",
+            TraceEvent::ServerRungSwitch { .. } => "server_rung_switch",
+            TraceEvent::RebufferStart => "rebuffer_start",
+            TraceEvent::RebufferEnd { .. } => "rebuffer_end",
+            TraceEvent::ClientPhase { .. } => "client_phase",
+            TraceEvent::ClientRetry { .. } => "client_retry",
+            TraceEvent::TransportFallback => "transport_fallback",
+            TraceEvent::RungSwitch { .. } => "rung_switch",
+        }
+    }
+}
+
+/// A sim-time-stamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated instant the event happened at.
+    pub at: SimTime,
+    /// What happened.
+    pub ev: TraceEvent,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static SINK: RefCell<Vec<TraceRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `true` while this thread's recorder is capturing.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Records an event if this thread's recorder is active.
+///
+/// The event is built lazily: with the recorder off this is one
+/// thread-local load and a branch — no allocation, no formatting, no
+/// event construction.
+#[inline]
+pub fn emit(at: SimTime, ev: impl FnOnce() -> TraceEvent) {
+    if !active() {
+        return;
+    }
+    SINK.with(|s| s.borrow_mut().push(TraceRecord { at, ev: ev() }));
+}
+
+/// Starts capturing on this thread, discarding any previous capture.
+pub fn start() {
+    SINK.with(|s| s.borrow_mut().clear());
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Stops capturing and returns the records, sorted by simulated time
+/// (emission order is preserved within an instant).
+pub fn finish() -> Vec<TraceRecord> {
+    ACTIVE.with(|a| a.set(false));
+    let mut records = SINK.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    // Components process packets slightly out of timestamp order (a link
+    // drains `done_at <= now` while a poll emits at `now`), so restore
+    // the timeline here, once, stably.
+    records.sort_by_key(|r| r.at);
+    records
+}
+
+/// Minimal JSON string escape (quotes, backslash, control characters).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends one JSONL line (`{"t_us":..,"ev":"..",...}\n`) for `rec`.
+pub fn jsonl_into(rec: &TraceRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"t_us\":{},\"ev\":\"{}\"",
+        rec.at.as_micros(),
+        rec.ev.name()
+    );
+    match &rec.ev {
+        TraceEvent::SessionBegin { user, clip } => {
+            let _ = write!(out, ",\"user\":{user},\"clip\":\"");
+            escape_into(clip, out);
+            out.push('"');
+        }
+        TraceEvent::SessionEnd { outcome } => {
+            let _ = write!(out, ",\"outcome\":\"{outcome}\"");
+        }
+        TraceEvent::LinkUp { link } | TraceEvent::LinkDown { link } => {
+            let _ = write!(out, ",\"link\":{link}");
+        }
+        TraceEvent::PacketDrop {
+            link,
+            cause,
+            bytes,
+            queued_bytes,
+        } => {
+            let _ = write!(
+                out,
+                ",\"link\":{link},\"cause\":\"{}\",\"bytes\":{bytes},\"queued_bytes\":{queued_bytes}",
+                cause.label()
+            );
+        }
+        TraceEvent::QueueDepth { link, queued_bytes } => {
+            let _ = write!(out, ",\"link\":{link},\"queued_bytes\":{queued_bytes}");
+        }
+        TraceEvent::TcpRetransmit {
+            port,
+            seq,
+            bytes,
+            fast,
+        } => {
+            let _ = write!(
+                out,
+                ",\"port\":{port},\"seq\":{seq},\"bytes\":{bytes},\"fast\":{fast}"
+            );
+        }
+        TraceEvent::TcpRto { port, rto_us } => {
+            let _ = write!(out, ",\"port\":{port},\"rto_us\":{rto_us}");
+        }
+        TraceEvent::TcpCwnd {
+            port,
+            cwnd,
+            ssthresh,
+        } => {
+            let _ = write!(
+                out,
+                ",\"port\":{port},\"cwnd\":{cwnd},\"ssthresh\":{ssthresh}"
+            );
+        }
+        TraceEvent::ServerAdmit { transport } => {
+            let _ = write!(out, ",\"transport\":\"{transport}\"");
+        }
+        TraceEvent::ServerPump { packets } => {
+            let _ = write!(out, ",\"packets\":{packets}");
+        }
+        TraceEvent::ServerCrash | TraceEvent::ServerRestart => {}
+        TraceEvent::ServerRungSwitch { from, to } | TraceEvent::RungSwitch { from, to } => {
+            let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+        }
+        TraceEvent::RebufferStart => {}
+        TraceEvent::RebufferEnd { stalled_us } => {
+            let _ = write!(out, ",\"stalled_us\":{stalled_us}");
+        }
+        TraceEvent::ClientPhase { phase } => {
+            let _ = write!(out, ",\"phase\":\"{phase}\"");
+        }
+        TraceEvent::ClientRetry { attempt } => {
+            let _ = write!(out, ",\"attempt\":{attempt}");
+        }
+        TraceEvent::TransportFallback => {}
+    }
+    out.push_str("}\n");
+}
+
+/// Renders `records` as JSONL, one event object per line.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 64);
+    for rec in records {
+        jsonl_into(rec, &mut out);
+    }
+    out
+}
+
+/// Chrome `trace_event` thread ids used by [`to_chrome_trace`].
+mod tid {
+    pub const SESSION: u32 = 1;
+    pub const CLIENT: u32 = 2;
+    pub const PLAYER: u32 = 3;
+    pub const TRANSPORT: u32 = 4;
+    pub const SERVER: u32 = 5;
+    /// Links get `LINK_BASE + tag`.
+    pub const LINK_BASE: u32 = 100;
+}
+
+/// One Chrome trace event object (without the trailing comma).
+fn chrome_event(
+    out: &mut String,
+    name: &str,
+    ph: char,
+    ts_us: u64,
+    tid: u32,
+    args: &[(&str, String)],
+) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid}"
+    );
+    if ph == 'i' {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+    }
+    out.push_str("},\n");
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Renders `records` (assumed time-sorted, as [`finish`] returns them) as
+/// a Chrome `trace_event` JSON document loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Spans: the session itself, each client FSM phase, rebuffers, and link
+/// outages. Counters: per-link queue occupancy, per-socket cwnd, and the
+/// streamed rung. Everything else appears as instant events on the
+/// originating component's track.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (tid, name) in [
+        (tid::SESSION, "session"),
+        (tid::CLIENT, "client fsm"),
+        (tid::PLAYER, "player"),
+        (tid::TRANSPORT, "transport"),
+        (tid::SERVER, "server"),
+    ] {
+        chrome_event(
+            &mut out,
+            "thread_name",
+            'M',
+            0,
+            tid,
+            &[("name", jstr(name))],
+        );
+    }
+    let mut named_links: Vec<u32> = Vec::new();
+    let mut open_phase: Option<&'static str> = None;
+    // Spans that may still be open when the record stream ends (a session
+    // can starve out mid-rebuffer, or hit its deadline mid-outage); they
+    // are closed at the final timestamp so every B has its E.
+    let mut open_session = false;
+    let mut open_rebuffer = false;
+    let mut open_outages: Vec<u32> = Vec::new();
+    let mut last_ts = 0u64;
+    for rec in records {
+        let ts = rec.at.as_micros();
+        last_ts = last_ts.max(ts);
+        let link_tid = |out: &mut String, named: &mut Vec<u32>, link: u32| -> u32 {
+            let t = tid::LINK_BASE + link;
+            if !named.contains(&link) {
+                named.push(link);
+                chrome_event(
+                    out,
+                    "thread_name",
+                    'M',
+                    0,
+                    t,
+                    &[("name", jstr(&format!("link {link}")))],
+                );
+            }
+            t
+        };
+        match &rec.ev {
+            TraceEvent::SessionBegin { user, clip } => {
+                open_session = true;
+                chrome_event(
+                    &mut out,
+                    "session",
+                    'B',
+                    ts,
+                    tid::SESSION,
+                    &[("user", user.to_string()), ("clip", jstr(clip))],
+                );
+            }
+            TraceEvent::SessionEnd { outcome } => {
+                if let Some(phase) = open_phase.take() {
+                    chrome_event(&mut out, phase, 'E', ts, tid::CLIENT, &[]);
+                }
+                open_session = false;
+                chrome_event(
+                    &mut out,
+                    "session",
+                    'E',
+                    ts,
+                    tid::SESSION,
+                    &[("outcome", jstr(outcome))],
+                );
+            }
+            TraceEvent::LinkUp { link } => {
+                let t = link_tid(&mut out, &mut named_links, *link);
+                if let Some(pos) = open_outages.iter().position(|l| l == link) {
+                    open_outages.swap_remove(pos);
+                    chrome_event(&mut out, "outage", 'E', ts, t, &[]);
+                } else {
+                    chrome_event(&mut out, "link_up", 'i', ts, t, &[]);
+                }
+            }
+            TraceEvent::LinkDown { link } => {
+                let t = link_tid(&mut out, &mut named_links, *link);
+                if !open_outages.contains(link) {
+                    open_outages.push(*link);
+                    chrome_event(&mut out, "outage", 'B', ts, t, &[]);
+                }
+            }
+            TraceEvent::PacketDrop {
+                link,
+                cause,
+                bytes,
+                queued_bytes,
+            } => {
+                let t = link_tid(&mut out, &mut named_links, *link);
+                chrome_event(
+                    &mut out,
+                    "drop",
+                    'i',
+                    ts,
+                    t,
+                    &[
+                        ("cause", jstr(cause.label())),
+                        ("bytes", bytes.to_string()),
+                        ("queued_bytes", queued_bytes.to_string()),
+                    ],
+                );
+            }
+            TraceEvent::QueueDepth { link, queued_bytes } => {
+                let t = link_tid(&mut out, &mut named_links, *link);
+                chrome_event(
+                    &mut out,
+                    &format!("queue link {link}"),
+                    'C',
+                    ts,
+                    t,
+                    &[("bytes", queued_bytes.to_string())],
+                );
+            }
+            TraceEvent::TcpRetransmit {
+                port,
+                seq,
+                bytes,
+                fast,
+            } => chrome_event(
+                &mut out,
+                "tcp_retransmit",
+                'i',
+                ts,
+                tid::TRANSPORT,
+                &[
+                    ("port", port.to_string()),
+                    ("seq", seq.to_string()),
+                    ("bytes", bytes.to_string()),
+                    ("fast", fast.to_string()),
+                ],
+            ),
+            TraceEvent::TcpRto { port, rto_us } => chrome_event(
+                &mut out,
+                "tcp_rto",
+                'i',
+                ts,
+                tid::TRANSPORT,
+                &[("port", port.to_string()), ("rto_us", rto_us.to_string())],
+            ),
+            TraceEvent::TcpCwnd {
+                port,
+                cwnd,
+                ssthresh,
+            } => chrome_event(
+                &mut out,
+                &format!("cwnd port {port}"),
+                'C',
+                ts,
+                tid::TRANSPORT,
+                &[
+                    ("cwnd", cwnd.to_string()),
+                    ("ssthresh", ssthresh.to_string()),
+                ],
+            ),
+            TraceEvent::ServerAdmit { transport } => chrome_event(
+                &mut out,
+                "server_admit",
+                'i',
+                ts,
+                tid::SERVER,
+                &[("transport", jstr(transport))],
+            ),
+            TraceEvent::ServerPump { packets } => chrome_event(
+                &mut out,
+                "server_pump",
+                'i',
+                ts,
+                tid::SERVER,
+                &[("packets", packets.to_string())],
+            ),
+            TraceEvent::ServerCrash => {
+                chrome_event(&mut out, "server_crash", 'i', ts, tid::SERVER, &[])
+            }
+            TraceEvent::ServerRestart => {
+                chrome_event(&mut out, "server_restart", 'i', ts, tid::SERVER, &[])
+            }
+            TraceEvent::ServerRungSwitch { from, to } => chrome_event(
+                &mut out,
+                "rung",
+                'C',
+                ts,
+                tid::SERVER,
+                &[("rung", to.to_string()), ("from", from.to_string())],
+            ),
+            TraceEvent::RebufferStart => {
+                if !open_rebuffer {
+                    open_rebuffer = true;
+                    chrome_event(&mut out, "rebuffer", 'B', ts, tid::PLAYER, &[]);
+                }
+            }
+            TraceEvent::RebufferEnd { stalled_us } => {
+                if open_rebuffer {
+                    open_rebuffer = false;
+                    chrome_event(
+                        &mut out,
+                        "rebuffer",
+                        'E',
+                        ts,
+                        tid::PLAYER,
+                        &[("stalled_us", stalled_us.to_string())],
+                    );
+                }
+            }
+            TraceEvent::ClientPhase { phase } => {
+                if let Some(prev) = open_phase.replace(phase) {
+                    chrome_event(&mut out, prev, 'E', ts, tid::CLIENT, &[]);
+                }
+                chrome_event(&mut out, phase, 'B', ts, tid::CLIENT, &[]);
+            }
+            TraceEvent::ClientRetry { attempt } => chrome_event(
+                &mut out,
+                "retry",
+                'i',
+                ts,
+                tid::CLIENT,
+                &[("attempt", attempt.to_string())],
+            ),
+            TraceEvent::TransportFallback => {
+                chrome_event(&mut out, "transport_fallback", 'i', ts, tid::CLIENT, &[])
+            }
+            TraceEvent::RungSwitch { from, to } => chrome_event(
+                &mut out,
+                "rung_switch",
+                'i',
+                ts,
+                tid::PLAYER,
+                &[("from", from.to_string()), ("to", to.to_string())],
+            ),
+        }
+    }
+    if open_rebuffer {
+        chrome_event(&mut out, "rebuffer", 'E', last_ts, tid::PLAYER, &[]);
+    }
+    for link in open_outages {
+        chrome_event(&mut out, "outage", 'E', last_ts, tid::LINK_BASE + link, &[]);
+    }
+    if let Some(phase) = open_phase {
+        chrome_event(&mut out, phase, 'E', last_ts, tid::CLIENT, &[]);
+    }
+    if open_session {
+        chrome_event(&mut out, "session", 'E', last_ts, tid::SESSION, &[]);
+    }
+    // Strip the trailing ",\n" so the array is valid JSON.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_and_emit_is_a_no_op() {
+        assert!(!active());
+        emit(SimTime::from_millis(1), || unreachable!("must not build"));
+        assert!(finish().is_empty());
+    }
+
+    #[test]
+    fn captures_sorted_records() {
+        start();
+        emit(SimTime::from_millis(2), || TraceEvent::RebufferStart);
+        emit(SimTime::from_millis(1), || TraceEvent::LinkDown { link: 3 });
+        let recs = finish();
+        assert!(!active());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at, SimTime::from_millis(1));
+        assert_eq!(recs[0].ev.name(), "link_down");
+        assert_eq!(recs[1].ev.name(), "rebuffer_start");
+    }
+
+    #[test]
+    fn jsonl_lines_are_json_objects() {
+        let rec = TraceRecord {
+            at: SimTime::from_micros(1500),
+            ev: TraceEvent::PacketDrop {
+                link: 2,
+                cause: DropCause::Queue,
+                bytes: 1400,
+                queued_bytes: 65536,
+            },
+        };
+        let mut line = String::new();
+        jsonl_into(&rec, &mut line);
+        assert_eq!(
+            line,
+            "{\"t_us\":1500,\"ev\":\"packet_drop\",\"link\":2,\"cause\":\"queue\",\"bytes\":1400,\"queued_bytes\":65536}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_balances_spans() {
+        let records = vec![
+            TraceRecord {
+                at: SimTime::from_millis(0),
+                ev: TraceEvent::SessionBegin {
+                    user: 7,
+                    clip: "news.rm".into(),
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(1),
+                ev: TraceEvent::ClientPhase {
+                    phase: "Connecting",
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(2),
+                ev: TraceEvent::ClientPhase { phase: "Playing" },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(9),
+                ev: TraceEvent::SessionEnd { outcome: "played" },
+            },
+        ];
+        let doc = to_chrome_trace(&records);
+        assert!(doc.contains("\"traceEvents\""));
+        let begins = doc.matches("\"ph\":\"B\"").count();
+        let ends = doc.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "unbalanced spans in {doc}");
+        assert!(!doc.contains(",\n]"), "trailing comma in {doc}");
+    }
+
+    #[test]
+    fn chrome_trace_closes_spans_left_open_at_the_end() {
+        // A starved session: the rebuffer never ends, the outage never
+        // lifts, and the deadline kills the session before SessionEnd.
+        let records = vec![
+            TraceRecord {
+                at: SimTime::from_millis(0),
+                ev: TraceEvent::SessionBegin {
+                    user: 9,
+                    clip: "news.rm".into(),
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(1),
+                ev: TraceEvent::ClientPhase { phase: "playing" },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(2),
+                ev: TraceEvent::LinkDown { link: 3 },
+            },
+            TraceRecord {
+                at: SimTime::from_millis(4),
+                ev: TraceEvent::RebufferStart,
+            },
+        ];
+        let doc = to_chrome_trace(&records);
+        let begins = doc.matches("\"ph\":\"B\"").count();
+        let ends = doc.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 4, "session + phase + outage + rebuffer in {doc}");
+        assert_eq!(begins, ends, "unbalanced spans in {doc}");
+        // A LinkUp with no open outage must not emit a dangling 'E'.
+        let doc = to_chrome_trace(&[TraceRecord {
+            at: SimTime::from_millis(1),
+            ev: TraceEvent::LinkUp { link: 3 },
+        }]);
+        assert_eq!(
+            doc.matches("\"ph\":\"E\"").count(),
+            0,
+            "dangling E in {doc}"
+        );
+    }
+}

@@ -106,6 +106,10 @@ pub struct TimerWheel<E> {
     next_cache: Cell<Option<Option<SimTime>>>,
     next_seq: u64,
     len: usize,
+    /// Entries re-homed to a finer level by [`TimerWheel::advance_cursor`]
+    /// since the last [`TimerWheel::reset`]. Observability only — never
+    /// consulted by the scheduling logic.
+    cascades: u64,
 }
 
 impl<E> Default for TimerWheel<E> {
@@ -127,6 +131,7 @@ impl<E> TimerWheel<E> {
             next_cache: Cell::new(None),
             next_seq: 0,
             len: 0,
+            cascades: 0,
         }
     }
 
@@ -201,6 +206,7 @@ impl<E> TimerWheel<E> {
             self.occupied[level] &= !(1 << slot);
             let idx = level * SLOTS + slot;
             let mut drained = std::mem::take(&mut self.slots[idx]);
+            self.cascades += drained.len() as u64;
             for entry in drained.drain(..) {
                 // Every entry here is ≥ cursor (a slot strictly between
                 // `from` and `to` would contradict the earliest-scan that
@@ -383,6 +389,14 @@ impl<E> TimerWheel<E> {
         self.len == 0
     }
 
+    /// Entries moved to a finer level by a cursor advance since the last
+    /// [`TimerWheel::reset`]. A cheap proxy for "how often the wheel had
+    /// to do more than O(1) work", surfaced in the campaign counter
+    /// registry.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
     /// Drops all pending events, keeping allocated capacity. The cursor
     /// and sequence counter restart from zero, so a cleared wheel is
     /// indistinguishable from a fresh one except that scheduling into
@@ -403,6 +417,7 @@ impl<E> TimerWheel<E> {
         self.next_cache.set(None);
         self.next_seq = 0;
         self.len = 0;
+        self.cascades = 0;
     }
 
     /// Alias of [`TimerWheel::clear`] named for the recycling path:

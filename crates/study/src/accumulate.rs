@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 
 use rv_rtsp::TransportKind;
+use rv_sim::CounterSet;
 use rv_stats::{CategoryCount, CoMoments, FixedSum, QuantileSketch};
 use rv_tracer::SessionOutcome;
 
@@ -286,6 +287,10 @@ pub struct CampaignAggregates {
     pub blocked: u64,
     /// Total simulated time across sessions, exact integer microseconds.
     pub sim_time_micros: u128,
+    /// Campaign-wide event counter totals: element-wise sums of every
+    /// session's [`CounterSet`], so the merge law matches the rest of the
+    /// aggregates and the totals are worker-count-independent.
+    pub counters: CounterSet,
 
     /// Attempts per user (Figure 5). One entry per participant.
     pub plays_per_user: BTreeMap<u32, u64>,
@@ -369,6 +374,7 @@ impl CampaignAggregates {
             self.blocked += 1;
         }
         self.sim_time_micros += u128::from(r.metrics.session_time.as_micros());
+        self.counters.merge(&r.counters);
         self.failures.observe(r);
 
         if !r.played() {
@@ -466,6 +472,7 @@ impl CampaignAccumulator for CampaignAggregates {
         self.rated += other.rated;
         self.blocked += other.blocked;
         self.sim_time_micros += other.sim_time_micros;
+        self.counters.merge(&other.counters);
 
         for (user, n) in other.plays_per_user {
             *self.plays_per_user.entry(user).or_insert(0) += n;

@@ -18,12 +18,12 @@
 
 use std::sync::Arc;
 
-use rv_sim::{FaultScenario, SimDuration, SimTime};
+use rv_sim::{CounterSet, FaultScenario, SimDuration, SimTime};
 use rv_tracer::SessionMetrics;
 
 use crate::accumulate::{CampaignAccumulator, CampaignAggregates, RecordSink};
 use crate::error::CampaignError;
-use crate::executor::{CampaignExecutor, Fold, SerialExecutor, ThreadedExecutor};
+use crate::executor::{CampaignExecutor, Fold, SerialExecutor, ThreadedExecutor, WorkerProfile};
 use crate::geography::{Country, ServerRegion, UserRegion};
 use crate::plan::{plan_campaign, CampaignPlan};
 use crate::population::{ConnectionClass, PcClass};
@@ -104,6 +104,9 @@ pub struct SessionRecord {
     pub available: bool,
     /// Measured session statistics.
     pub metrics: SessionMetrics,
+    /// Deterministic event counters snapshotted from the session world
+    /// (all-zero for unavailable attempts, which simulate nothing).
+    pub counters: CounterSet,
     /// The user's 0–10 rating, when they rated this clip.
     pub rating: Option<u8>,
 }
@@ -134,6 +137,15 @@ pub struct CampaignSummary {
     pub per_worker: Vec<usize>,
     /// Execute-phase wall time.
     pub wall: std::time::Duration,
+    /// Plan-phase wall time (pure serial pass, before any simulation).
+    pub plan_wall: std::time::Duration,
+    /// Per-worker execute-phase profile: claims, busy, and wall time.
+    /// Timing varies run to run; only the aggregates are deterministic.
+    pub profiles: Vec<WorkerProfile>,
+    /// Campaign-wide counter totals, merged across all sessions. Unlike
+    /// the timings these are deterministic in seed/scale/faults and
+    /// identical across worker counts.
+    pub counters: CounterSet,
     /// Total simulated time across all sessions, in seconds: the sum of
     /// every record's `session_time`. With `wall`, this yields the
     /// simulator's time-compression ratio.
@@ -236,8 +248,10 @@ impl StudyData {
 /// phase. The shared engine under both public entry points.
 fn run_fold<A: CampaignAccumulator>(
     params: StudyParams,
-) -> Result<(CampaignPlan, Fold<A>, std::time::Duration), CampaignError> {
+) -> Result<(CampaignPlan, Fold<A>, PhaseWalls), CampaignError> {
+    let plan_start = std::time::Instant::now();
     let plan = plan_campaign(params);
+    let plan_wall = plan_start.elapsed();
     let start = std::time::Instant::now();
     let fold = if params.jobs <= 1 {
         SerialExecutor.fold(&plan)?
@@ -245,14 +259,21 @@ fn run_fold<A: CampaignAccumulator>(
         ThreadedExecutor::new(params.jobs).fold(&plan)?
     };
     let wall = start.elapsed();
-    Ok((plan, fold, wall))
+    Ok((plan, fold, PhaseWalls { plan_wall, wall }))
+}
+
+/// Wall-clock spans of the two in-crate campaign phases.
+struct PhaseWalls {
+    plan_wall: std::time::Duration,
+    wall: std::time::Duration,
 }
 
 fn assemble(
     plan: &CampaignPlan,
     aggregates: CampaignAggregates,
     per_worker: Vec<usize>,
-    wall: std::time::Duration,
+    profiles: Vec<WorkerProfile>,
+    walls: PhaseWalls,
     records: Option<Vec<SessionRecord>>,
 ) -> StudyData {
     let summary = CampaignSummary {
@@ -261,7 +282,10 @@ fn assemble(
         unavailable: aggregates.unavailable as usize,
         workers: plan.params.jobs.max(1),
         per_worker,
-        wall,
+        wall: walls.wall,
+        plan_wall: walls.plan_wall,
+        profiles,
+        counters: aggregates.counters,
         sim_seconds: aggregates.sim_seconds(),
     };
     StudyData {
@@ -281,12 +305,13 @@ fn assemble(
 /// [`CampaignError`] instead of panicking when the execute phase cannot
 /// finish (a worker died mid-campaign).
 pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
-    let (plan, fold, wall) = run_fold::<CampaignAggregates>(params)?;
+    let (plan, fold, walls) = run_fold::<CampaignAggregates>(params)?;
     Ok(assemble(
         &plan,
         fold.accumulator,
         fold.worker_loads,
-        wall,
+        fold.worker_profiles,
+        walls,
         None,
     ))
 }
@@ -295,14 +320,15 @@ pub fn run_campaign(params: StudyParams) -> Result<StudyData, CampaignError> {
 /// [`SessionRecord`] in canonical plan order — for dumps, CSV export,
 /// and aggregate-equivalence tests. O(sessions) memory.
 pub fn run_campaign_with_records(params: StudyParams) -> Result<StudyData, CampaignError> {
-    let (plan, fold, wall) = run_fold::<(CampaignAggregates, RecordSink)>(params)?;
+    let (plan, fold, walls) = run_fold::<(CampaignAggregates, RecordSink)>(params)?;
     let (aggregates, sink) = fold.accumulator;
     let records = sink.into_records(plan.total_jobs())?;
     Ok(assemble(
         &plan,
         aggregates,
         fold.worker_loads,
-        wall,
+        fold.worker_profiles,
+        walls,
         Some(records),
     ))
 }

@@ -23,8 +23,9 @@
 //! session count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use rv_sim::SimRng;
+use rv_sim::{CounterSet, SimRng};
 use rv_tracer::{rate, SessionMetrics, SessionOutcome, WorldScratch};
 
 use crate::accumulate::{CampaignAccumulator, RecordSink};
@@ -43,6 +44,32 @@ pub struct Fold<A> {
     /// For the threaded executor the split depends on thread timing and
     /// is *not* deterministic — only the accumulator is.
     pub worker_loads: Vec<usize>,
+    /// Per-worker execute-phase profile, in worker-slot order. Like the
+    /// loads, the timings are scheduling-dependent observability data,
+    /// never part of the deterministic output.
+    pub worker_profiles: Vec<WorkerProfile>,
+}
+
+/// What one executor worker did with its time during the execute phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerProfile {
+    /// Sessions this worker simulated.
+    pub sessions: usize,
+    /// Participants this worker claimed off the shared cursor (the
+    /// self-scheduling unit). Serial runs claim every user.
+    pub claims: usize,
+    /// Time spent inside session simulation.
+    pub busy: Duration,
+    /// The worker's total lifetime, claim loop included.
+    pub wall: Duration,
+}
+
+impl WorkerProfile {
+    /// Time the worker was alive but not simulating: scheduling overhead
+    /// plus starvation at the end of the roster.
+    pub fn idle(&self) -> Duration {
+        self.wall.saturating_sub(self.busy)
+    }
 }
 
 /// The outcome of a retained-record execute: records in canonical plan
@@ -80,19 +107,30 @@ pub struct SerialExecutor;
 
 impl CampaignExecutor for SerialExecutor {
     fn fold<A: CampaignAccumulator>(&self, plan: &CampaignPlan) -> Result<Fold<A>, CampaignError> {
+        let started = Instant::now();
         let mut acc = A::default();
         let mut ran = 0usize;
+        let mut busy = Duration::ZERO;
         let mut scratch = WorldScratch::default();
         for user_idx in 0..plan.num_users() {
             for job in plan.user_jobs(user_idx) {
+                let job_start = Instant::now();
                 let record = run_job_with(plan, &job, &mut scratch);
+                busy += job_start.elapsed();
                 acc.observe(&job, &record);
                 ran += 1;
             }
         }
+        let profile = WorkerProfile {
+            sessions: ran,
+            claims: plan.num_users(),
+            busy,
+            wall: started.elapsed(),
+        };
         Ok(Fold {
             accumulator: acc,
             worker_loads: vec![ran],
+            worker_profiles: vec![profile],
         })
     }
 }
@@ -136,26 +174,39 @@ impl CampaignExecutor for ThreadedExecutor {
         let mut first_dead: Option<usize> = None;
         let mut merged = A::default();
         let mut worker_loads = vec![0usize; workers];
+        let mut worker_profiles = vec![WorkerProfile::default(); workers];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
                     scope.spawn(move || {
+                        let started = Instant::now();
                         let mut local = A::default();
                         let mut ran = 0usize;
+                        let mut claims = 0usize;
+                        let mut busy = Duration::ZERO;
                         let mut scratch = WorldScratch::default();
                         loop {
                             let user_idx = cursor.fetch_add(1, Ordering::Relaxed);
                             if user_idx >= plan.num_users() {
                                 break;
                             }
+                            claims += 1;
                             for job in plan.user_jobs(user_idx) {
+                                let job_start = Instant::now();
                                 let record = run_job_with(plan, &job, &mut scratch);
+                                busy += job_start.elapsed();
                                 local.observe(&job, &record);
                                 ran += 1;
                             }
                         }
-                        (local, ran)
+                        let profile = WorkerProfile {
+                            sessions: ran,
+                            claims,
+                            busy,
+                            wall: started.elapsed(),
+                        };
+                        (local, ran, profile)
                     })
                 })
                 .collect();
@@ -164,8 +215,9 @@ impl CampaignExecutor for ThreadedExecutor {
             // order makes the guarantee not depend on that contract.)
             for (worker, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok((local, ran)) => {
+                    Ok((local, ran, profile)) => {
                         worker_loads[worker] = ran;
+                        worker_profiles[worker] = profile;
                         merged.merge(local);
                     }
                     Err(_) => {
@@ -182,6 +234,7 @@ impl CampaignExecutor for ThreadedExecutor {
         Ok(Fold {
             accumulator: merged,
             worker_loads,
+            worker_profiles,
         })
     }
 }
@@ -206,7 +259,7 @@ pub fn run_job_with(
     let entry = &plan.playlist[job.playlist_slot];
     let params = &plan.params;
 
-    let (metrics, rating) = if job.available {
+    let (metrics, rating, counters) = if job.available {
         let mut world = build_session_world_with(
             user,
             site,
@@ -217,6 +270,7 @@ pub fn run_job_with(
             scratch,
         );
         let metrics = world.run(params.session_deadline);
+        let counters = world.counters();
         // Degraded sessions are still rated: a user who sat through a
         // retry or a TCP fallback saw the clip and scored it (badly).
         let rating = if job.rating_slot && metrics.outcome.is_played() {
@@ -227,11 +281,12 @@ pub fn run_job_with(
             None
         };
         world.retire(scratch);
-        (metrics, rating)
+        (metrics, rating, counters)
     } else {
         (
             SessionMetrics::failed(SessionOutcome::Unavailable, rv_rtsp::TransportKind::Tcp),
             None,
+            CounterSet::new(),
         )
     };
 
@@ -248,6 +303,7 @@ pub fn run_job_with(
         clip_name: plan.clip_names[job.playlist_slot].clone(),
         available: job.available,
         metrics,
+        counters,
         rating,
     }
 }

@@ -29,6 +29,7 @@ mod playlist;
 mod population;
 mod report;
 mod servers;
+mod tracefile;
 mod worldbuild;
 
 pub use accumulate::{
@@ -41,6 +42,7 @@ pub use campaign::{
 pub use error::CampaignError;
 pub use executor::{
     run_job, run_job_with, CampaignExecutor, Execution, Fold, SerialExecutor, ThreadedExecutor,
+    WorkerProfile,
 };
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
@@ -54,4 +56,5 @@ pub use population::{
 };
 pub use report::{FailureBreakdown, FailureReport};
 pub use servers::{server_roster, ServerSite};
+pub use tracefile::{trace_session, SessionTrace, TraceError};
 pub use worldbuild::{build_session_world, build_session_world_with};

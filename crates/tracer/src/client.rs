@@ -15,6 +15,7 @@ use rv_rtsp::{
     TransportPreference, TransportSpec,
 };
 use rv_server::{ReceiverReport, REPORT_PARAM};
+use rv_sim::trace::{self, TraceEvent};
 use rv_sim::{SimDuration, SimTime};
 use rv_transport::{Stack, TcpError, TcpHandle, UdpHandle};
 
@@ -112,6 +113,24 @@ enum Phase {
     Done,
 }
 
+impl Phase {
+    /// Stable phase name used by the `client_phase` trace event.
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Connecting => "connecting",
+            Phase::Describing => "describing",
+            Phase::SettingUp => "setting_up",
+            Phase::ConnectingData => "connecting_data",
+            Phase::Starting => "starting",
+            Phase::Playing => "playing",
+            Phase::TearingDown => "tearing_down",
+            Phase::Waiting => "waiting",
+            Phase::Done => "done",
+        }
+    }
+}
+
 /// Capacity-only scratch harvested from a retired [`TracerClient`],
 /// ready to seed the next one. Holds no session state — only warmed
 /// buffers — so a client built from scratch storage behaves
@@ -142,6 +161,10 @@ pub struct TracerClient {
     last_report: SimTime,
     events: Vec<PlayoutEvent>,
     last_rung: u8,
+    /// Last rung observed by the flight recorder this attempt; `None`
+    /// until the first media packet, so the initial rung is not reported
+    /// as a switch. Pure observation — never read by session logic.
+    rung_seen: Option<u8>,
     outcome: Option<SessionOutcome>,
     metrics: Option<SessionMetrics>,
     /// When the current phase was entered (drives connect/response timers).
@@ -202,6 +225,7 @@ impl TracerClient {
             last_report: SimTime::ZERO,
             events: scratch.events,
             last_rung: 0,
+            rung_seen: None,
             outcome: None,
             metrics: None,
             phase_entered: SimTime::ZERO,
@@ -333,8 +357,26 @@ impl TracerClient {
     }
 
     fn set_phase(&mut self, phase: Phase, now: SimTime) {
+        trace::emit(now, || TraceEvent::ClientPhase {
+            phase: phase.label(),
+        });
         self.phase = phase;
         self.phase_entered = now;
+    }
+
+    /// Flight-recorder hook: reports rung *changes* in the media stream
+    /// (the first packet of an attempt establishes the baseline).
+    #[inline]
+    fn note_rung(&mut self, now: SimTime, rung: u8) {
+        if let Some(prev) = self.rung_seen {
+            if prev != rung {
+                trace::emit(now, || TraceEvent::RungSwitch {
+                    from: prev,
+                    to: rung,
+                });
+            }
+        }
+        self.rung_seen = Some(rung);
     }
 
     /// Serializes `msg` into the reused staging buffer and queues it on
@@ -399,6 +441,7 @@ impl TracerClient {
                     // TCP over the still-live control connection.
                     let msg = self.session.resetup(TransportSpec::tcp());
                     self.send_control(stack, &msg);
+                    trace::emit(now, || TraceEvent::TransportFallback);
                     self.fell_back = true;
                     self.transport = None;
                     self.set_phase(Phase::SettingUp, now);
@@ -427,6 +470,9 @@ impl TracerClient {
             return 1;
         }
         self.retries += 1;
+        trace::emit(now, || TraceEvent::ClientRetry {
+            attempt: u32::from(self.retries),
+        });
         // Tear down this attempt's connections (RSTs tell a live server
         // to recycle its session) and flush any stale datagrams.
         stack.tcp(self.ctrl).abort();
@@ -440,6 +486,7 @@ impl TracerClient {
         self.player = Player::new(self.cfg.playout, self.cfg.cpu_power);
         self.events.clear();
         self.transport = None;
+        self.rung_seen = None;
         self.clip = None;
         self.play_start = None;
         self.last_data = None;
@@ -545,6 +592,7 @@ impl TracerClient {
         while let Some((_, data)) = stack.udp(self.udp).recv() {
             work += 1;
             if let Some((pkt, _)) = MediaPacket::decode(&data) {
+                self.note_rung(now, pkt.rung);
                 self.last_rung = pkt.rung;
                 self.last_data = Some(now);
                 self.player.on_packet(now, pkt);
@@ -559,6 +607,7 @@ impl TracerClient {
         if fed > 0 {
             while let Some(pkt) = self.depkt.next_packet() {
                 work += 1;
+                self.note_rung(now, pkt.rung);
                 self.last_rung = pkt.rung;
                 self.last_data = Some(now);
                 self.player.on_packet(now, pkt);
@@ -632,7 +681,17 @@ impl TracerClient {
             self.start_time.unwrap_or(now),
             now,
         ));
+        trace::emit(now, || TraceEvent::SessionEnd {
+            outcome: outcome.label(),
+        });
         self.phase = Phase::Done;
+    }
+
+    /// The player's playout statistics for the current (final) attempt.
+    /// Retried sessions rebuild the player per attempt, so this reflects
+    /// the attempt that produced the session's record.
+    pub fn playout_stats(&self) -> rv_player::PlayoutStats {
+        self.player.playout_stats()
     }
 
     /// When the client next needs polling.

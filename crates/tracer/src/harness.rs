@@ -8,7 +8,8 @@
 use rv_media::Clip;
 use rv_net::{Addr, HostId, LinkParams, NetBuilder, Network};
 use rv_server::{Catalog, RealServer, ServerConfig};
-use rv_sim::{earliest, SimDuration, SimRng, SimTime};
+use rv_sim::trace::{self, TraceEvent};
+use rv_sim::{earliest, Counter, CounterSet, SimDuration, SimRng, SimTime};
 use rv_transport::{Segment, Stack, TcpConfig};
 
 use rv_sim::FaultPlan;
@@ -179,13 +180,28 @@ impl SessionWorld {
         let mut applied = 0;
         while let Some(action) = injector.pop_due(now) {
             applied += 1;
+            // Fault events are traced here rather than in the components:
+            // this is the one place that has both the simulated clock and
+            // the decoded action.
             match action {
-                FaultAction::LinkDown(l, policy) => self.net.set_link_down(l, policy),
-                FaultAction::LinkUp(l) => self.net.set_link_up(now, l),
+                FaultAction::LinkDown(l, policy) => {
+                    trace::emit(now, || TraceEvent::LinkDown { link: l.0 });
+                    self.net.set_link_down(l, policy);
+                }
+                FaultAction::LinkUp(l) => {
+                    trace::emit(now, || TraceEvent::LinkUp { link: l.0 });
+                    self.net.set_link_up(now, l);
+                }
                 FaultAction::BurstOn(l, ppm) => self.net.set_link_extra_loss(l, ppm),
                 FaultAction::BurstOff(l) => self.net.set_link_extra_loss(l, 0),
-                FaultAction::ServerCrash => self.server.crash(&mut self.server_stack),
-                FaultAction::ServerRestart => self.server.restart(&mut self.server_stack),
+                FaultAction::ServerCrash => {
+                    trace::emit(now, || TraceEvent::ServerCrash);
+                    self.server.crash(&mut self.server_stack);
+                }
+                FaultAction::ServerRestart => {
+                    trace::emit(now, || TraceEvent::ServerRestart);
+                    self.server.restart(&mut self.server_stack);
+                }
             }
         }
         applied
@@ -282,6 +298,45 @@ impl SessionWorld {
                     .unwrap_or(rv_rtsp::TransportKind::Tcp),
             )
         })
+    }
+
+    /// Snapshots this world's deterministic counters. Collected from the
+    /// components' own statistics (never from trace events, which may be
+    /// off), so the values are identical whether or not the flight
+    /// recorder ran. Call after [`SessionWorld::run`] finishes.
+    pub fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        let links = self.net.total_link_stats();
+        c.add(Counter::DropsLoss, links.dropped_loss);
+        c.add(Counter::DropsQueue, links.dropped_queue);
+        c.add(Counter::DropsOutage, links.dropped_outage);
+        c.add(Counter::PacketsDelivered, links.delivered);
+        c.add(Counter::WheelCascades, self.net.wheel_cascades());
+        let tcp_c = self.client_stack.total_tcp_stats();
+        let tcp_s = self.server_stack.total_tcp_stats();
+        c.add(
+            Counter::TcpRetransmits,
+            tcp_c.retransmits + tcp_s.retransmits,
+        );
+        c.add(Counter::TcpRtoTimeouts, tcp_c.timeouts + tcp_s.timeouts);
+        c.add(
+            Counter::TcpFastRetransmits,
+            tcp_c.fast_retransmits + tcp_s.fast_retransmits,
+        );
+        let playout = self.client.playout_stats();
+        c.add(Counter::RebufferEvents, playout.rebuffer_events);
+        c.add(Counter::RebufferMicros, playout.rebuffer_time.as_micros());
+        c.add(Counter::SessionRetries, u64::from(self.client.retries()));
+        c.add(
+            Counter::TransportFallbacks,
+            u64::from(self.client.fell_back()),
+        );
+        let server = self.server.stats();
+        c.add(Counter::RungSwitchesUp, server.switches_up);
+        c.add(Counter::RungSwitchesDown, server.switches_down);
+        c.add(Counter::FramesThinned, server.frames_thinned);
+        c.add(Counter::ServerCrashes, server.crashes);
+        c
     }
 
     /// Retires this world, harvesting its recyclable storage into

@@ -94,6 +94,22 @@ impl Stack {
         self.dropped_no_socket
     }
 
+    /// Sums every TCP socket's lifetime counters — the host-wide rollup
+    /// the campaign counter registry collects at session end.
+    pub fn total_tcp_stats(&self) -> crate::tcp::TcpStats {
+        let mut total = crate::tcp::TcpStats::default();
+        for s in &self.tcp {
+            let st = s.stats();
+            total.segments_sent += st.segments_sent;
+            total.retransmits += st.retransmits;
+            total.timeouts += st.timeouts;
+            total.fast_retransmits += st.fast_retransmits;
+            total.bytes_acked += st.bytes_acked;
+            total.bytes_delivered += st.bytes_delivered;
+        }
+        total
+    }
+
     /// Turns the inbound-UDP black hole on or off (fault injection).
     pub fn set_udp_blackhole(&mut self, on: bool) {
         self.udp_blackhole = on;

@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use rv_net::{Addr, Packet};
+use rv_sim::trace::{self, TraceEvent};
 use rv_sim::{ByteRope, PayloadBytes, SimDuration, SimTime};
 
 use crate::segment::{Segment, TcpFlags, TcpSegment, DEFAULT_MSS};
@@ -543,6 +544,11 @@ impl TcpSocket {
                 if seg.ack >= self.recover {
                     self.in_fast_recovery = false;
                     self.cwnd = self.ssthresh;
+                    trace::emit(now, || TraceEvent::TcpCwnd {
+                        port: self.local.port,
+                        cwnd: self.cwnd as u32,
+                        ssthresh: self.ssthresh as u32,
+                    });
                 }
                 // Partial ACKs just deflate toward ssthresh (plain Reno).
             } else if self.cwnd < self.ssthresh {
@@ -584,6 +590,11 @@ impl TcpSocket {
                 self.stats.fast_retransmits += 1;
                 self.pending_retransmit = true;
                 self.rtt_sample = None; // Karn
+                trace::emit(now, || TraceEvent::TcpCwnd {
+                    port: self.local.port,
+                    cwnd: self.cwnd as u32,
+                    ssthresh: self.ssthresh as u32,
+                });
             }
         }
     }
@@ -775,6 +786,12 @@ impl TcpSocket {
         if self.pending_retransmit {
             self.pending_retransmit = false;
             if let Some(pkt) = self.retransmit_head(remote) {
+                trace::emit(now, || TraceEvent::TcpRetransmit {
+                    port: self.local.port,
+                    seq: (self.snd_una - self.iss) as u32,
+                    bytes: pkt.size,
+                    fast: self.in_fast_recovery,
+                });
                 emitted += 1;
                 emit(pkt);
                 self.rto_deadline = Some(now + self.rto);
@@ -894,10 +911,19 @@ impl TcpSocket {
                 self.dup_acks = 0;
                 self.rtt_sample = None; // Karn
                 self.pending_retransmit = true;
+                trace::emit(now, || TraceEvent::TcpCwnd {
+                    port: self.local.port,
+                    cwnd: self.cwnd as u32,
+                    ssthresh: self.ssthresh as u32,
+                });
             }
         }
         self.rto = (self.rto * 2).min(self.cfg.max_rto);
         self.rto_deadline = Some(now + self.rto);
+        trace::emit(now, || TraceEvent::TcpRto {
+            port: self.local.port,
+            rto_us: self.rto.as_micros(),
+        });
     }
 
     fn retransmit_head(&mut self, remote: Addr) -> Option<Packet<Segment>> {

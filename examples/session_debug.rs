@@ -1,132 +1,91 @@
-// Re-runs one campaign session with per-second diagnostics to inspect
-// pacing, rung switching, thinning, and player buffer health.
+// Re-runs one campaign session with the flight recorder armed and prints
+// the captured timeline: link outages, drops, retransmits, rung switches,
+// rebuffers, client phase transitions, and the final outcome.
 //
-// The session is taken from the campaign *plan*, so the world simulated
-// here is byte-for-byte the one the campaign runner would execute for
-// this (user, server) pair.
+// The session is taken from the campaign *plan*, so the world traced here
+// is byte-for-byte the one the campaign runner would execute for this
+// (user, clip) pair. This is the same engine as `repro trace`; use that
+// subcommand when you want the JSONL / Chrome artifacts on disk.
+//
+//   cargo run --release --example session_debug -- 9 us_cnn-clip08.rm --faults
 
-use rv_sim::{SimDuration, SimTime};
-use rv_study::{build_session_world, plan_campaign, StudyParams};
+use rv_sim::trace::TraceEvent;
+use rv_study::{plan_campaign, trace_session, StudyParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_user: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let want_server = args.get(1).cloned().unwrap_or_else(|| "CAN/CBC".into());
+    let want_clip = args.get(1).cloned().unwrap_or_default();
+    let faults = args.iter().any(|a| a == "--faults");
 
-    let plan = plan_campaign(StudyParams {
-        scale: 0.05,
-        ..StudyParams::default()
-    });
-    let Some(user) = plan
-        .population
-        .participants
-        .iter()
-        .find(|u| u.id == want_user)
-    else {
-        eprintln!("no participant with id {want_user} (ids are 0..62)");
-        std::process::exit(2);
-    };
-    println!(
-        "user {}: {:?} {:?} down={:.0} pref={:?} fw={:?} cpu={}",
-        user.id,
-        user.country,
-        user.connection,
-        user.access_down_bps,
-        user.transport_pref,
-        user.firewall,
-        user.pc.cpu_power()
-    );
-
-    let visited: Vec<rv_study::SessionJob> = plan
-        .collect_jobs()
-        .into_iter()
-        .filter(|j| j.user_id == user.id)
-        .collect();
-    let job = visited
-        .iter()
-        .find(|j| plan.roster[j.server].name == want_server)
-        .unwrap_or_else(|| {
-            let j = &visited[0];
-            eprintln!(
-                "user {} never visits {want_server}; using {} instead",
-                user.id, plan.roster[j.server].name
-            );
-            j
-        });
-    let site = &plan.roster[job.server];
-    let entry = &plan.playlist[job.playlist_slot];
-    println!(
-        "server {} clip {} content {:?} seed {} available {}",
-        site.name, entry.clip.name, entry.clip.content, job.session_seed, job.available
-    );
-
-    let mut w = build_session_world(
-        user,
-        site,
-        &entry.clip,
-        SimDuration::from_secs(60),
-        job.session_seed,
-        &job.fault_plan,
-    );
-    for sec in 1..=80u64 {
-        w.run(SimTime::from_secs(sec));
-        let played = w
-            .client
-            .events()
-            .iter()
-            .filter(|e| e.played_at.is_some())
-            .count();
-        let dropped = w
-            .client
-            .events()
-            .iter()
-            .filter(|e| e.drop_reason.is_some())
-            .count();
-        let s = w.server.stats();
-        println!(
-            "t={sec:2} rung={:?} allowed={:6.0} loss={:.4} sent_v={:4} thinned={:3} played={played:4} dropped={dropped}",
-            w.server.debug_stream().map(|d| (d.0, d.3 / 1000)),
-            w.server.allowed_bps(),
-            w.server.debug_loss(),
-            s.frames_sent,
-            s.frames_thinned,
-        );
-        if w.client.is_done() {
-            break;
-        }
+    let mut params = StudyParams::default();
+    if faults {
+        params.faults = rv_sim::FaultScenario::default_on();
     }
-    let m = w.run(SimTime::from_secs(150));
-    println!("{m:#?}");
-    println!("server: {:?}", w.server.stats());
-    // Gap and lateness analysis.
-    let played: Vec<_> = w
-        .client
-        .events()
-        .iter()
-        .filter(|e| e.played_at.is_some())
-        .collect();
-    let gaps: Vec<i64> = played
-        .windows(2)
-        .map(|p| {
-            (p[1].played_at.unwrap().as_micros() as i64
-                - p[0].played_at.unwrap().as_micros() as i64)
-                / 1000
-        })
-        .collect();
-    let mut sorted = gaps.clone();
-    sorted.sort();
-    if !sorted.is_empty() {
-        println!(
-            "gaps ms: min={} p25={} p50={} p75={} p90={} p99={} max={}",
-            sorted[0],
-            sorted[sorted.len() / 4],
-            sorted[sorted.len() / 2],
-            sorted[sorted.len() * 3 / 4],
-            sorted[sorted.len() * 9 / 10],
-            sorted[sorted.len() * 99 / 100],
-            sorted[sorted.len() - 1]
+
+    // No clip given: pick the user's first planned clip so the example
+    // always has something to show.
+    let clip = if want_clip.is_empty() || want_clip == "--faults" {
+        let plan = plan_campaign(params);
+        let Some(user_idx) = plan
+            .population
+            .participants
+            .iter()
+            .position(|u| u.id == want_user)
+        else {
+            eprintln!("no participant with id {want_user} (ids are 0..62)");
+            std::process::exit(2);
+        };
+        let jobs = plan.user_jobs(user_idx);
+        plan.clip_names[jobs[0].playlist_slot].to_string()
+    } else {
+        want_clip
+    };
+
+    let trace = match trace_session(params, want_user, &clip) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "user {} clip {} available={} faulted={}",
+        trace.user_id, trace.clip, trace.available, trace.faulted
+    );
+
+    // The full timeline is huge (queue depths, pump batches); print the
+    // narrative events and a tally of the rest.
+    let mut tallies: Vec<(&'static str, u64)> = Vec::new();
+    for rec in &trace.records {
+        let verbose = matches!(
+            rec.ev,
+            TraceEvent::QueueDepth { .. }
+                | TraceEvent::ServerPump { .. }
+                | TraceEvent::TcpCwnd { .. }
+                | TraceEvent::PacketDrop { .. }
         );
-        let big: Vec<&i64> = sorted.iter().filter(|g| **g > 300).collect();
-        println!("gaps>300ms: {} of {}", big.len(), sorted.len());
+        if verbose {
+            let name = rec.ev.name();
+            match tallies.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, count)) => *count += 1,
+                None => tallies.push((name, 1)),
+            }
+            continue;
+        }
+        let t = rec.at.as_micros();
+        println!("t={:9.3}s  {:?}", t as f64 / 1e6, rec.ev);
+    }
+    for (name, count) in &tallies {
+        println!("  ... plus {count} {name} events (see `repro trace` for the full dump)");
+    }
+
+    println!("\nmetrics: {:#?}", trace.metrics);
+    println!("counters:");
+    for (counter, value) in trace.counters.iter() {
+        if value > 0 {
+            println!("  {:>24} = {value}", counter.name());
+        }
     }
 }

@@ -41,7 +41,14 @@ fn parallel_execution_is_bit_identical_to_serial() {
             assert_eq!(s.available, p.available, "record {i} availability");
             assert_eq!(s.metrics, p.metrics, "record {i} metrics at jobs={jobs}");
             assert_eq!(s.rating, p.rating, "record {i} rating at jobs={jobs}");
+            assert_eq!(s.counters, p.counters, "record {i} counters at jobs={jobs}");
         }
+        // Campaign-wide counter totals merge associatively: the same
+        // totals whatever the worker count.
+        assert_eq!(
+            serial.summary.counters, parallel.summary.counters,
+            "counter totals differ at jobs={jobs}"
+        );
         // The summary reflects the executor that actually ran.
         assert_eq!(parallel.summary.workers, jobs);
         assert_eq!(
@@ -63,7 +70,15 @@ fn streaming_aggregates_are_identical_across_worker_counts() {
             serial.aggregates, parallel.aggregates,
             "streaming aggregates differ at jobs={jobs}"
         );
+        assert_eq!(
+            serial.summary.counters, parallel.summary.counters,
+            "streaming counter totals differ at jobs={jobs}"
+        );
     }
+    // The totals are not vacuously equal: a fault-free campaign still
+    // delivers packets and (on lossy paths) retransmits.
+    use rv_sim::Counter;
+    assert!(serial.summary.counters.get(Counter::PacketsDelivered) > 0);
 }
 
 #[test]
@@ -107,7 +122,15 @@ fn faulted_campaign_is_bit_identical_across_worker_counts() {
             assert_eq!(s.metrics, p.metrics, "record {i} metrics at jobs={jobs}");
             assert_eq!(s.rating, p.rating, "record {i} rating at jobs={jobs}");
         }
+        assert_eq!(
+            serial.summary.counters, parallel.summary.counters,
+            "faulted counter totals differ at jobs={jobs}"
+        );
     }
+    // Fault-only counters register under the default-on scenario.
+    use rv_sim::Counter;
+    assert!(serial.summary.counters.get(Counter::DropsOutage) > 0);
+    assert!(serial.summary.counters.get(Counter::TcpRetransmits) > 0);
     // The scenario actually bites: the fault-only failure classes appear
     // and at least one session limped home through retry or fallback.
     let report = serial.failure_report();
