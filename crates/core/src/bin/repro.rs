@@ -46,8 +46,8 @@
 //! empty trace.
 
 use realvideo_core::analysis::{csv_header, csv_row};
-use realvideo_core::{figure, FigureOutput, FIGURE_IDS};
-use rv_study::{run_campaign, run_campaign_with_records, StudyParams};
+use realvideo_core::{figure, gateway_figures, FigureOutput, FIGURE_IDS};
+use rv_study::{run_campaign, run_campaign_with_records, GatewayPolicy, StudyParams};
 
 // With `--features alloc-stats` every allocation in the process is
 // counted, and `--bench-out` reports bytes/allocations per session.
@@ -81,6 +81,8 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut dump_records: Option<String> = None;
     let mut trace_mode = false;
+    let mut gateway_mode = false;
+    let mut gateway_flag = false;
     let mut trace_user: Option<u32> = None;
     let mut trace_clip: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -128,8 +130,32 @@ fn main() {
                 );
             }
             "--faults" => params.faults = rv_sim::FaultScenario::default_on(),
+            "--replicas" => {
+                i += 1;
+                params.replicas = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| *r >= 1)
+                    .unwrap_or_else(|| die("--replicas wants a positive integer"));
+            }
+            "--gateway" => {
+                i += 1;
+                params.gateway = args
+                    .get(i)
+                    .and_then(|s| GatewayPolicy::parse(s))
+                    .unwrap_or_else(|| die("--gateway wants sticky, nearest, or least-loaded"));
+                gateway_flag = true;
+            }
+            "--capacity" => {
+                i += 1;
+                params.capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--capacity wants an integer"));
+            }
             "--profile" => profile = true,
             "trace" => trace_mode = true,
+            "gateway" => gateway_mode = true,
             "--user" => {
                 i += 1;
                 trace_user = Some(
@@ -171,6 +197,10 @@ fn main() {
     }
     if trace_mode {
         run_trace(params, trace_user, trace_clip, trace_out);
+        return;
+    }
+    if gateway_mode {
+        run_gateway_sweep(params, gateway_flag);
         return;
     }
     if ids.is_empty() && bench_out.is_none() && dump_records.is_none() {
@@ -375,6 +405,38 @@ fn counters_line(counters: &rv_sim::CounterSet) -> String {
         let _ = write!(line, "{}={v}", c.name());
     }
     line
+}
+
+/// The `repro gateway` subcommand: a faulted replica sweep. Runs the
+/// campaign at replicas {1, 2, 4} with faults on and prints the three
+/// gateway figures (quality vs replica count, replica load skew,
+/// failover recovery). `--gateway` picks the policy for the multi-replica
+/// runs; without it the sweep uses `nearest`, the geo-aware default.
+fn run_gateway_sweep(mut params: StudyParams, policy_chosen: bool) {
+    params.faults = rv_sim::FaultScenario::default_on();
+    if !policy_chosen {
+        params.gateway = GatewayPolicy::NearestHealthy;
+    }
+    let mut sweep = Vec::new();
+    for replicas in [1u8, 2, 4] {
+        let mut p = params;
+        p.replicas = replicas;
+        eprintln!(
+            "gateway sweep: replicas={replicas} policy={} capacity={} scale={} (faulted)...",
+            p.gateway.name(),
+            p.capacity,
+            p.scale,
+        );
+        let data = run_campaign(p).unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+        eprintln!("{}", data.summary);
+        sweep.push((replicas, data));
+    }
+    for FigureOutput { id, title, body } in gateway_figures(&sweep) {
+        println!("==================================================================");
+        println!("{id}: {title}");
+        println!("==================================================================");
+        println!("{body}");
+    }
 }
 
 /// The `repro trace` subcommand: replay one planned session with the

@@ -637,6 +637,102 @@ fn aggregate(data: &StudyData) -> FigureOutput {
     }
 }
 
+// ---------- gateway-tier figures ----------
+
+/// The gateway-tier figures: quality vs replica count, replica load skew,
+/// and failover recovery. These need a replica *sweep* — one campaign per
+/// replica count — rather than a single run, so they are generated by
+/// `repro gateway` and deliberately not part of [`FIGURE_IDS`]: `repro
+/// all` output is unchanged by the gateway tier.
+pub fn gateway_figures(sweep: &[(u8, StudyData)]) -> Vec<FigureOutput> {
+    use rv_sim::Counter;
+    use std::fmt::Write as _;
+
+    let mut quality_rows = Vec::new();
+    for (replicas, data) in sweep {
+        let agg = &data.aggregates;
+        let outcome = |label: &str| agg.failures.outcomes.get(label).copied().unwrap_or(0);
+        quality_rows.push(vec![
+            replicas.to_string(),
+            agg.played.to_string(),
+            agg.ratings.mean().map_or("-".into(), |m| format!("{m:.2}")),
+            agg.fps.mean().map_or("-".into(), |m| format!("{m:.2}")),
+            outcome("server-down").to_string(),
+            outcome("rejected").to_string(),
+            agg.counters.get(Counter::GatewayRedirects).to_string(),
+            agg.counters.get(Counter::Failovers).to_string(),
+        ]);
+    }
+    let quality = table(
+        &[
+            "replicas",
+            "played",
+            "mean rating",
+            "mean fps",
+            "server-down",
+            "rejected",
+            "redirects",
+            "failovers",
+        ],
+        &quality_rows,
+    );
+
+    let mut skew = String::new();
+    for (replicas, data) in sweep {
+        let agg = &data.aggregates;
+        let total: u64 = agg.replica_sessions.values().sum();
+        let _ = writeln!(skew, "replicas={replicas} (played {total})");
+        for k in 0..*replicas {
+            let n = agg.replica_sessions.get(&k).copied().unwrap_or(0);
+            let share = if total > 0 {
+                100.0 * n as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(skew, "  replica {k}: {n:>6} sessions ({share:>5.1} %)");
+        }
+    }
+
+    let mut recovery = String::new();
+    for (replicas, data) in sweep {
+        let s = &data.aggregates.failover_recovery;
+        if s.is_empty() {
+            let _ = writeln!(
+                recovery,
+                "replicas={replicas}: no recovered crash failovers"
+            );
+        } else {
+            let _ = writeln!(
+                recovery,
+                "replicas={replicas}: n={} mean={:.0} ms p50={:.0} ms p95={:.0} ms max={:.0} ms",
+                s.count(),
+                s.mean().unwrap_or(0.0),
+                s.quantile(0.5).unwrap_or(0.0),
+                s.quantile(0.95).unwrap_or(0.0),
+                s.max().unwrap_or(0.0),
+            );
+        }
+    }
+
+    vec![
+        FigureOutput {
+            id: "gw1",
+            title: "Quality and failure mix vs. replica count (faulted)",
+            body: quality,
+        },
+        FigureOutput {
+            id: "gw2",
+            title: "Replica load skew: played sessions per replica",
+            body: skew,
+        },
+        FigureOutput {
+            id: "gw3",
+            title: "Failover recovery time: crash redirect to first media",
+            body: recovery,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,7 +16,7 @@
 pub mod analysis;
 pub mod figures;
 
-pub use figures::{all_figures, figure, FigureOutput, FIGURE_IDS};
+pub use figures::{all_figures, figure, gateway_figures, FigureOutput, FIGURE_IDS};
 
 /// Clips, SureStream, packetization.
 pub use rv_media as media;

@@ -1,0 +1,140 @@
+//! Replica-cluster bookkeeping: the state a gateway consults when it
+//! routes a session to one of a site's server replicas.
+//!
+//! A [`ServerCluster`] does not own the replica processes themselves (the
+//! session harness drives each [`RealServer`](crate::RealServer) and its
+//! stack); it is the cluster's control-plane ledger — per-replica
+//! liveness, standing load, and admission capacity — plus the admission
+//! math every gateway policy shares. Keeping the ledger here, next to the
+//! server, means the study's destination selectors and the harness agree
+//! on one definition of "this replica can take the session".
+
+/// One replica's control-plane state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaState {
+    /// `false` after a crash, until restart.
+    pub alive: bool,
+    /// Sessions currently occupying the replica (background load).
+    pub load: u32,
+    /// Admission limit; `0` means unlimited.
+    pub capacity: u32,
+}
+
+impl ReplicaState {
+    /// Whether a new SETUP would be admitted right now: the replica is
+    /// up and has a free slot (or no limit).
+    pub fn admits(&self) -> bool {
+        self.alive && (self.capacity == 0 || self.load < self.capacity)
+    }
+}
+
+/// The ledger for one site's replica set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerCluster {
+    replicas: Vec<ReplicaState>,
+}
+
+impl ServerCluster {
+    /// A cluster of `replicas` live, empty replicas sharing one
+    /// admission `capacity` (0 = unlimited).
+    pub fn new(replicas: u8, capacity: u32) -> Self {
+        ServerCluster {
+            replicas: vec![
+                ReplicaState {
+                    alive: true,
+                    load: 0,
+                    capacity,
+                };
+                usize::from(replicas.max(1))
+            ],
+        }
+    }
+
+    /// Number of replicas in the cluster.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// `true` for a degenerate zero-replica ledger (never constructed by
+    /// [`ServerCluster::new`], which clamps to one).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Replica `i`'s state.
+    pub fn replica(&self, i: u8) -> ReplicaState {
+        self.replicas[usize::from(i)]
+    }
+
+    /// Sets replica `i`'s standing load.
+    pub fn set_load(&mut self, i: u8, load: u32) {
+        self.replicas[usize::from(i)].load = load;
+    }
+
+    /// Marks replica `i` crashed.
+    pub fn mark_crashed(&mut self, i: u8) {
+        self.replicas[usize::from(i)].alive = false;
+    }
+
+    /// Marks replica `i` restarted.
+    pub fn mark_restarted(&mut self, i: u8) {
+        self.replicas[usize::from(i)].alive = true;
+    }
+
+    /// Whether replica `i` would admit a new session.
+    pub fn admits(&self, i: u8) -> bool {
+        self.replicas[usize::from(i)].admits()
+    }
+
+    /// Indices of replicas that would admit a session, ascending.
+    pub fn admitting(&self) -> impl Iterator<Item = u8> + '_ {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.admits())
+            .map(|(i, _)| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cluster_admits_everywhere() {
+        let c = ServerCluster::new(3, 0);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.admitting().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_and_load_gate_admission() {
+        let mut c = ServerCluster::new(2, 4);
+        c.set_load(0, 4); // full
+        c.set_load(1, 3); // one slot left
+        assert!(!c.admits(0));
+        assert!(c.admits(1));
+        assert_eq!(c.admitting().collect::<Vec<_>>(), vec![1]);
+        // Unlimited capacity never refuses for load.
+        let mut u = ServerCluster::new(1, 0);
+        u.set_load(0, 1_000);
+        assert!(u.admits(0));
+    }
+
+    #[test]
+    fn crash_and_restart_flip_liveness() {
+        let mut c = ServerCluster::new(2, 0);
+        c.mark_crashed(0);
+        assert!(!c.admits(0));
+        assert_eq!(c.admitting().collect::<Vec<_>>(), vec![1]);
+        c.mark_restarted(0);
+        assert!(c.admits(0));
+    }
+
+    #[test]
+    fn zero_replica_request_clamps_to_one() {
+        let c = ServerCluster::new(0, 0);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -51,6 +51,14 @@ pub struct ServerConfig {
     pub report_timeout: SimDuration,
     /// Spacing of audio packets.
     pub audio_interval: SimDuration,
+    /// Maximum concurrent sessions this replica admits. `0` means
+    /// unlimited — SETUP never refuses for load.
+    pub capacity: u32,
+    /// Sessions already occupying this replica when the world starts
+    /// (cluster background load, drawn deterministically by the gateway).
+    /// A SETUP arriving while `background_sessions >= capacity` is
+    /// refused with 453 Not Enough Bandwidth.
+    pub background_sessions: u32,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,8 @@ impl Default for ServerConfig {
             rate_eval_period: SimDuration::from_secs(1),
             report_timeout: SimDuration::from_secs(3),
             audio_interval: SimDuration::from_millis(100),
+            capacity: 0,
+            background_sessions: 0,
         }
     }
 }
@@ -93,6 +103,8 @@ pub struct ServerStats {
     /// Process crashes injected by the fault plan. Survives restarts,
     /// like the rest of the lifetime counters.
     pub crashes: u64,
+    /// SETUPs refused because the replica was at capacity (453 Busy).
+    pub admission_rejects: u64,
 }
 
 /// Decisions + state shared with the RTSP handler callbacks.
@@ -101,6 +113,11 @@ struct ServerCore {
     catalog: Catalog,
     prefers_udp: bool,
     data_udp_port: u16,
+    /// Admission limit (0 = unlimited) and standing occupancy; a SETUP
+    /// with no free slot gets 453 instead of a silently degraded stream.
+    capacity: u32,
+    occupancy: u32,
+    admission_rejects: u64,
     client_max_bps: Option<u32>,
     negotiated: Option<TransportSpec>,
     pending_play: Option<String>,
@@ -119,6 +136,10 @@ impl ServerHandler for ServerCore {
     }
 
     fn setup(&mut self, _url: &str, requested: TransportSpec) -> Result<TransportSpec, Status> {
+        if self.capacity > 0 && self.occupancy >= self.capacity {
+            self.admission_rejects += 1;
+            return Err(Status::NOT_ENOUGH_BANDWIDTH);
+        }
         let spec = match requested.kind {
             TransportKind::Udp if self.prefers_udp => TransportSpec {
                 server_port: Some(self.data_udp_port),
@@ -300,6 +321,9 @@ impl RealServer {
                 catalog,
                 prefers_udp: cfg.prefers_udp,
                 data_udp_port: cfg.data_udp_port,
+                capacity: cfg.capacity,
+                occupancy: cfg.background_sessions,
+                admission_rejects: 0,
                 client_max_bps: None,
                 negotiated: None,
                 pending_play: None,
@@ -390,7 +414,10 @@ impl RealServer {
 
     /// Lifetime counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        ServerStats {
+            admission_rejects: self.core.admission_rejects,
+            ..self.stats
+        }
     }
 
     /// The rung currently streaming, if any.
@@ -986,6 +1013,9 @@ mod tests {
             catalog: Catalog::new(),
             prefers_udp: true,
             data_udp_port: 6970,
+            capacity: 0,
+            occupancy: 0,
+            admission_rejects: 0,
             client_max_bps: None,
             negotiated: None,
             pending_play: None,
@@ -1005,6 +1035,31 @@ mod tests {
     }
 
     #[test]
+    fn setup_at_capacity_refuses_with_453() {
+        let mut core = ServerCore {
+            catalog: Catalog::new(),
+            prefers_udp: true,
+            data_udp_port: 6970,
+            capacity: 2,
+            occupancy: 2,
+            admission_rejects: 0,
+            client_max_bps: None,
+            negotiated: None,
+            pending_play: None,
+            pending_teardown: false,
+            pending_reports: Vec::new(),
+        };
+        let err = core.setup("u", TransportSpec::udp(5002)).unwrap_err();
+        assert_eq!(err, Status::NOT_ENOUGH_BANDWIDTH);
+        assert_eq!(core.admission_rejects, 1);
+        assert!(core.negotiated.is_none());
+        // Freeing a slot admits the retry.
+        core.occupancy = 1;
+        assert!(core.setup("u", TransportSpec::udp(5002)).is_ok());
+        assert_eq!(core.admission_rejects, 1);
+    }
+
+    #[test]
     fn core_describe_respects_availability() {
         let mut catalog = Catalog::new();
         catalog.add(Clip::new(
@@ -1017,6 +1072,9 @@ mod tests {
             catalog,
             prefers_udp: true,
             data_udp_port: 6970,
+            capacity: 0,
+            occupancy: 0,
+            admission_rejects: 0,
             client_max_bps: None,
             negotiated: None,
             pending_play: None,
@@ -1063,6 +1121,9 @@ mod tests {
             catalog: Catalog::new(),
             prefers_udp: true,
             data_udp_port: 6970,
+            capacity: 0,
+            occupancy: 0,
+            admission_rejects: 0,
             client_max_bps: None,
             negotiated: None,
             pending_play: None,

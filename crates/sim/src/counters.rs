@@ -46,11 +46,18 @@ pub enum Counter {
     ServerCrashes,
     /// Timer-wheel entries re-homed by cursor cascades.
     WheelCascades,
+    /// Gateway re-routes of a session to another replica (any reason).
+    GatewayRedirects,
+    /// Gateway redirects caused by a replica crash or dead replica
+    /// (subset of `GatewayRedirects`; the rest are admission redirects).
+    Failovers,
+    /// SETUPs refused by a replica at capacity (453 Busy).
+    AdmissionRejects,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in registry (serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -70,6 +77,9 @@ impl Counter {
         Counter::TransportFallbacks,
         Counter::ServerCrashes,
         Counter::WheelCascades,
+        Counter::GatewayRedirects,
+        Counter::Failovers,
+        Counter::AdmissionRejects,
     ];
 
     /// Stable snake_case name used in the campaign summary, bench JSON,
@@ -92,6 +102,9 @@ impl Counter {
             Counter::TransportFallbacks => "transport_fallbacks",
             Counter::ServerCrashes => "server_crashes",
             Counter::WheelCascades => "wheel_cascades",
+            Counter::GatewayRedirects => "gateway_redirects",
+            Counter::Failovers => "failovers",
+            Counter::AdmissionRejects => "admission_rejects",
         }
     }
 }

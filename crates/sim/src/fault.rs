@@ -80,6 +80,10 @@ pub struct ServerCrash {
     /// Delay until the server comes back, or `None` if it stays dead
     /// for the rest of the session.
     pub restart_after: Option<SimDuration>,
+    /// Which replica of the site's cluster dies. Plans are generated
+    /// targeting replica 0 (the only replica in a single-server world);
+    /// [`FaultPlan::retarget_crashes`] spreads targets across a cluster.
+    pub replica: u8,
 }
 
 /// Knobs for how often and how hard faults hit. Probabilities are
@@ -238,6 +242,7 @@ impl FaultPlan {
             plan.server_crashes.push(ServerCrash {
                 at: SimTime::ZERO,
                 restart_after: None,
+                replica: 0,
             });
         } else if rng.chance(scenario.server_crash_prob) {
             let at = rng.range(4.0..horizon_s * 0.6);
@@ -249,11 +254,27 @@ impl FaultPlan {
             plan.server_crashes.push(ServerCrash {
                 at: SimTime::from_secs_f64(at),
                 restart_after,
+                replica: 0,
             });
         }
 
         plan.udp_blackhole = rng.chance(scenario.udp_blackhole_prob);
         plan
+    }
+
+    /// Re-aims each planned crash at a replica drawn uniformly from
+    /// `0..replicas`, using its own RNG stream so the draws that shaped
+    /// the plan itself never shift. A no-op for `replicas <= 1` (every
+    /// crash already targets replica 0), so single-server plans are
+    /// bit-identical whether or not this is ever called.
+    pub fn retarget_crashes(&mut self, replicas: u8, seed: u64) {
+        if replicas <= 1 || self.server_crashes.is_empty() {
+            return;
+        }
+        let mut rng = SimRng::seed_from_u64(seed);
+        for c in &mut self.server_crashes {
+            c.replica = rng.range(0..u32::from(replicas)) as u8;
+        }
     }
 }
 

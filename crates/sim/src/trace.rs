@@ -174,6 +174,27 @@ pub enum TraceEvent {
         /// Rung of the current media packet.
         to: u8,
     },
+    /// The gateway routed the session to a replica (session start and
+    /// each re-SETUP land one of these).
+    GatewayRoute {
+        /// Replica index the session was pointed at.
+        replica: u8,
+    },
+    /// The gateway moved the session to another replica after a crash,
+    /// admission reject, or dead endpoint.
+    GatewayRedirect {
+        /// Replica the session was leaving.
+        from: u8,
+        /// Replica the session was sent to.
+        to: u8,
+        /// Why ("busy", "crash", or "dead").
+        reason: &'static str,
+    },
+    /// A replica at capacity refused a SETUP with 453 Busy.
+    AdmissionReject {
+        /// Replica index that refused.
+        replica: u8,
+    },
 }
 
 impl TraceEvent {
@@ -201,6 +222,9 @@ impl TraceEvent {
             TraceEvent::ClientRetry { .. } => "client_retry",
             TraceEvent::TransportFallback => "transport_fallback",
             TraceEvent::RungSwitch { .. } => "rung_switch",
+            TraceEvent::GatewayRoute { .. } => "gateway_route",
+            TraceEvent::GatewayRedirect { .. } => "gateway_redirect",
+            TraceEvent::AdmissionReject { .. } => "admission_reject",
         }
     }
 }
@@ -350,6 +374,15 @@ pub fn jsonl_into(rec: &TraceRecord, out: &mut String) {
             let _ = write!(out, ",\"attempt\":{attempt}");
         }
         TraceEvent::TransportFallback => {}
+        TraceEvent::GatewayRoute { replica } => {
+            let _ = write!(out, ",\"replica\":{replica}");
+        }
+        TraceEvent::GatewayRedirect { from, to, reason } => {
+            let _ = write!(out, ",\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"");
+        }
+        TraceEvent::AdmissionReject { replica } => {
+            let _ = write!(out, ",\"replica\":{replica}");
+        }
     }
     out.push_str("}\n");
 }
@@ -652,6 +685,34 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 ts,
                 tid::PLAYER,
                 &[("from", from.to_string()), ("to", to.to_string())],
+            ),
+            TraceEvent::GatewayRoute { replica } => chrome_event(
+                &mut out,
+                "gateway_route",
+                'i',
+                ts,
+                tid::SESSION,
+                &[("replica", replica.to_string())],
+            ),
+            TraceEvent::GatewayRedirect { from, to, reason } => chrome_event(
+                &mut out,
+                "gateway_redirect",
+                'i',
+                ts,
+                tid::SESSION,
+                &[
+                    ("from", from.to_string()),
+                    ("to", to.to_string()),
+                    ("reason", jstr(reason)),
+                ],
+            ),
+            TraceEvent::AdmissionReject { replica } => chrome_event(
+                &mut out,
+                "admission_reject",
+                'i',
+                ts,
+                tid::SERVER,
+                &[("replica", replica.to_string())],
             ),
         }
     }

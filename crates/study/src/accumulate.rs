@@ -349,6 +349,13 @@ pub struct CampaignAggregates {
     /// Figure 28's bandwidth-vs-rating state.
     pub quality: QualityMoments,
 
+    /// Played sessions per serving replica (gateway tier). The classic
+    /// single-server study puts everything under replica 0.
+    pub replica_sessions: BTreeMap<u8, u64>,
+    /// Failover recovery time (ms): first media packet after a
+    /// crash-driven gateway redirect. Empty without faulted clusters.
+    pub failover_recovery: QuantileSketch,
+
     /// Single-pass failure-report tallies.
     pub failures: FailureTallies,
 }
@@ -382,6 +389,10 @@ impl CampaignAggregates {
         }
         self.played += 1;
         let m = &r.metrics;
+        *self.replica_sessions.entry(m.served_replica).or_insert(0) += 1;
+        if let Some(rec) = m.failover_recovery {
+            self.failover_recovery.add(rec.as_micros() as f64 / 1000.0);
+        }
         let proto = match m.protocol {
             TransportKind::Udp => "UDP",
             TransportKind::Tcp => "TCP",
@@ -511,6 +522,11 @@ impl CampaignAccumulator for CampaignAggregates {
         self.ratings.merge(&other.ratings);
         merge_sketch_map(&mut self.ratings_by_connection, other.ratings_by_connection);
         self.quality.merge(&other.quality);
+
+        for (replica, n) in other.replica_sessions {
+            *self.replica_sessions.entry(replica).or_insert(0) += n;
+        }
+        self.failover_recovery.merge(&other.failover_recovery);
 
         self.failures.merge(other.failures);
     }

@@ -51,6 +51,16 @@ pub struct StudyParams {
     /// generates empty fault plans and reproduces the fault-free
     /// campaign bit for bit.
     pub faults: FaultScenario,
+    /// Server replicas per site. 1 (the default) is the single-server
+    /// study, bit for bit; above 1 every session gets a gateway-routed
+    /// replica cluster and crash failover.
+    pub replicas: u8,
+    /// Gateway replica-selection policy. Only consulted when
+    /// `replicas > 1`.
+    pub gateway: crate::gateway::GatewayPolicy,
+    /// Per-replica session capacity for admission control; 0 (the
+    /// default) admits everything. Only consulted when `replicas > 1`.
+    pub capacity: u32,
 }
 
 impl Default for StudyParams {
@@ -62,6 +72,9 @@ impl Default for StudyParams {
             session_deadline: SimTime::from_secs(150),
             jobs: 1,
             faults: FaultScenario::off(),
+            replicas: 1,
+            gateway: crate::gateway::GatewayPolicy::Sticky,
+            capacity: 0,
         }
     }
 }

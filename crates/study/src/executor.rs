@@ -31,8 +31,9 @@ use rv_tracer::{rate, SessionMetrics, SessionOutcome, WorldScratch};
 use crate::accumulate::{CampaignAccumulator, RecordSink};
 use crate::campaign::SessionRecord;
 use crate::error::CampaignError;
+use crate::gateway::GatewaySpec;
 use crate::plan::{CampaignPlan, SessionJob};
-use crate::worldbuild::build_session_world_with;
+use crate::worldbuild::build_session_world_gw;
 
 /// The outcome of a fold: the merged accumulator plus the per-worker
 /// session counts actually observed during scheduling.
@@ -245,6 +246,26 @@ pub fn run_job(plan: &CampaignPlan, job: &SessionJob) -> SessionRecord {
     run_job_with(plan, job, &mut WorldScratch::default())
 }
 
+/// The gateway spec for one job, or `None` when the params leave the
+/// gateway tier off (the default single-server study). The spec's seed is
+/// derived per job from its own "gateway" stream, so replica loads are
+/// order- and scale-independent like every other per-session draw.
+pub fn gateway_spec(
+    params: &crate::campaign::StudyParams,
+    job: &SessionJob,
+) -> Option<GatewaySpec> {
+    if params.replicas <= 1 && params.capacity == 0 {
+        return None;
+    }
+    let key = SessionJob::stream_key(job.user_id, job.clip_seq);
+    Some(GatewaySpec {
+        replicas: params.replicas.max(1),
+        policy: params.gateway,
+        capacity: params.capacity,
+        seed: SimRng::derive_seed(params.seed, "gateway", key),
+    })
+}
+
 /// As [`run_job`] but recycling world storage across calls. `scratch` is
 /// capacity-only and carries no session state, so results stay pure in
 /// `(plan, job)` — the executors' bit-identity guarantee does not depend
@@ -260,13 +281,15 @@ pub fn run_job_with(
     let params = &plan.params;
 
     let (metrics, rating, counters) = if job.available {
-        let mut world = build_session_world_with(
+        let gateway = gateway_spec(params, job);
+        let mut world = build_session_world_gw(
             user,
             site,
             &entry.clip,
             params.watch_limit,
             job.session_seed,
             &job.fault_plan,
+            gateway.as_ref(),
             scratch,
         );
         let metrics = world.run(params.session_deadline);

@@ -1,0 +1,179 @@
+//! The gateway tier: deterministic replica selection for a server site.
+//!
+//! A site may deploy several replicas of its RealServer (a `StudyParams`
+//! knob; default 1, i.e. exactly the single-server study). The gateway
+//! is not a simulated box — it is the deterministic routing *decision*
+//! made at session start: given the site, the user's zone, and a derived
+//! seed, it produces the order in which the client will try replicas,
+//! plus each replica's seeded standing load. "Healthy" is discovered at
+//! runtime: the client walks the order and hops past replicas that
+//! refuse, reset, or answer 453 Busy.
+
+use rv_sim::SimRng;
+
+use crate::geography::{path_profile, Zone};
+
+/// How the gateway orders a site's replicas for a new session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayPolicy {
+    /// Fixed plan order, replica 0 first — the pre-gateway behavior.
+    Sticky,
+    /// Closest replica first, by the zone-pair transit delay between the
+    /// user and the zone each replica is deployed in.
+    NearestHealthy,
+    /// Least standing load first; the seeded background load stands in
+    /// for the occupancy a real gateway would poll.
+    LeastLoaded,
+}
+
+impl GatewayPolicy {
+    /// Parse a CLI spelling of a policy.
+    pub fn parse(s: &str) -> Option<GatewayPolicy> {
+        match s {
+            "sticky" => Some(GatewayPolicy::Sticky),
+            "nearest" => Some(GatewayPolicy::NearestHealthy),
+            "least-loaded" => Some(GatewayPolicy::LeastLoaded),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`parse`](GatewayPolicy::parse).
+    pub fn name(self) -> &'static str {
+        match self {
+            GatewayPolicy::Sticky => "sticky",
+            GatewayPolicy::NearestHealthy => "nearest",
+            GatewayPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
+/// Everything the world builder needs to stand up one session's cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewaySpec {
+    /// Replica count, clamped to at least 1.
+    pub replicas: u8,
+    /// Selection policy.
+    pub policy: GatewayPolicy,
+    /// Per-replica session capacity; 0 disables admission control.
+    pub capacity: u32,
+    /// Derived per-session seed for loads (and nothing else).
+    pub seed: u64,
+}
+
+/// The gateway's decision for one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayPlan {
+    /// Replica indices in the order the client should try them.
+    pub order: Vec<u8>,
+    /// Seeded standing load per replica (indexed by replica, not order).
+    pub loads: Vec<u32>,
+}
+
+/// The zone replica `k` of a site is deployed in. Replica 0 sits in the
+/// site's own zone; further replicas rotate through the remaining zones,
+/// so a 2-replica US site has one domestic and one overseas box.
+pub fn replica_zone(site_zone: Zone, k: u8) -> Zone {
+    const CYCLE: [Zone; 5] = [Zone::Na, Zone::Eu, Zone::As, Zone::Oc, Zone::Sa];
+    let base = CYCLE.iter().position(|z| *z == site_zone).unwrap_or(0);
+    CYCLE[(base + usize::from(k)) % CYCLE.len()]
+}
+
+/// Compute the routing decision for one session.
+///
+/// Loads are drawn from a fresh generator over `spec.seed` only — the
+/// session's own RNG streams are untouched, so enabling the gateway
+/// cannot perturb any other draw. With admission control on
+/// (`capacity > 0`) loads land in `0..=capacity`, so some replicas start
+/// full and SETUPs against them bounce with 453; without it a small
+/// `0..4` load exists purely as a `LeastLoaded` signal.
+pub fn route(spec: &GatewaySpec, site_zone: Zone, user_zone: Zone) -> GatewayPlan {
+    let n = spec.replicas.max(1);
+    let mut rng = SimRng::seed_from_u64(spec.seed);
+    let loads: Vec<u32> = (0..n)
+        .map(|_| {
+            if spec.capacity > 0 {
+                rng.range(0..spec.capacity + 1)
+            } else {
+                rng.range(0..4u32)
+            }
+        })
+        .collect();
+    let mut order: Vec<u8> = (0..n).collect();
+    match spec.policy {
+        GatewayPolicy::Sticky => {}
+        GatewayPolicy::NearestHealthy => {
+            order.sort_by_key(|&k| (path_profile(user_zone, replica_zone(site_zone, k)).delay, k));
+        }
+        GatewayPolicy::LeastLoaded => {
+            order.sort_by_key(|&k| (loads[usize::from(k)], k));
+        }
+    }
+    GatewayPlan { order, loads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(replicas: u8, policy: GatewayPolicy, capacity: u32) -> GatewaySpec {
+        GatewaySpec {
+            replicas,
+            policy,
+            capacity,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sticky_keeps_plan_order() {
+        let plan = route(&spec(4, GatewayPolicy::Sticky, 0), Zone::Na, Zone::Eu);
+        assert_eq!(plan.order, vec![0, 1, 2, 3]);
+        assert_eq!(plan.loads.len(), 4);
+    }
+
+    #[test]
+    fn nearest_prefers_the_users_zone() {
+        // US site, EU user: replica 1 of a Na site rotates into Eu, the
+        // user's own zone, and must be tried first.
+        let plan = route(
+            &spec(2, GatewayPolicy::NearestHealthy, 0),
+            Zone::Na,
+            Zone::Eu,
+        );
+        assert_eq!(plan.order[0], 1);
+    }
+
+    #[test]
+    fn least_loaded_sorts_by_load_then_index() {
+        let plan = route(&spec(4, GatewayPolicy::LeastLoaded, 8), Zone::Na, Zone::Na);
+        for pair in plan.order.windows(2) {
+            let (a, b) = (usize::from(pair[0]), usize::from(pair[1]));
+            assert!(
+                plan.loads[a] < plan.loads[b]
+                    || (plan.loads[a] == plan.loads[b] && pair[0] < pair[1])
+            );
+        }
+    }
+
+    #[test]
+    fn loads_respect_the_capacity_band() {
+        let plan = route(&spec(8, GatewayPolicy::Sticky, 3), Zone::As, Zone::As);
+        assert!(plan.loads.iter().all(|&l| l <= 3));
+        let plan = route(&spec(8, GatewayPolicy::Sticky, 0), Zone::As, Zone::As);
+        assert!(plan.loads.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn routing_is_deterministic_in_the_seed() {
+        let a = route(&spec(4, GatewayPolicy::LeastLoaded, 6), Zone::Eu, Zone::Oc);
+        let b = route(&spec(4, GatewayPolicy::LeastLoaded, 6), Zone::Eu, Zone::Oc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replica_zones_rotate_from_the_site_zone() {
+        assert_eq!(replica_zone(Zone::Na, 0), Zone::Na);
+        assert_eq!(replica_zone(Zone::Na, 1), Zone::Eu);
+        assert_eq!(replica_zone(Zone::Sa, 1), Zone::Na);
+    }
+}

@@ -23,6 +23,7 @@ mod accumulate;
 mod campaign;
 mod error;
 mod executor;
+mod gateway;
 pub mod geography;
 mod plan;
 mod playlist;
@@ -41,9 +42,10 @@ pub use campaign::{
 };
 pub use error::CampaignError;
 pub use executor::{
-    run_job, run_job_with, CampaignExecutor, Execution, Fold, SerialExecutor, ThreadedExecutor,
-    WorkerProfile,
+    gateway_spec, run_job, run_job_with, CampaignExecutor, Execution, Fold, SerialExecutor,
+    ThreadedExecutor, WorkerProfile,
 };
+pub use gateway::{replica_zone, route as gateway_route, GatewayPlan, GatewayPolicy, GatewaySpec};
 pub use geography::{
     path_profile, server_region, user_region, zone, Country, PathProfile, ServerRegion, UserRegion,
     Zone,
@@ -57,4 +59,4 @@ pub use population::{
 pub use report::{FailureBreakdown, FailureReport};
 pub use servers::{server_roster, ServerSite};
 pub use tracefile::{trace_session, SessionTrace, TraceError};
-pub use worldbuild::{build_session_world, build_session_world_with};
+pub use worldbuild::{build_session_world, build_session_world_gw, build_session_world_with};

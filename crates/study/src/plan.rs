@@ -132,6 +132,20 @@ impl CampaignPlan {
             if rating_slot {
                 rating_slots_left -= 1;
             }
+            let mut fault_plan = FaultPlan::generate(
+                &self.params.faults,
+                SimRng::derive_seed(self.params.seed, "faults", key),
+                fault_horizon,
+            );
+            // With a replica cluster, crashes spread across replicas from
+            // this job's own gateway-crash stream — the fault stream above
+            // is untouched, so the crash *schedule* matches replicas=1.
+            if self.params.replicas > 1 {
+                fault_plan.retarget_crashes(
+                    self.params.replicas,
+                    SimRng::derive_seed(self.params.seed, "gateway-crash", key),
+                );
+            }
             jobs.push(SessionJob {
                 index: base + clip_seq as usize,
                 user: user_idx,
@@ -142,11 +156,7 @@ impl CampaignPlan {
                 available,
                 rating_slot,
                 session_seed: SimRng::derive_seed(self.params.seed, "session", key),
-                fault_plan: FaultPlan::generate(
-                    &self.params.faults,
-                    SimRng::derive_seed(self.params.seed, "faults", key),
-                    fault_horizon,
-                ),
+                fault_plan,
             });
         }
         jobs

@@ -12,8 +12,9 @@ use rv_sim::{CounterSet, SimTime};
 use rv_tracer::{SessionMetrics, WorldScratch};
 
 use crate::campaign::StudyParams;
+use crate::executor::gateway_spec;
 use crate::plan::plan_campaign;
-use crate::worldbuild::build_session_world_with;
+use crate::worldbuild::build_session_world_gw;
 
 /// One traced session: the event timeline plus the session's record-level
 /// results, for cross-checking the trace against the campaign output.
@@ -168,13 +169,17 @@ pub fn trace_session(
     });
     let (metrics, counters) = if job.available {
         let mut scratch = WorldScratch::default();
-        let mut world = build_session_world_with(
+        // Same gateway decision the campaign executor would make, so the
+        // trace stays a faithful zoom-in at any replica count.
+        let gateway = gateway_spec(&params, job);
+        let mut world = build_session_world_gw(
             user,
             site,
             &entry.clip,
             params.watch_limit,
             job.session_seed,
             &job.fault_plan,
+            gateway.as_ref(),
             &mut scratch,
         );
         let metrics = world.run(params.session_deadline);

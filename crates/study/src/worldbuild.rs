@@ -11,11 +11,12 @@ use rv_net::{Addr, CongestionParams, HostId, LinkId, LinkParams, NetBuilder};
 use rv_server::{Catalog, RealServer, ServerConfig};
 use rv_sim::{FaultPlan, SimDuration, SimRng};
 use rv_tracer::{
-    client_data_tcp_config, ports, ClientConfig, FaultLinkMap, SessionWorld, TracerClient,
-    WorldScratch,
+    client_data_tcp_config, ports, ClientConfig, FaultLinkMap, GatewayEndpoint, SessionWorld,
+    TracerClient, WorldScratch,
 };
 use rv_transport::{Segment, Stack, TcpConfig};
 
+use crate::gateway::{route as gateway_route, GatewaySpec};
 use crate::geography::{path_profile, zone};
 use crate::population::{ConnectionClass, UserProfile};
 use crate::servers::ServerSite;
@@ -131,6 +132,36 @@ pub fn build_session_world_with(
     fault_plan: &FaultPlan,
     scratch: &mut WorldScratch,
 ) -> SessionWorld {
+    build_session_world_gw(
+        user,
+        site,
+        clip,
+        watch_limit,
+        session_seed,
+        fault_plan,
+        None,
+        scratch,
+    )
+}
+
+/// As [`build_session_world_with`] but with an optional gateway tier:
+/// `Some(spec)` stands up `spec.replicas` servers for the site (replica 0
+/// is the classic server; replicas 1.. get their own hosts behind cloud
+/// B), seeds each with a standing load, arms admission control, and hands
+/// the client the gateway's replica order to walk on busy/crash. `None`
+/// — and any spec with `replicas <= 1` and `capacity == 0` — builds the
+/// single-server world bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn build_session_world_gw(
+    user: &UserProfile,
+    site: &ServerSite,
+    clip: &Clip,
+    watch_limit: SimDuration,
+    session_seed: u64,
+    fault_plan: &FaultPlan,
+    gateway: Option<&GatewaySpec>,
+    scratch: &mut WorldScratch,
+) -> SessionWorld {
     let mut rng = SimRng::seed_from_u64(session_seed);
 
     // --- topology ---
@@ -162,6 +193,17 @@ pub fn build_session_world_with(
         .queue(128 * 1024)
         .cross_traffic(site.access_congestion(), 0.02);
     b.duplex(cloud_b, server, server_access);
+
+    // Replicas 1..N sit behind cloud B over clones of the site's access
+    // link, declared after the classic six links so the replica-free
+    // topology — node ids, link ids, per-link RNG forks — is unchanged.
+    // Hosts get `HostId` in declaration order: replica k is HostId(1+k).
+    let n_replicas = gateway.map_or(1, |g| g.replicas.max(1));
+    for _ in 1..n_replicas {
+        let replica = b.host();
+        b.duplex(cloud_b, replica, server_access);
+    }
+    let gw_plan = gateway.map(|g| gateway_route(g, zone(site.country), zone(user.country)));
 
     let net = match scratch.net.take() {
         Some(old) => b.build_with_payload_into(&mut rng.fork(1), old),
@@ -205,6 +247,8 @@ pub fn build_session_world_with(
     catalog.add(clip.clone());
     let server_cfg = ServerConfig {
         prefers_udp: site.prefers_udp,
+        capacity: gateway.map_or(0, |g| g.capacity),
+        background_sessions: gw_plan.as_ref().map_or(0, |p| p.loads[0]),
         ..ServerConfig::default()
     };
     let real_server = RealServer::with_scratch(
@@ -216,6 +260,37 @@ pub fn build_session_world_with(
         session_seed ^ 0x5EED,
         scratch.server.take().unwrap_or_default(),
     );
+
+    // Replica servers: same site, same clip, own stack and RNG stream,
+    // seeded standing load from the gateway plan.
+    let mut replicas = Vec::new();
+    if let (Some(g), Some(plan)) = (gateway, gw_plan.as_ref()) {
+        for k in 1..n_replicas {
+            let mut stack = Stack::new(HostId(1 + u32::from(k)));
+            let r_ctrl = stack.tcp_socket(ports::CTRL, TcpConfig::default());
+            let r_data = stack.tcp_socket(ports::DATA_TCP, s_data_cfg);
+            let r_udp = stack.udp_socket(ports::DATA_UDP);
+            stack.tcp(r_ctrl).listen();
+            stack.tcp(r_data).listen();
+            let mut cat = Catalog::new();
+            cat.add(clip.clone());
+            let cfg = ServerConfig {
+                prefers_udp: site.prefers_udp,
+                capacity: g.capacity,
+                background_sessions: plan.loads[usize::from(k)],
+                ..ServerConfig::default()
+            };
+            let srv = RealServer::new(
+                cfg,
+                cat,
+                r_ctrl,
+                r_data,
+                r_udp,
+                session_seed ^ 0x5EED ^ (u64::from(k) << 32),
+            );
+            replicas.push((stack, srv));
+        }
+    }
 
     // --- client ---
     let url = format!("rtsp://{}/{}", site.name.replace('/', "."), clip.name);
@@ -247,6 +322,20 @@ pub fn build_session_world_with(
     };
     client_cfg.cpu_power = user.pc.cpu_power();
     client_cfg.watch_limit = watch_limit;
+    // The gateway's routing decision, as the ordered endpoint list the
+    // client walks: first entry is the chosen replica, the rest are the
+    // failover chain for busy/crashed destinations.
+    if let Some(plan) = gw_plan.as_ref() {
+        client_cfg.gateway = plan
+            .order
+            .iter()
+            .map(|&k| GatewayEndpoint {
+                replica: k,
+                ctrl: Addr::new(HostId(1 + u32::from(k)), ports::CTRL),
+                data: Addr::new(HostId(1 + u32::from(k)), ports::DATA_TCP),
+            })
+            .collect();
+    }
     let tracer = TracerClient::with_scratch(
         client_cfg,
         c_ctrl,
@@ -256,6 +345,9 @@ pub fn build_session_world_with(
     );
 
     let mut world = SessionWorld::new(net, client_stack, server_stack, real_server, tracer);
+    for (stack, srv) in replicas {
+        world.add_replica(stack, srv);
+    }
     world.set_faults(fault_plan, &study_fault_links());
     world
 }
@@ -312,6 +404,7 @@ mod tests {
             server_crashes: vec![rv_sim::ServerCrash {
                 at: SimTime::ZERO,
                 restart_after: None,
+                replica: 0,
             }],
             ..FaultPlan::none()
         };

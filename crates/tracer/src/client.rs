@@ -11,7 +11,7 @@ use rv_media::{Clip, MediaPacket, StreamDepacketizer};
 use rv_net::Addr;
 use rv_player::{Player, PlayoutConfig, PlayoutEvent, PlayoutState};
 use rv_rtsp::{
-    ClientEvent, ClientSession, Decoder, FirewallPolicy, Message, TransportKind,
+    ClientEvent, ClientSession, Decoder, FirewallPolicy, Message, Status, TransportKind,
     TransportPreference, TransportSpec,
 };
 use rv_server::{ReceiverReport, REPORT_PARAM};
@@ -20,6 +20,17 @@ use rv_sim::{SimDuration, SimTime};
 use rv_transport::{Stack, TcpError, TcpHandle, UdpHandle};
 
 use crate::metrics::{finalize, SessionMetrics, SessionOutcome};
+
+/// One server replica the gateway can route a session to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayEndpoint {
+    /// Replica index at the site (0 = the primary).
+    pub replica: u8,
+    /// RTSP control endpoint.
+    pub ctrl: Addr,
+    /// TCP data endpoint.
+    pub data: Addr,
+}
 
 /// Client-side configuration for one session.
 #[derive(Debug, Clone)]
@@ -68,6 +79,13 @@ pub struct ClientConfig {
     pub retry_backoff: SimDuration,
     /// Backoff ceiling.
     pub retry_backoff_cap: SimDuration,
+    /// The gateway's routing plan: replica endpoints in preference
+    /// order. Empty (the default) disables gateway behavior entirely —
+    /// the client speaks only to `server_ctrl`/`server_data`, the
+    /// legacy single-server path.
+    pub gateway: Vec<GatewayEndpoint>,
+    /// Maximum gateway redirects (replica hops) per session.
+    pub max_hops: u8,
 }
 
 impl ClientConfig {
@@ -93,6 +111,8 @@ impl ClientConfig {
             max_retries: 3,
             retry_backoff: SimDuration::from_secs(1),
             retry_backoff_cap: SimDuration::from_secs(8),
+            gateway: Vec::new(),
+            max_hops: 4,
         }
     }
 }
@@ -179,6 +199,23 @@ pub struct TracerClient {
     next_retry_at: Option<SimTime>,
     /// Whether the session renegotiated UDP down to TCP.
     fell_back: bool,
+    /// Index into `cfg.gateway` of the replica currently targeted.
+    hop: usize,
+    /// Gateway redirects consumed (bounded by `cfg.max_hops`).
+    hops_used: u8,
+    /// Gateway redirects, any reason (busy, crash, dead).
+    gateway_redirects: u64,
+    /// Redirects caused by a crashed or dead replica (subset of
+    /// `gateway_redirects`).
+    failovers: u64,
+    /// 453 admission rejections this client was handed at SETUP.
+    admission_rejects: u64,
+    /// When the first crash-driven redirect happened; anchors the
+    /// failover recovery-time measurement.
+    first_failover_at: Option<SimTime>,
+    /// Time from the first crash-driven redirect to the first media
+    /// packet of a later attempt — how long failover took to heal.
+    failover_recovery: Option<SimDuration>,
     /// Whether the resilient FSM (timeouts, retries, stall detection,
     /// transport fallback) is armed. Off by default: an unhardened
     /// client rides out any trouble to its watch limit, which is
@@ -234,6 +271,13 @@ impl TracerClient {
             backoff,
             next_retry_at: None,
             fell_back: false,
+            hop: 0,
+            hops_used: 0,
+            gateway_redirects: 0,
+            failovers: 0,
+            admission_rejects: 0,
+            first_failover_at: None,
+            failover_recovery: None,
             hardened: false,
             encode_buf: scratch.encode_buf,
         }
@@ -271,6 +315,31 @@ impl TracerClient {
     /// Whether the session fell back from UDP to TCP.
     pub fn fell_back(&self) -> bool {
         self.fell_back
+    }
+
+    /// Gateway redirects this session performed, for any reason.
+    pub fn gateway_redirects(&self) -> u64 {
+        self.gateway_redirects
+    }
+
+    /// Redirects caused by a crashed or dead replica.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// 453 admission rejections this client received at SETUP.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
+    }
+
+    /// The replica currently targeted plus its control and data
+    /// endpoints. Without a gateway plan this is the configured
+    /// single server, reported as replica 0.
+    fn current_endpoint(&self) -> (u8, Addr, Addr) {
+        match self.cfg.gateway.get(self.hop) {
+            Some(e) => (e.replica, e.ctrl, e.data),
+            None => (0, self.cfg.server_ctrl, self.cfg.server_data),
+        }
     }
 
     /// `true` when the session has fully finished.
@@ -323,7 +392,8 @@ impl TracerClient {
         if self.phase == Phase::Waiting {
             if self.next_retry_at.is_some_and(|t| now >= t) {
                 self.next_retry_at = None;
-                stack.tcp(self.ctrl).connect(self.cfg.server_ctrl, now);
+                let (_, ctrl_addr, _) = self.current_endpoint();
+                stack.tcp(self.ctrl).connect(ctrl_addr, now);
                 self.set_phase(Phase::Connecting, now);
                 work += 1;
             }
@@ -398,8 +468,7 @@ impl TracerClient {
             return 0;
         }
         if let Some(err) = stack.tcp(self.ctrl).take_error() {
-            let reason = classify(err);
-            return self.retry_or_finish(now, stack, reason);
+            return self.fail_or_reroute(now, stack, err);
         }
         if self.transport == Some(TransportKind::Tcp)
             && matches!(
@@ -408,8 +477,7 @@ impl TracerClient {
             )
         {
             if let Some(err) = stack.tcp(self.data_tcp).take_error() {
-                let reason = classify(err);
-                return self.retry_or_finish(now, stack, reason);
+                return self.fail_or_reroute(now, stack, err);
             }
         }
         let waited = now.saturating_since(self.phase_entered);
@@ -473,13 +541,68 @@ impl TracerClient {
         trace::emit(now, || TraceEvent::ClientRetry {
             attempt: u32::from(self.retries),
         });
+        self.relaunch(now, stack);
+        1
+    }
+
+    /// A transport-level connection error. With a gateway plan, errors
+    /// that mean "this replica's server process is gone" (RST to a SYN,
+    /// an established connection reset under us) fail over to the
+    /// gateway's next choice while the hop budget lasts; anything else —
+    /// or a client without a gateway — takes the legacy retry path
+    /// against the same endpoint.
+    fn fail_or_reroute(&mut self, now: SimTime, stack: &mut Stack, err: TcpError) -> usize {
+        let reason = classify(err);
+        if self.can_hop() {
+            let tag = match err {
+                TcpError::Refused => "dead",
+                TcpError::Reset => "crash",
+                // Silence is a path property, not a replica verdict.
+                TcpError::ConnectTimeout => "",
+            };
+            if !tag.is_empty() {
+                return self.redirect(now, stack, tag);
+            }
+        }
+        self.retry_or_finish(now, stack, reason)
+    }
+
+    /// Whether the gateway plan has another replica to offer.
+    fn can_hop(&self) -> bool {
+        self.hops_used < self.cfg.max_hops && self.hop + 1 < self.cfg.gateway.len()
+    }
+
+    /// Redirects the session to the gateway's next choice: counts the
+    /// hop, tears this attempt down, and relaunches after the standing
+    /// backoff. Callers must check [`TracerClient::can_hop`] first.
+    fn redirect(&mut self, now: SimTime, stack: &mut Stack, reason: &'static str) -> usize {
+        let from = self.current_endpoint().0;
+        self.hop += 1;
+        self.hops_used += 1;
+        self.gateway_redirects += 1;
+        if reason != "busy" {
+            self.failovers += 1;
+            if self.first_failover_at.is_none() {
+                self.first_failover_at = Some(now);
+            }
+        }
+        let to = self.current_endpoint().0;
+        trace::emit(now, || TraceEvent::GatewayRedirect { from, to, reason });
+        self.relaunch(now, stack);
+        1
+    }
+
+    /// Tears down the current attempt's connections and schedules a
+    /// fresh attempt — against whatever [`TracerClient::current_endpoint`]
+    /// now says — after the standing backoff.
+    fn relaunch(&mut self, now: SimTime, stack: &mut Stack) {
         // Tear down this attempt's connections (RSTs tell a live server
         // to recycle its session) and flush any stale datagrams.
         stack.tcp(self.ctrl).abort();
         stack.tcp(self.data_tcp).abort();
         while stack.udp(self.udp).recv().is_some() {}
         // A fresh protocol stack for the next attempt; the wall clock
-        // (start_time) and the retry ledger carry over.
+        // (start_time) and the retry/hop ledgers carry over.
         self.session = ClientSession::new(&self.cfg.url);
         self.decoder = Decoder::new();
         self.depkt = StreamDepacketizer::new();
@@ -494,7 +617,6 @@ impl TracerClient {
         self.next_retry_at = Some(now + self.backoff);
         self.backoff = (self.backoff + self.backoff).min(self.cfg.retry_backoff_cap);
         self.set_phase(Phase::Waiting, now);
-        1
     }
 
     fn start(&mut self, now: SimTime, stack: &mut Stack) {
@@ -504,7 +626,11 @@ impl TracerClient {
             self.finish(now, SessionOutcome::Blocked);
             return;
         }
-        stack.tcp(self.ctrl).connect(self.cfg.server_ctrl, now);
+        let (replica, ctrl_addr, _) = self.current_endpoint();
+        if !self.cfg.gateway.is_empty() {
+            trace::emit(now, || TraceEvent::GatewayRoute { replica });
+        }
+        stack.tcp(self.ctrl).connect(ctrl_addr, now);
         self.set_phase(Phase::Connecting, now);
     }
 
@@ -538,7 +664,22 @@ impl TracerClient {
                     self.send_control(stack, &msg);
                     self.set_phase(Phase::SettingUp, now);
                 }
-                ClientEvent::Unavailable(_) => {
+                ClientEvent::Unavailable(status) => {
+                    if status == Status::NOT_ENOUGH_BANDWIDTH {
+                        // 453 from SETUP: the replica is at capacity,
+                        // not missing the clip. Ask the gateway for its
+                        // next choice; with the plan exhausted, the
+                        // cluster is up but full — a typed rejection.
+                        let replica = self.current_endpoint().0;
+                        trace::emit(now, || TraceEvent::AdmissionReject { replica });
+                        self.admission_rejects += 1;
+                        if self.can_hop() {
+                            self.redirect(now, stack, "busy");
+                        } else {
+                            self.finish(now, SessionOutcome::Rejected);
+                        }
+                        return handled;
+                    }
                     self.finish(now, SessionOutcome::Unavailable);
                     return handled;
                 }
@@ -546,7 +687,8 @@ impl TracerClient {
                     self.transport = Some(spec.kind);
                     match spec.kind {
                         TransportKind::Tcp => {
-                            stack.tcp(self.data_tcp).connect(self.cfg.server_data, now);
+                            let (_, _, data_addr) = self.current_endpoint();
+                            stack.tcp(self.data_tcp).connect(data_addr, now);
                             self.set_phase(Phase::ConnectingData, now);
                         }
                         TransportKind::Udp => {
@@ -586,6 +728,18 @@ impl TracerClient {
         }
     }
 
+    /// Records a media-packet arrival: feeds the stall detector and, on
+    /// the first packet after a crash-driven redirect, closes the
+    /// failover recovery-time measurement.
+    fn note_media(&mut self, now: SimTime) {
+        self.last_data = Some(now);
+        if self.failover_recovery.is_none() {
+            if let Some(at) = self.first_failover_at {
+                self.failover_recovery = Some(now.saturating_since(at));
+            }
+        }
+    }
+
     fn pump_data(&mut self, now: SimTime, stack: &mut Stack) -> usize {
         let mut work = 0;
         // UDP datagrams: one media packet each.
@@ -594,7 +748,7 @@ impl TracerClient {
             if let Some((pkt, _)) = MediaPacket::decode(&data) {
                 self.note_rung(now, pkt.rung);
                 self.last_rung = pkt.rung;
-                self.last_data = Some(now);
+                self.note_media(now);
                 self.player.on_packet(now, pkt);
             }
         }
@@ -609,7 +763,7 @@ impl TracerClient {
                 work += 1;
                 self.note_rung(now, pkt.rung);
                 self.last_rung = pkt.rung;
-                self.last_data = Some(now);
+                self.note_media(now);
                 self.player.on_packet(now, pkt);
             }
         }
@@ -649,12 +803,14 @@ impl TracerClient {
     }
 
     fn finish(&mut self, now: SimTime, outcome: SessionOutcome) {
-        // A clean playthrough that needed retries or a transport fallback
-        // is a recovery, not a first-try success: record it as degraded.
+        // A clean playthrough that needed retries, replica hops, or a
+        // transport fallback is a recovery, not a first-try success:
+        // record it as degraded. Hops count into the retry tally — each
+        // one was a failed attempt the user sat through.
         let outcome = match outcome {
-            SessionOutcome::Played if self.retries > 0 || self.fell_back => {
+            SessionOutcome::Played if self.retries > 0 || self.hops_used > 0 || self.fell_back => {
                 SessionOutcome::PlayedDegraded {
-                    retries: self.retries,
+                    retries: self.retries.saturating_add(self.hops_used),
                     rebuffers: self.player.playout_stats().rebuffer_events.min(255) as u8,
                     fell_back: self.fell_back,
                 }
@@ -670,7 +826,7 @@ impl TracerClient {
             }
             None => (0.0, 0),
         };
-        self.metrics = Some(finalize(
+        let mut metrics = finalize(
             outcome,
             protocol,
             encoded_fps,
@@ -680,7 +836,10 @@ impl TracerClient {
             self.player.reassembly_stats(),
             self.start_time.unwrap_or(now),
             now,
-        ));
+        );
+        metrics.served_replica = self.current_endpoint().0;
+        metrics.failover_recovery = self.failover_recovery;
+        self.metrics = Some(metrics);
         trace::emit(now, || TraceEvent::SessionEnd {
             outcome: outcome.label(),
         });

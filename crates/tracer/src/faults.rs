@@ -41,8 +41,8 @@ pub(crate) enum FaultAction {
     LinkUp(LinkId),
     BurstOn(LinkId, u32),
     BurstOff(LinkId),
-    ServerCrash,
-    ServerRestart,
+    ServerCrash(u8),
+    ServerRestart(u8),
 }
 
 /// A time-ordered queue of grounded fault events.
@@ -70,9 +70,9 @@ impl FaultInjector {
             }
         }
         for c in &plan.server_crashes {
-            events.push((c.at, FaultAction::ServerCrash));
+            events.push((c.at, FaultAction::ServerCrash(c.replica)));
             if let Some(d) = c.restart_after {
-                events.push((c.at + d, FaultAction::ServerRestart));
+                events.push((c.at + d, FaultAction::ServerRestart(c.replica)));
             }
         }
         events.sort_by_key(|(t, _)| *t);
@@ -114,6 +114,7 @@ mod tests {
             server_crashes: vec![ServerCrash {
                 at: SimTime::from_secs(2),
                 restart_after: Some(SimDuration::from_secs(4)),
+                replica: 0,
             }],
             udp_blackhole: false,
         };
@@ -126,7 +127,7 @@ mod tests {
         assert_eq!(inj.next_wake(), Some(SimTime::from_secs(2)));
         assert!(matches!(
             inj.pop_due(SimTime::from_secs(2)),
-            Some(FaultAction::ServerCrash)
+            Some(FaultAction::ServerCrash(0))
         ));
         assert!(inj.pop_due(SimTime::from_secs(2)).is_none());
         assert!(matches!(
@@ -139,7 +140,7 @@ mod tests {
         ));
         assert!(matches!(
             inj.pop_due(SimTime::from_secs(6)),
-            Some(FaultAction::ServerRestart)
+            Some(FaultAction::ServerRestart(0))
         ));
         assert!(matches!(
             inj.pop_due(SimTime::from_secs(100)),

@@ -122,15 +122,22 @@ pub struct SessionWorld {
     pub client_stack: Stack,
     /// Server host's transport stack.
     pub server_stack: Stack,
-    /// The streaming server.
+    /// The streaming server (replica 0 — the only one in the classic
+    /// single-server world).
     pub server: RealServer,
     /// The instrumented client.
     pub client: TracerClient,
+    /// Additional server replicas (1..N) with their own stacks. Empty in
+    /// the classic world; populated by [`SessionWorld::add_replica`].
+    pub replicas: Vec<(Stack, RealServer)>,
     /// The world's clock: persists across `run` calls so a world can be
     /// driven in increments.
     pub now: SimTime,
     /// Scheduled faults, if this session has any.
     faults: Option<FaultInjector>,
+    /// Per-replica settle-loop scheduling flags `(app_ran, poll_app)`,
+    /// kept across `run` calls so their capacity is allocated once.
+    replica_flags: Vec<(bool, bool)>,
 }
 
 impl SessionWorld {
@@ -148,9 +155,20 @@ impl SessionWorld {
             server_stack,
             server,
             client,
+            replicas: Vec::new(),
             now: SimTime::ZERO,
             faults: None,
+            replica_flags: Vec::new(),
         }
+    }
+
+    /// Adds a server replica (index `1 + replicas.len()` from the
+    /// client's point of view; the primary is replica 0). The replica
+    /// participates in the drive loop, fault routing, and the counter
+    /// snapshot exactly like the primary.
+    pub fn add_replica(&mut self, stack: Stack, server: RealServer) {
+        self.replicas.push((stack, server));
+        self.replica_flags.push((false, true));
     }
 
     /// Arms this world with a fault plan. `map` grounds the plan's
@@ -194,13 +212,23 @@ impl SessionWorld {
                 }
                 FaultAction::BurstOn(l, ppm) => self.net.set_link_extra_loss(l, ppm),
                 FaultAction::BurstOff(l) => self.net.set_link_extra_loss(l, 0),
-                FaultAction::ServerCrash => {
+                FaultAction::ServerCrash(r) => {
                     trace::emit(now, || TraceEvent::ServerCrash);
-                    self.server.crash(&mut self.server_stack);
+                    if r == 0 {
+                        self.server.crash(&mut self.server_stack);
+                    } else if let Some((stack, server)) = self.replicas.get_mut(usize::from(r) - 1)
+                    {
+                        server.crash(stack);
+                    }
                 }
-                FaultAction::ServerRestart => {
+                FaultAction::ServerRestart(r) => {
                     trace::emit(now, || TraceEvent::ServerRestart);
-                    self.server.restart(&mut self.server_stack);
+                    if r == 0 {
+                        self.server.restart(&mut self.server_stack);
+                    } else if let Some((stack, server)) = self.replicas.get_mut(usize::from(r) - 1)
+                    {
+                        server.restart(stack);
+                    }
                 }
             }
         }
@@ -230,6 +258,9 @@ impl SessionWorld {
             let mut server_app_ran = false;
             let mut poll_client_app = true;
             let mut poll_server_app = true;
+            for flags in &mut self.replica_flags {
+                *flags = (false, true);
+            }
             for _ in 0..64 {
                 let mut moved = self.net.poll(now);
                 if self.client_stack.needs_poll(&self.net, now) || client_app_ran {
@@ -256,6 +287,31 @@ impl SessionWorld {
                     client_app_ran |= worked > 0;
                     moved += worked;
                 }
+                // Replica servers ride the same wake-scheduling contract
+                // as the primary: stack when it has observable work, app
+                // once per instant and again after stack progress.
+                for ((stack, server), (app_ran, poll_app)) in
+                    self.replicas.iter_mut().zip(&mut self.replica_flags)
+                {
+                    if stack.needs_poll(&self.net, now) || *app_ran {
+                        let handled = stack.poll(now, &mut self.net);
+                        *app_ran = false;
+                        *poll_app |= handled > 0;
+                        moved += handled;
+                    }
+                    if *poll_app {
+                        *poll_app = false;
+                        let worked = server.poll(now, stack);
+                        *app_ran |= worked > 0;
+                        moved += worked;
+                    }
+                    if stack.needs_poll(&self.net, now) || *app_ran {
+                        let handled = stack.poll(now, &mut self.net);
+                        *app_ran = false;
+                        *poll_app |= handled > 0;
+                        moved += handled;
+                    }
+                }
                 if self.client_stack.needs_poll(&self.net, now) || client_app_ran {
                     let handled = self.client_stack.poll(now, &mut self.net);
                     client_app_ran = false;
@@ -276,7 +332,7 @@ impl SessionWorld {
                 self.now = now;
                 break;
             }
-            let next = earliest([
+            let mut next = earliest([
                 self.net.next_wake(),
                 self.client_stack.next_wake(),
                 self.server_stack.next_wake(),
@@ -284,6 +340,9 @@ impl SessionWorld {
                 self.client.next_wake(now),
                 self.faults.as_ref().and_then(FaultInjector::next_wake),
             ]);
+            for (stack, server) in &self.replicas {
+                next = earliest([next, stack.next_wake(), server.next_wake(now)]);
+            }
             let step_floor = now + SimDuration::from_micros(1);
             now = next.unwrap_or(deadline).min(deadline).max(step_floor);
         }
@@ -313,7 +372,13 @@ impl SessionWorld {
         c.add(Counter::PacketsDelivered, links.delivered);
         c.add(Counter::WheelCascades, self.net.wheel_cascades());
         let tcp_c = self.client_stack.total_tcp_stats();
-        let tcp_s = self.server_stack.total_tcp_stats();
+        let mut tcp_s = self.server_stack.total_tcp_stats();
+        for (stack, _) in &self.replicas {
+            let t = stack.total_tcp_stats();
+            tcp_s.retransmits += t.retransmits;
+            tcp_s.timeouts += t.timeouts;
+            tcp_s.fast_retransmits += t.fast_retransmits;
+        }
         c.add(
             Counter::TcpRetransmits,
             tcp_c.retransmits + tcp_s.retransmits,
@@ -331,11 +396,22 @@ impl SessionWorld {
             Counter::TransportFallbacks,
             u64::from(self.client.fell_back()),
         );
-        let server = self.server.stats();
+        let mut server = self.server.stats();
+        for (_, replica) in &self.replicas {
+            let s = replica.stats();
+            server.switches_up += s.switches_up;
+            server.switches_down += s.switches_down;
+            server.frames_thinned += s.frames_thinned;
+            server.crashes += s.crashes;
+            server.admission_rejects += s.admission_rejects;
+        }
         c.add(Counter::RungSwitchesUp, server.switches_up);
         c.add(Counter::RungSwitchesDown, server.switches_down);
         c.add(Counter::FramesThinned, server.frames_thinned);
         c.add(Counter::ServerCrashes, server.crashes);
+        c.add(Counter::GatewayRedirects, self.client.gateway_redirects());
+        c.add(Counter::Failovers, self.client.failovers());
+        c.add(Counter::AdmissionRejects, server.admission_rejects);
         c
     }
 

@@ -17,7 +17,7 @@ mod harness;
 mod metrics;
 mod rating;
 
-pub use client::{ClientConfig, ClientScratch, TracerClient};
+pub use client::{ClientConfig, ClientScratch, GatewayEndpoint, TracerClient};
 pub use faults::{FaultInjector, FaultLinkMap};
 pub use harness::{client_data_tcp_config, ports, two_host_world, SessionWorld, WorldScratch};
 pub use metrics::{finalize, jitter_ms, SessionMetrics, SessionOutcome};

@@ -36,8 +36,13 @@ pub enum SessionOutcome {
     /// retry budget before playback ever started.
     TimedOut,
     /// The server refused the connection (RST to our SYN) — the process
-    /// was down and stayed down through every retry.
+    /// was down and stayed down through every retry, and no healthy
+    /// replica remained for the gateway to offer.
     ServerDown,
+    /// Every replica the gateway offered refused the SETUP at capacity
+    /// (453 Not Enough Bandwidth): an admission rejection, not an outage
+    /// — the cluster was up but full.
+    Rejected,
     /// Data starvation after PLAY: the stream went silent and stayed
     /// silent past the stall limit, so the user gave up.
     Starved,
@@ -67,6 +72,7 @@ impl SessionOutcome {
             SessionOutcome::Blocked => "blocked",
             SessionOutcome::TimedOut => "timed-out",
             SessionOutcome::ServerDown => "server-down",
+            SessionOutcome::Rejected => "rejected",
             SessionOutcome::Starved => "starved",
             SessionOutcome::Aborted => "aborted",
             SessionOutcome::Failed => "failed",
@@ -110,6 +116,13 @@ pub struct SessionMetrics {
     pub cpu_utilization: f64,
     /// Wall duration from session start to finish.
     pub session_time: SimDuration,
+    /// Replica that served the (final) attempt. Always 0 without a
+    /// gateway; with one, the replica the session ended on.
+    pub served_replica: u8,
+    /// Wall time from the first crash-triggered gateway redirect to the
+    /// first frame played afterwards — the failover recovery time. `None`
+    /// when no failover happened (or playback never resumed).
+    pub failover_recovery: Option<SimDuration>,
 }
 
 impl SessionMetrics {
@@ -132,6 +145,8 @@ impl SessionMetrics {
             startup_delay: None,
             cpu_utilization: 0.0,
             session_time: SimDuration::ZERO,
+            served_replica: 0,
+            failover_recovery: None,
         }
     }
 }
@@ -209,6 +224,8 @@ pub fn finalize(
             (playout.decode_busy.as_secs_f64() / session_time.as_secs_f64()).min(1.0)
         },
         session_time,
+        served_replica: 0,
+        failover_recovery: None,
     }
 }
 
@@ -227,7 +244,7 @@ mod tests {
     }
 
     /// Every variant of the taxonomy, exactly once.
-    fn all_outcomes() -> [SessionOutcome; 9] {
+    fn all_outcomes() -> [SessionOutcome; 10] {
         [
             SessionOutcome::Played,
             SessionOutcome::PlayedDegraded {
@@ -239,6 +256,7 @@ mod tests {
             SessionOutcome::Blocked,
             SessionOutcome::TimedOut,
             SessionOutcome::ServerDown,
+            SessionOutcome::Rejected,
             SessionOutcome::Starved,
             SessionOutcome::Aborted,
             SessionOutcome::Failed,

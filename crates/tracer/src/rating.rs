@@ -118,6 +118,8 @@ mod tests {
             startup_delay: None,
             cpu_utilization: 0.1,
             session_time: SimDuration::from_secs(60),
+            served_replica: 0,
+            failover_recovery: None,
         }
     }
 

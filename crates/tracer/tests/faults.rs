@@ -62,6 +62,7 @@ fn server_never_up_is_server_down() {
         server_crashes: vec![ServerCrash {
             at: SimTime::ZERO,
             restart_after: None,
+            replica: 0,
         }],
         ..FaultPlan::none()
     };
@@ -85,6 +86,7 @@ fn crash_mid_play_with_restart_recovers_degraded() {
         server_crashes: vec![ServerCrash {
             at: SimTime::from_secs(10),
             restart_after: Some(SimDuration::from_secs(3)),
+            replica: 0,
         }],
         ..FaultPlan::none()
     };

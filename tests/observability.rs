@@ -6,7 +6,9 @@
 
 use rv_sim::trace::{self, TraceEvent};
 use rv_sim::{Counter, FaultScenario, SimTime};
-use rv_study::{plan_campaign, run_campaign_with_records, trace_session, StudyParams, TraceError};
+use rv_study::{
+    plan_campaign, run_campaign_with_records, trace_session, GatewayPolicy, StudyParams, TraceError,
+};
 
 fn params() -> StudyParams {
     StudyParams {
@@ -146,6 +148,105 @@ fn trace_counters_match_the_recorded_timeline() {
             + traced.counters.get(Counter::DropsOutage),
         drops
     );
+}
+
+#[test]
+fn gateway_trace_tells_the_failover_story() {
+    // Every replicated session opens with a gateway_route event naming
+    // the chosen replica; a crash on the serving replica shows up as a
+    // gateway_redirect carrying the hop's reason. Walk the crash-bearing
+    // keys until one session actually hopped.
+    let params = StudyParams {
+        scale: 0.05,
+        faults: FaultScenario::default_on(),
+        replicas: 2,
+        gateway: GatewayPolicy::Sticky,
+        ..StudyParams::default()
+    };
+    let plan = plan_campaign(params);
+    let mut crash_keys = Vec::new();
+    for user_idx in 0..plan.num_users() {
+        for job in plan.user_jobs(user_idx) {
+            if job.available && !job.fault_plan.server_crashes.is_empty() {
+                crash_keys.push((job.user_id, plan.clip_names[job.playlist_slot].to_string()));
+            }
+        }
+    }
+    assert!(
+        !crash_keys.is_empty(),
+        "no crash-faulted session at this scale"
+    );
+
+    let mut redirected = None;
+    for (user_id, clip) in &crash_keys {
+        let traced = trace_session(params, *user_id, clip).unwrap();
+        assert!(
+            traced
+                .records
+                .iter()
+                .any(|r| r.ev.name() == "gateway_route"),
+            "replicated session traced without a gateway_route event"
+        );
+        if traced
+            .records
+            .iter()
+            .any(|r| r.ev.name() == "gateway_redirect")
+        {
+            redirected = Some((*user_id, clip.clone(), traced));
+            break;
+        }
+    }
+    let (user_id, clip, traced) =
+        redirected.expect("no crash-bearing session ever hopped replicas");
+
+    // The timeline and the counter registry agree on the hop count, and
+    // the JSONL export spells out where the session went and why.
+    let redirects = traced
+        .records
+        .iter()
+        .filter(|r| r.ev.name() == "gateway_redirect")
+        .count() as u64;
+    assert_eq!(traced.counters.get(Counter::GatewayRedirects), redirects);
+    let jsonl = traced.to_jsonl();
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains("\"ev\":\"gateway_redirect\""))
+        .expect("redirect missing from the JSONL export");
+    for field in ["\"from\":", "\"to\":", "\"reason\":\""] {
+        assert!(line.contains(field), "bad redirect line: {line}");
+    }
+    let chrome = traced.to_chrome_trace();
+    let begins = chrome.matches("\"ph\":\"B\"").count();
+    let ends = chrome.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced spans in the chrome export");
+
+    // Tracing a replicated session is still a pure observation of the
+    // campaign: the record for that key carries the same metrics.
+    let data = run_campaign_with_records(params).unwrap();
+    let row = data
+        .records()
+        .iter()
+        .find(|r| r.user_id == user_id && r.clip_name.as_ref() == clip)
+        .expect("traced session missing from campaign records");
+    assert_eq!(traced.metrics, row.metrics);
+    assert_eq!(traced.counters, row.counters);
+
+    // And with the knob at its default the same key traces without any
+    // gateway vocabulary at all — the schema of the classic study is
+    // untouched.
+    let classic = trace_session(
+        StudyParams {
+            replicas: 1,
+            ..params
+        },
+        user_id,
+        &clip,
+    )
+    .unwrap();
+    assert!(classic
+        .records
+        .iter()
+        .all(|r| !r.ev.name().starts_with("gateway")));
 }
 
 #[test]
