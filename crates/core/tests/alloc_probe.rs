@@ -146,12 +146,13 @@ fn alloc_breakdown_per_session() {
         println!("  {n:>5}  {site}");
     }
 
-    // The ISSUE 7 acceptance bar is <1,000 per session campaign-wide;
-    // the steady-state figure excludes campaign fixed costs, so it must
-    // clear the same bar with room to spare.
+    // Measured steady state is ~731 allocs/session (scratch arena +
+    // schedule/topology caches); the budget sits close enough above it
+    // that any allocation creep on the session hot path trips this
+    // probe rather than hiding under an old slack bound.
     assert!(
-        per_session < 1_000.0,
-        "allocation budget blown: {per_session:.1} allocs/session (budget 1,000)"
+        per_session < 800.0,
+        "allocation budget blown: {per_session:.1} allocs/session (budget 800)"
     );
 }
 

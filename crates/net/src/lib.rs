@@ -23,4 +23,4 @@ pub use congestion::{CongestionParams, CongestionProcess};
 pub use link::{Link, LinkParams, LinkStats};
 pub use network::{LinkId, Network, RouteId};
 pub use packet::{Addr, HostId, NodeId, Packet};
-pub use topology::{BuildNode, NetBuilder};
+pub use topology::{BuildNode, NetBuilder, PrototypeCache, TopologyPrototype};

@@ -5,7 +5,7 @@
 //! and `recv` delivered packets from per-host inboxes. `next_wake` reports
 //! when the network next needs attention.
 //!
-//! The hot path is event-driven rather than scan-the-world:
+//! The hot path does no per-packet scheduling at all:
 //!
 //! - Routes are **interned** at [`Network::set_route`] time into an indexed
 //!   table (`RouteId` → `Arc<[LinkId]>`). `send` resolves the route once
@@ -13,20 +13,33 @@
 //!   every packet carries `(RouteId, hop)` through the links as an opaque
 //!   tag, so per-hop forwarding is two array indexes — no map lookup,
 //!   no O(route-length) scan for "which hop is this link".
-//! - A **due-time index** (`link_wake`, a [`TimerWheel<LinkId>`]) tracks
-//!   when each serving link completes, so `poll(now)` touches only links
-//!   with work due instead of iterating every link. The wheel holds exactly
-//!   one entry per serving link (pushed on idle→serving, refreshed after a
-//!   drain), so `next_wake` is an O(1) peek with no stale entries — and
-//!   schedule/advance are O(1) slot operations instead of heap sifts.
-//!   In-flight propagation arrivals ride a second wheel with the same
-//!   `(at, seq)` FIFO pop order the old `EventQueue` heap guaranteed.
+//! - In-flight propagation rides per-link **delay lines** instead of
+//!   per-packet timer events. A link is a fixed-delay, rate-limited FIFO:
+//!   while it stays busy, serialization completions are monotonic
+//!   (service time is at least 1 µs) and the propagation delay is
+//!   constant, so arrivals on any one link append in order. The rare
+//!   exception — a sparsely polled link drained idle, then handed a
+//!   backdated forwarding enqueue — sort-inserts instead. Each line is a
+//!   `VecDeque` of in-flight packets stamped with a global push sequence,
+//!   kept sorted by `(arrival, seq)`; due heads are merged by that key,
+//!   which reproduces exactly the global FIFO pop order a per-packet
+//!   timer queue would have produced.
+//! - There is no due-time index: a session topology has a handful of
+//!   links, so the earliest pending instant — the minimum over each
+//!   link's in-service completion and each delay line's head arrival —
+//!   is maintained as two eager scalar minima (`service_next`,
+//!   `arrival_next`): O(1) folds on enqueue/push, one short scan at poll
+//!   exit. A timer wheel at this fan-in costs more in insert/cascade
+//!   traffic than the scan it saves (measured: the wheel-indexed
+//!   scheduler cascaded ~0.4 entries per delivered packet; the scan
+//!   cascades zero).
 //!
 //! Determinism: links due at the same instant drain in ascending `LinkId`
-//! order — the same order the scan-all loop used — and in-flight arrivals
-//! tie-break FIFO, so the wake-scheduled schedule is bit-identical to the
-//! reference scan ([`Network::poll_scan_all`], retained for the
-//! equivalence property tests).
+//! order — the same order the reference scan loop uses — and in-flight
+//! arrivals tie-break FIFO on their global push sequence, so the schedule
+//! is bit-identical to [`Network::poll_scan_all`] and to the retained
+//! per-packet wheel path ([`Network::set_inflight_wheel_mode`]), both kept
+//! for the equivalence property tests.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -73,6 +86,16 @@ struct Transit<P> {
     hop: u32,
 }
 
+/// One entry in a per-link delay line: a [`Transit`] plus the arrival
+/// instant and the global push sequence that orders same-instant arrivals
+/// across lines exactly as the per-packet wheel's internal FIFO did.
+#[derive(Debug, Clone)]
+struct InFlight<P> {
+    at: SimTime,
+    seq: u64,
+    transit: Transit<P>,
+}
+
 /// The simulated network.
 #[derive(Debug)]
 pub struct Network<P> {
@@ -91,13 +114,37 @@ pub struct Network<P> {
     /// once issued; replaced routes leave their entry in place so stale
     /// ids can still be resolved for the misrouted check.
     route_table: Vec<Arc<[LinkId]>>,
-    /// Due-time index over serving links: exactly one entry per link with
-    /// a serialization in progress, keyed by its completion time.
-    link_wake: TimerWheel<LinkId>,
-    /// Scratch buffer for the due links of one poll round (reused so the
-    /// hot path never allocates).
-    due_scratch: Vec<LinkId>,
-    /// Packets that finished a link and are propagating.
+    /// Per-link delay lines: packets that finished serializing on a link
+    /// and are propagating toward its far end, in (monotonic) arrival
+    /// order. Indexed by `LinkId`.
+    lines: Vec<VecDeque<InFlight<P>>>,
+    /// Emptied delay lines recycled across rebuilds, like `spare_inboxes`.
+    spare_lines: Vec<VecDeque<InFlight<P>>>,
+    /// Global stamp assigned to each in-flight push, so cross-line merges
+    /// reproduce the per-packet wheel's FIFO tie-break.
+    transit_seq: u64,
+    /// Delay-line observability: head exposures the scheduler scan must
+    /// notice (a push to an empty line, or a pop that uncovers a
+    /// successor), and packets that joined a busy line with no scheduler
+    /// interaction at all.
+    head_updates: u64,
+    bypass_packets: u64,
+    /// Earliest in-service completion across all links. Kept *exact* at
+    /// every public-API boundary: enqueues fold their (exact) completion
+    /// in O(1), drains recompute once at poll exit. Exactness matters —
+    /// a conservatively-early value would manufacture spurious wake
+    /// instants and change driver-visible timing.
+    service_next: Option<SimTime>,
+    /// Earliest delay-line head across all lines, maintained with the
+    /// same exactness discipline (pushes fold in O(1); the delivery
+    /// merge's exit scan recomputes).
+    arrival_next: Option<SimTime>,
+    /// Reference mode: route in-flight packets through the retained
+    /// per-packet wheel instead of the delay lines. Equivalence spec for
+    /// the property tests; not for production use.
+    inflight_wheel_mode: bool,
+    /// Packets that finished a link and are propagating (reference mode
+    /// only; empty while delay lines are active).
     in_flight: TimerWheel<Transit<P>>,
     inboxes: Vec<VecDeque<Packet<P>>>,
     /// Emptied inboxes recycled across [`Network::reset_for_rebuild`]
@@ -121,8 +168,14 @@ impl<P> Network<P> {
             links: Vec::new(),
             route_ids: Vec::new(),
             route_table: Vec::new(),
-            link_wake: TimerWheel::new(),
-            due_scratch: Vec::new(),
+            lines: Vec::new(),
+            spare_lines: Vec::new(),
+            transit_seq: 0,
+            head_updates: 0,
+            bypass_packets: 0,
+            service_next: None,
+            arrival_next: None,
+            inflight_wheel_mode: false,
             in_flight: TimerWheel::new(),
             inboxes: Vec::new(),
             spare_inboxes: Vec::new(),
@@ -192,6 +245,7 @@ impl<P> Network<P> {
         let mut link = Link::new(from, to, params, rng);
         link.set_trace_tag(id.0);
         self.links.push(link);
+        self.lines.push(self.spare_lines.pop().unwrap_or_default());
         id
     }
 
@@ -219,6 +273,33 @@ impl<P> Network<P> {
         self.route_ids[slot] = rid.0;
     }
 
+    /// Interns a pre-validated shared route, as [`Network::set_route`]
+    /// but cloning an `Arc` from a [`crate::TopologyPrototype`] instead of
+    /// allocating and re-walking the link sequence. Route ids are issued
+    /// in call order, so installing a prototype's routes in recorded order
+    /// yields the identical id assignment (and therefore identical packet
+    /// tags) as the BFS build it was derived from.
+    pub fn install_route(&mut self, src: HostId, dst: HostId, route: Arc<[LinkId]>) {
+        debug_assert!(!route.is_empty(), "route must have at least one link");
+        debug_assert!({
+            let mut at = self.host_node(src);
+            for lid in route.iter() {
+                let link = &self.links[lid.0 as usize];
+                assert_eq!(
+                    link.from, at,
+                    "route hop does not start where previous ended"
+                );
+                at = link.to;
+            }
+            at == self.host_node(dst)
+        });
+        let rid = RouteId(self.route_table.len() as u32);
+        assert!(rid.0 != NO_ROUTE, "route id space exhausted");
+        self.route_table.push(route);
+        let slot = self.route_slot(src, dst);
+        self.route_ids[slot] = rid.0;
+    }
+
     /// Whether a route exists between two hosts.
     pub fn has_route(&self, src: HostId, dst: HostId) -> bool {
         self.route_id(src, dst).is_some()
@@ -242,89 +323,95 @@ impl<P> Network<P> {
         self.enqueue_on_link(first, now, packet, pack_tag(rid, 0))
     }
 
-    /// Enqueues on a link, keeping the due-time index in sync: when the
-    /// link transitions idle → serving, its completion time enters
-    /// `link_wake`. (A link already serving keeps its existing entry; the
-    /// in-service completion time never changes under enqueue.)
+    /// Enqueues on a link, folding the link's (possibly new) in-service
+    /// completion into the eager service minimum. An already-serving
+    /// link's completion never changes under enqueue, so the fold is a
+    /// no-op then; an idle→serving transition contributes its exact time.
     fn enqueue_on_link(&mut self, lid: LinkId, now: SimTime, packet: Packet<P>, tag: u64) -> bool {
         let link = &mut self.links[lid.0 as usize];
-        let was_serving = link.next_wake().is_some();
         let accepted = link.enqueue_tagged(now, packet, tag);
-        if !was_serving {
-            if let Some(t) = link.next_wake() {
-                self.link_wake.push(t, lid);
-            }
-        }
+        self.service_next = earliest([self.service_next, link.next_wake()]);
         accepted
+    }
+
+    /// Recomputes the eager service minimum from scratch — the O(links)
+    /// fallback for mutations that can move a completion *later* (drains,
+    /// outages).
+    fn recompute_service_next(&mut self) {
+        let mut next = None;
+        for link in &self.links {
+            next = earliest([next, link.next_wake()]);
+        }
+        self.service_next = next;
     }
 
     /// Processes all work due by `now`: link serializations and propagation
     /// arrivals, forwarding packets along their routes. Returns the number
     /// of packets that moved.
     ///
-    /// Wake-scheduled: only links whose in-service completion is due are
-    /// touched, via the `link_wake` index. Ties at one instant drain in
-    /// ascending `LinkId` order, matching [`Network::poll_scan_all`].
+    /// Due links are discovered by scanning every link in ascending
+    /// `LinkId` order — identical to [`Network::poll_scan_all`] except for
+    /// the memoized nothing-due fast path and the per-link due pre-check.
     pub fn poll(&mut self, now: SimTime) -> usize {
-        // Fast path: nothing due. Equivalent to running the loop body once
-        // and finding both wheels empty, at the cost of two cached reads —
-        // drivers re-poll every settle iteration, so this is the common
-        // case.
+        // Fast path: nothing due. Drivers re-poll every settle iteration,
+        // so this single cached read is the common case.
         if self.next_wake().is_none_or(|t| t > now) {
             return 0;
         }
         let mut moved = 0;
+        let mut any_drained = false;
         loop {
-            // Collect the links with serializations due. Each serving link
-            // has exactly one entry, so popping yields each due link once.
-            let mut due = std::mem::take(&mut self.due_scratch);
-            due.clear();
-            while let Some(ev) = self.link_wake.pop_due(now) {
-                due.push(ev.event);
+            let mut drained = false;
+            for i in 0..self.links.len() {
+                if self.links[i].next_wake().is_some_and(|t| t <= now) {
+                    moved += self.drain_link(LinkId(i as u32), now, &mut drained);
+                }
             }
-            due.sort_unstable();
-            due.dedup();
-
-            let mut progress = false;
-            for &lid in &due {
-                moved += self.drain_link(lid, now, &mut progress);
-            }
-            self.due_scratch = due;
-
-            moved += self.deliver_due(now, &mut progress);
-            if !progress {
-                return moved;
+            any_drained |= drained;
+            // Another round is needed only when forwarding parked a
+            // serialization completing by `now`: a drained link never
+            // stays due (`Link::poll` loops until its completion passes
+            // `now`), and drain-side pushes due by `now` are consumed by
+            // the deliver pass in this same round.
+            let mut requeue = false;
+            let mut progress = drained;
+            moved += self.deliver_due(now, &mut progress, &mut requeue);
+            if !requeue {
+                break;
             }
         }
+        if any_drained {
+            // Drains move completions later; only then is the eager
+            // service minimum stale and worth the O(links) refresh.
+            self.recompute_service_next();
+        }
+        moved
     }
 
     /// Reference scheduler: identical semantics to [`Network::poll`], but
-    /// discovers due links by scanning every link instead of consulting
-    /// the due-time index. Retained so property tests can prove the
-    /// wake-scheduled path delivers the identical packet sequence; not
-    /// for production use (O(links) per call).
+    /// with no fast path and no due pre-check — every link is drained
+    /// unconditionally every round. Retained so property tests can prove
+    /// the production path delivers the identical packet sequence.
     #[doc(hidden)]
     pub fn poll_scan_all(&mut self, now: SimTime) -> usize {
         let mut moved = 0;
         loop {
-            // Keep the due-time index coherent for any later wake-scheduled
-            // calls: due entries are consumed here exactly as poll() would.
-            while self.link_wake.pop_due(now).is_some() {}
-
             let mut progress = false;
+            let mut requeue = false;
             for i in 0..self.links.len() {
                 moved += self.drain_link(LinkId(i as u32), now, &mut progress);
             }
 
-            moved += self.deliver_due(now, &mut progress);
+            moved += self.deliver_due(now, &mut progress, &mut requeue);
             if !progress {
+                self.recompute_service_next();
                 return moved;
             }
         }
     }
 
-    /// Drains one link's due serializations into `in_flight`, validating
-    /// each packet's route id and re-registering the link's next wake.
+    /// Drains one link's due serializations into its delay line (or the
+    /// reference per-packet wheel), validating each packet's route id.
     /// Returns the number of packets that moved onward (misrouted drops
     /// count as progress but not movement — consistently with the
     /// propagation arm).
@@ -333,6 +420,12 @@ impl<P> Network<P> {
             links,
             host_nodes,
             route_ids,
+            lines,
+            transit_seq,
+            head_updates,
+            bypass_packets,
+            arrival_next,
+            inflight_wheel_mode,
             in_flight,
             misrouted,
             ..
@@ -347,7 +440,53 @@ impl<P> Network<P> {
             // counted rather than panicking the simulation.
             let slot = packet.src.host.0 as usize * num_hosts + packet.dst.host.0 as usize;
             if route_ids[slot] == route.0 {
-                in_flight.push(arrive_at, Transit { packet, route, hop });
+                let transit = Transit { packet, route, hop };
+                if *inflight_wheel_mode {
+                    in_flight.push(arrive_at, transit);
+                } else {
+                    // Arrivals on one link are monotonic while the link
+                    // stays busy (FIFO serialization with service ≥ 1 µs,
+                    // constant propagation), so appending keeps the line
+                    // sorted in the overwhelmingly common case. Sparse
+                    // polling breaks the guarantee: an idle link drained
+                    // at completion C can take a forwarding enqueue
+                    // backdated to an arrival instant < C and finish it
+                    // before C. Those stragglers sort-insert so the line
+                    // stays ordered by `(at, seq)` — the merge's exactness
+                    // contract — under any poll pattern.
+                    let line = &mut lines[lid.0 as usize];
+                    let seq = *transit_seq;
+                    *transit_seq += 1;
+                    let new_head = if line.back().is_none_or(|b| b.at <= arrive_at) {
+                        let was_empty = line.is_empty();
+                        line.push_back(InFlight {
+                            at: arrive_at,
+                            seq,
+                            transit,
+                        });
+                        was_empty
+                    } else {
+                        // Earlier entries all carry smaller seqs, so
+                        // ordering by `at` alone places the straggler
+                        // after every same-instant predecessor.
+                        let pos = line.partition_point(|e| e.at <= arrive_at);
+                        line.insert(
+                            pos,
+                            InFlight {
+                                at: arrive_at,
+                                seq,
+                                transit,
+                            },
+                        );
+                        pos == 0
+                    };
+                    if new_head {
+                        *head_updates += 1;
+                        *arrival_next = earliest([*arrival_next, Some(arrive_at)]);
+                    } else {
+                        *bypass_packets += 1;
+                    }
+                }
                 moved += 1;
             } else {
                 *misrouted += 1;
@@ -355,16 +494,124 @@ impl<P> Network<P> {
         });
         if drained > 0 {
             *progress = true;
-            if let Some(t) = link.next_wake() {
-                self.link_wake.push(t, lid);
-            }
         }
         moved
     }
 
     /// Delivers propagation arrivals due by `now`, forwarding each packet
     /// to its next hop or its destination inbox. Returns packets moved.
-    fn deliver_due(&mut self, now: SimTime, progress: &mut bool) -> usize {
+    fn deliver_due(&mut self, now: SimTime, progress: &mut bool, requeue: &mut bool) -> usize {
+        if self.inflight_wheel_mode {
+            self.deliver_due_wheel(now, progress, requeue)
+        } else {
+            self.deliver_due_lines(now, progress, requeue)
+        }
+    }
+
+    /// Line-mode delivery: k-way merges the due line heads by `(at, seq)`
+    /// — the exact global pop order a per-packet timer queue would
+    /// produce. The merge is a repeated linear min scan: the line count is
+    /// a topology-sized handful, so the scan beats any heap and allocates
+    /// nothing.
+    fn deliver_due_lines(
+        &mut self,
+        now: SimTime,
+        progress: &mut bool,
+        requeue: &mut bool,
+    ) -> usize {
+        // Exact fast path: `arrival_next` is exact on entry — exact at the
+        // poll boundary, and the round's drains only *fold* head arrivals
+        // into it (pops happen nowhere but here, and every exit below
+        // leaves it exact again) — so one read settles "nothing due".
+        if self.arrival_next.is_none_or(|t| t > now) {
+            return 0;
+        }
+        let mut moved = 0;
+        loop {
+            // One scan finds the earliest due head and the runner-up key;
+            // the inner loop then drains a whole *run* from the winning
+            // line — every consecutive entry still ahead of the runner-up
+            // — so bursts on one link (the common case) cost one scan, not
+            // one per packet.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            let mut second: Option<(SimTime, u64)> = None;
+            let mut min_head: Option<SimTime> = None;
+            for (li, line) in self.lines.iter().enumerate() {
+                if let Some(head) = line.front() {
+                    min_head = earliest([min_head, Some(head.at)]);
+                    if head.at <= now {
+                        let key = (head.at, head.seq);
+                        match best {
+                            Some((at, seq, _)) if key < (at, seq) => {
+                                second = Some((at, seq));
+                                best = Some((head.at, head.seq, li));
+                            }
+                            Some(_) => {
+                                if second.is_none_or(|s| key < s) {
+                                    second = Some(key);
+                                }
+                            }
+                            None => best = Some((head.at, head.seq, li)),
+                        }
+                    }
+                }
+            }
+            let Some((_, _, li)) = best else {
+                // Exit scan: no due heads remain, and `min_head` is the
+                // exact minimum over every surviving (future) head.
+                self.arrival_next = min_head;
+                break;
+            };
+            *progress = true;
+            while let Some(head) = self.lines[li].front() {
+                if head.at > now || second.is_some_and(|s| s < (head.at, head.seq)) {
+                    break;
+                }
+                let ent = self.lines[li].pop_front().expect("due head checked");
+                if !self.lines[li].is_empty() {
+                    // The pop exposed a successor head the scheduler scan
+                    // must now track.
+                    self.head_updates += 1;
+                }
+                let Transit { packet, route, hop } = ent.transit;
+                // Same staleness rule as the serialization arm: a replaced
+                // route strands the packet, counted not panicked.
+                if self.route_id(packet.src.host, packet.dst.host) != Some(route) {
+                    self.misrouted += 1;
+                    continue;
+                }
+                let links = &self.route_table[route.0 as usize];
+                if hop as usize + 1 >= links.len() {
+                    self.inboxes[packet.dst.host.0 as usize].push_back(packet);
+                    self.delivered += 1;
+                } else {
+                    let next = links[hop as usize + 1];
+                    self.enqueue_on_link(next, ent.at, packet, pack_tag(route, hop + 1));
+                    // A late-arriving packet (ent.at < now) can finish
+                    // serializing by `now`; only then does the caller need
+                    // another drain round.
+                    if self.links[next.0 as usize]
+                        .next_wake()
+                        .is_some_and(|t| t <= now)
+                    {
+                        *requeue = true;
+                    }
+                }
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Reference (wheel-mode) delivery: pops per-packet arrivals in
+    /// `(at, seq)` order. Retained as the executable spec the delay-line
+    /// equivalence property tests pin against.
+    fn deliver_due_wheel(
+        &mut self,
+        now: SimTime,
+        progress: &mut bool,
+        requeue: &mut bool,
+    ) -> usize {
         let mut moved = 0;
         while let Some(ev) = self.in_flight.pop_due(now) {
             let Transit { packet, route, hop } = ev.event;
@@ -382,17 +629,28 @@ impl<P> Network<P> {
             } else {
                 let next = links[hop as usize + 1];
                 self.enqueue_on_link(next, ev.at, packet, pack_tag(route, hop + 1));
+                if self.links[next.0 as usize]
+                    .next_wake()
+                    .is_some_and(|t| t <= now)
+                {
+                    *requeue = true;
+                }
             }
             moved += 1;
         }
         moved
     }
 
-    /// When the network next needs polling. O(1): the earliest link
-    /// completion is the top of the due-time index, the earliest arrival
-    /// the top of the propagation queue.
+    /// When the network next needs polling: the earliest over the eager
+    /// service and arrival minima (exact at every public-API boundary)
+    /// and the reference wheel's top. Three reads — drivers peek this
+    /// several times per settle iteration.
     pub fn next_wake(&self) -> Option<SimTime> {
-        earliest([self.link_wake.next_time(), self.in_flight.next_time()])
+        earliest([
+            self.service_next,
+            self.arrival_next,
+            self.in_flight.next_time(),
+        ])
     }
 
     /// Pops the next delivered packet for `host`, if any.
@@ -428,23 +686,20 @@ impl<P> Network<P> {
     }
 
     /// Takes a link down (fault injection). See [`Link::set_down`] for
-    /// the policy semantics. A flushed serialization leaves a stale
-    /// due-time entry behind; stale entries drain zero packets and are
-    /// ignored, so the index stays conservative-correct.
+    /// the policy semantics. A flush can retire the in-service packet, so
+    /// the service minimum is recomputed.
     pub fn set_link_down(&mut self, lid: LinkId, policy: OutagePolicy) {
         self.links[lid.0 as usize].set_down(policy);
+        self.recompute_service_next();
     }
 
-    /// Brings a link back up at `now`. If a carried queue resumes
-    /// serializing, the link's new completion time enters the due-time
-    /// index here — the idle→serving transition `enqueue_on_link`
-    /// normally covers.
+    /// Brings a link back up at `now`. A carried queue that resumes
+    /// serializing folds its new completion into the service minimum —
+    /// the idle→serving transition `enqueue_on_link` normally covers.
     pub fn set_link_up(&mut self, now: SimTime, lid: LinkId) {
         let link = &mut self.links[lid.0 as usize];
         link.set_up(now);
-        if let Some(t) = link.next_wake() {
-            self.link_wake.push(t, lid);
-        }
+        self.service_next = earliest([self.service_next, link.next_wake()]);
     }
 
     /// `true` while a link is administratively down.
@@ -478,11 +733,35 @@ impl<P> Network<P> {
         self.links.len()
     }
 
-    /// Total timer-wheel cascade work done by this network's due-time
-    /// indexes since the last rebuild — the `wheel_cascades` campaign
-    /// counter.
+    /// Total timer-wheel cascade work done by this network since the last
+    /// rebuild — the `wheel_cascades` campaign counter. The production
+    /// path has no wheel at all, so this is zero outside the reference
+    /// per-packet wheel mode.
     pub fn wheel_cascades(&self) -> u64 {
-        self.link_wake.cascades() + self.in_flight.cascades()
+        self.in_flight.cascades()
+    }
+
+    /// Delay-line observability: `(head_updates, bypass_packets)`. Head
+    /// updates are line-head exposures — the instants the scheduler scan
+    /// must track; bypass packets joined a busy line behind an earlier
+    /// head — the per-packet scheduling events the delay lines eliminated.
+    pub fn delayline_stats(&self) -> (u64, u64) {
+        (self.head_updates, self.bypass_packets)
+    }
+
+    /// Routes in-flight packets through the retained per-packet wheel
+    /// instead of the delay lines. The two paths are observationally
+    /// identical (the equivalence property tests pin this); the wheel path
+    /// exists only as their executable spec. Call on an idle network —
+    /// switching with packets in flight would strand them in the inactive
+    /// index.
+    #[doc(hidden)]
+    pub fn set_inflight_wheel_mode(&mut self, wheel: bool) {
+        debug_assert!(
+            self.in_flight.next_time().is_none() && self.lines.iter().all(VecDeque::is_empty),
+            "mode switch with packets in flight"
+        );
+        self.inflight_wheel_mode = wheel;
     }
 
     /// Scrubs every piece of topology and traffic state while keeping the
@@ -496,8 +775,15 @@ impl<P> Network<P> {
         self.links.clear();
         self.route_ids.clear();
         self.route_table.clear();
-        self.link_wake.reset();
-        self.due_scratch.clear();
+        for mut line in self.lines.drain(..) {
+            line.clear();
+            self.spare_lines.push(line);
+        }
+        self.transit_seq = 0;
+        self.head_updates = 0;
+        self.bypass_packets = 0;
+        self.service_next = None;
+        self.arrival_next = None;
         self.in_flight.reset();
         for mut q in self.inboxes.drain(..) {
             q.clear();

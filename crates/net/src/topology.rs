@@ -7,6 +7,7 @@
 //! between every pair of hosts automatically.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rv_sim::SimRng;
 
@@ -101,6 +102,88 @@ impl NetBuilder {
         self.build_onto(rng, net)
     }
 
+    /// Computes this builder's routing structure once, for reuse by
+    /// [`NetBuilder::build_from_prototype_into`] across every later build
+    /// of the same shape. Routes depend only on node/host declarations and
+    /// link endpoints — never on link parameters or RNG draws — so one
+    /// prototype serves every session whose topology differs only in
+    /// rates, delays, and loss.
+    pub fn prototype(&self) -> TopologyPrototype {
+        let mut adj: Vec<Vec<(u32, LinkId)>> = vec![Vec::new(); self.net_nodes as usize];
+        for (i, (from, to, _)) in self.links.iter().enumerate() {
+            adj[*from as usize].push((*to, LinkId(i as u32)));
+        }
+        // Record routes in exactly the host-pair order `build_onto`
+        // installs them, so replaying them through
+        // `Network::install_route` issues identical route ids.
+        let mut routes = Vec::new();
+        for (src_pos, src_idx) in self.hosts.iter().enumerate() {
+            let preds = bfs(&adj, *src_idx, self.net_nodes);
+            for (dst_pos, dst_idx) in self.hosts.iter().enumerate() {
+                if src_idx == dst_idx {
+                    continue;
+                }
+                if let Some(route) = trace(&preds, *src_idx, *dst_idx) {
+                    routes.push((
+                        HostId(src_pos as u32),
+                        HostId(dst_pos as u32),
+                        Arc::from(route),
+                    ));
+                }
+            }
+        }
+        TopologyPrototype {
+            net_nodes: self.net_nodes,
+            hosts: self.hosts.clone(),
+            link_ends: self.links.iter().map(|(f, t, _)| (*f, *t)).collect(),
+            routes,
+        }
+    }
+
+    /// As [`NetBuilder::build_with_payload_into`] but installing the
+    /// prototype's pre-computed routes instead of re-running BFS: nodes
+    /// and links are created exactly as a full build would (same ids,
+    /// same per-link RNG fork order, this builder's own parameters), then
+    /// each cached route `Arc` is cloned into the route table in recorded
+    /// order. The result is bit-identical to a full build; it merely
+    /// skips the per-session routing work and its allocations.
+    ///
+    /// Panics if the prototype was derived from a structurally different
+    /// builder (see [`TopologyPrototype::matches`]).
+    pub fn build_from_prototype_into<P>(
+        self,
+        rng: &mut SimRng,
+        mut net: Network<P>,
+        proto: &TopologyPrototype,
+    ) -> Network<P> {
+        assert!(
+            proto.matches(&self),
+            "topology prototype does not match builder structure"
+        );
+        net.reset_for_rebuild();
+        // Node ids are issued sequentially, so builder index == node id —
+        // no mapping table needed.
+        for idx in 0..self.net_nodes {
+            if self.hosts.contains(&idx) {
+                net.add_host();
+            } else {
+                net.add_node();
+            }
+        }
+        for (from, to, params) in &self.links {
+            net.add_link(
+                NodeId(*from),
+                NodeId(*to),
+                *params,
+                rng.fork(u64::from(*from) << 32 | u64::from(*to)),
+            );
+        }
+        for (src, dst, route) in &proto.routes {
+            net.install_route(*src, *dst, Arc::clone(route));
+        }
+        net
+    }
+
     fn build_onto<P>(self, rng: &mut SimRng, mut net: Network<P>) -> Network<P> {
         // Create nodes in declaration order so ids match handles.
         let mut node_ids: Vec<NodeId> = Vec::with_capacity(self.net_nodes as usize);
@@ -140,6 +223,91 @@ impl NetBuilder {
             }
         }
         net
+    }
+}
+
+/// A topology's pre-computed routing structure: the BFS shortest-hop
+/// route set for one graph shape, shared across every session that builds
+/// it. Produced by [`NetBuilder::prototype`], consumed by
+/// [`NetBuilder::build_from_prototype_into`].
+///
+/// Soundness does not rest on any cache key discipline: the prototype
+/// records the exact structure (node count, host set, link endpoints) it
+/// was derived from, and every build asserts the builder matches before a
+/// single cached route is installed. Routes are a pure function of that
+/// structure, so a matching build gets bit-identical routing.
+#[derive(Debug)]
+pub struct TopologyPrototype {
+    net_nodes: u32,
+    hosts: Vec<u32>,
+    link_ends: Vec<(u32, u32)>,
+    /// `(src, dst, links)` in exactly the order a full build would have
+    /// installed them — route-id assignment order is part of the
+    /// determinism contract.
+    routes: Vec<(HostId, HostId, Arc<[LinkId]>)>,
+}
+
+impl TopologyPrototype {
+    /// `true` when `b` declares exactly the structure this prototype was
+    /// derived from: same node count, same hosts, same link endpoints in
+    /// the same order. Link *parameters* are deliberately not compared —
+    /// routing never depends on them.
+    pub fn matches(&self, b: &NetBuilder) -> bool {
+        self.net_nodes == b.net_nodes
+            && self.hosts == b.hosts
+            && self.link_ends.len() == b.links.len()
+            && self
+                .link_ends
+                .iter()
+                .zip(b.links.iter())
+                .all(|(&(f, t), &(bf, bt, _))| f == bf && t == bt)
+    }
+
+    /// Number of cached routes.
+    pub fn num_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The recorded route between two hosts, if one exists. The route
+    /// set is a handful of entries, so a linear scan beats any index.
+    pub fn route(&self, src: HostId, dst: HostId) -> Option<&[LinkId]> {
+        self.routes
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map(|(_, _, links)| links.as_ref())
+    }
+}
+
+/// A worker-owned pool of [`TopologyPrototype`]s, looked up by structural
+/// match. Campaign topologies collapse to one shape per replica count, so
+/// the pool holds a handful of entries and lookup is a short linear scan
+/// over O(links) endpoint comparisons — cheaper than hashing, and immune
+/// to key/structure drift by construction.
+#[derive(Debug, Default)]
+pub struct PrototypeCache {
+    entries: Vec<Arc<TopologyPrototype>>,
+}
+
+impl PrototypeCache {
+    /// The prototype for `b`'s structure, computing and caching it on
+    /// first sight.
+    pub fn get_or_build(&mut self, b: &NetBuilder) -> Arc<TopologyPrototype> {
+        if let Some(p) = self.entries.iter().find(|p| p.matches(b)) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(b.prototype());
+        self.entries.push(Arc::clone(&p));
+        p
+    }
+
+    /// Number of distinct structures seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no structure has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 

@@ -3,8 +3,8 @@
 //! link accounting always balances.
 
 use proptest::prelude::*;
-use rv_net::{Addr, HostId, LinkParams, NetBuilder, Packet};
-use rv_sim::{SimDuration, SimRng, SimTime};
+use rv_net::{Addr, HostId, LinkId, LinkParams, NetBuilder, Packet};
+use rv_sim::{OutagePolicy, SimDuration, SimRng, SimTime};
 
 /// Two hosts, one duplex link with the given parameters.
 fn two_hosts(params: LinkParams, seed: u64) -> rv_net::Network<u32> {
@@ -274,5 +274,144 @@ proptest! {
         // packet that survived the links sits in z's inbox.
         prop_assert_eq!(net.inbox_len(z) as u64, net.delivered());
         prop_assert_eq!(net.misrouted(), 0);
+    }
+}
+
+/// One step of a randomized fault-and-traffic script; the raw strategy
+/// tuple is decoded by [`apply_op`] so both worlds replay the identical
+/// sequence.
+type ScriptOp = (u64, usize, usize, usize, u32, u32);
+
+/// Everything two equivalent networks must agree on after a script.
+type Observables = (Deliveries, u64, u64, u64, Vec<rv_net::LinkStats>);
+
+/// Replays a script of sends, outages, loss bursts, and route changes on a
+/// freshly built chain world, polling before every op and then settling to
+/// quiescence. `wheel_mode` selects the retained per-packet wheel path —
+/// the executable spec the delay lines must match op-for-op.
+#[allow(clippy::too_many_arguments)]
+fn run_fault_script(
+    nh: usize,
+    nr: usize,
+    params: LinkParams,
+    seed: u64,
+    ops: &[ScriptOp],
+    wheel_mode: bool,
+) -> Observables {
+    // Rebuild the same builder twice (construction is deterministic) so
+    // the prototype's recorded routes are available for route refreshes.
+    let mut b = NetBuilder::new();
+    let hosts: Vec<_> = (0..nh).map(|_| b.host()).collect();
+    let routers: Vec<_> = (0..nr).map(|_| b.router()).collect();
+    for w in routers.windows(2) {
+        b.duplex(w[0], w[1], params);
+    }
+    for (i, h) in hosts.iter().enumerate() {
+        b.duplex(*h, routers[i % nr], params);
+    }
+    let proto = b.prototype();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut net = b.build_with_payload::<u32>(&mut rng);
+    net.set_inflight_wheel_mode(wheel_mode);
+
+    let mut log = Deliveries::new();
+    let mut now_ms = 0u64;
+    for (i, &(dt_ms, kind, a, bsel, size, ppm)) in ops.iter().enumerate() {
+        now_ms += dt_ms;
+        let t = SimTime::from_millis(now_ms);
+        poll_and_drain(&mut net, nh, t, false, &mut log);
+        match kind % 4 {
+            0 => {
+                let (src, dst) = (HostId((a % nh) as u32), HostId((bsel % nh) as u32));
+                if src != dst {
+                    let pkt = Packet::new(Addr::new(src, 1), Addr::new(dst, 1), size, i as u32);
+                    net.send(t, pkt);
+                }
+            }
+            1 => {
+                let lid = LinkId((a % net.num_links()) as u32);
+                if net.link_is_down(lid) {
+                    net.set_link_up(t, lid);
+                } else if bsel % 2 == 0 {
+                    net.set_link_down(lid, OutagePolicy::DropInFlight);
+                } else {
+                    net.set_link_down(lid, OutagePolicy::CarryInFlight);
+                }
+            }
+            2 => {
+                // Loss burst; ppm == 0 restores organic loss exactly.
+                let lid = LinkId((a % net.num_links()) as u32);
+                net.set_link_extra_loss(lid, ppm);
+            }
+            _ => {
+                // Route refresh: re-installing even the same link sequence
+                // issues a fresh route id, stranding every packet already
+                // in flight on the old one (they must count `misrouted`).
+                let (src, dst) = (HostId((a % nh) as u32), HostId((bsel % nh) as u32));
+                if let Some(route) = proto.route(src, dst) {
+                    net.set_route(src, dst, route.to_vec());
+                }
+            }
+        }
+    }
+    // Restore every link so carried queues flush, then settle.
+    let end = SimTime::from_millis(now_ms);
+    for l in 0..net.num_links() {
+        let lid = LinkId(l as u32);
+        if net.link_is_down(lid) {
+            net.set_link_up(end, lid);
+        }
+    }
+    for step in 1..=120u64 {
+        let t = SimTime::from_millis(now_ms + step * 50);
+        poll_and_drain(&mut net, nh, t, false, &mut log);
+    }
+    let stats = (0..net.num_links())
+        .map(|l| net.link_stats(LinkId(l as u32)))
+        .collect();
+    assert!(net.next_wake().is_none(), "world failed to quiesce");
+    (
+        log,
+        net.delivered(),
+        net.misrouted(),
+        net.unroutable(),
+        stats,
+    )
+}
+
+proptest! {
+    /// The per-link delay lines are observationally identical to the
+    /// retained per-packet wheel under adversarial conditions the plain
+    /// traffic test never reaches: mid-flight outages of both policies,
+    /// loss bursts injected and withdrawn, and route refreshes that
+    /// strand in-flight packets (which must still count `misrouted`).
+    /// Both worlds replay the identical op script and must agree on every
+    /// delivery record, aggregate counter, and per-link stat.
+    #[test]
+    fn delay_lines_match_wheel_reference(
+        nh in 2usize..5,
+        nr in 1usize..4,
+        ops in prop::collection::vec(
+            (0u64..40, 0usize..8, 0usize..8, 0usize..8, 1u32..1500, 0u32..400_000),
+            1..80,
+        ),
+        loss in 0.0f64..0.1,
+        rate_kbps in 50u32..5_000,
+        delay_ms in 0u64..30,
+        queue_kb in 2u32..32,
+        seed in any::<u64>(),
+    ) {
+        let params = LinkParams::lan()
+            .rate(f64::from(rate_kbps) * 1e3)
+            .delay(SimDuration::from_millis(delay_ms))
+            .queue(queue_kb * 1024)
+            .loss(loss);
+        let lines = run_fault_script(nh, nr, params, seed, &ops, false);
+        let wheel = run_fault_script(nh, nr, params, seed, &ops, true);
+        prop_assert_eq!(lines.0, wheel.0);
+        prop_assert_eq!(lines.1, wheel.1, "delivered diverged");
+        prop_assert_eq!(lines.2, wheel.2, "misrouted diverged");
+        prop_assert_eq!(lines.3, wheel.3, "unroutable diverged");
+        prop_assert_eq!(lines.4, wheel.4);
     }
 }

@@ -15,7 +15,8 @@
 //!   exceeds the available rate (Scalable Video Technology),
 //! * protects UDP data with one XOR-parity packet per FEC group.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use rv_media::{packetize_frame_into, parity_packet, Clip, FrameSchedule, MediaPacket, PacketKind};
 use rv_net::Addr;
@@ -211,6 +212,77 @@ struct ActiveStream {
     last_timeout_check: SimTime,
 }
 
+/// Exact generation inputs of one frame schedule. [`FrameSchedule::generate`]
+/// is pure in these, so two lookups with equal keys are guaranteed the
+/// same schedule bit for bit — which is why a cache hit can never perturb
+/// a dump.
+type ScheduleKey = (u64, u32, u32, u64, u32, rv_media::ContentKind, u64);
+
+/// Schedules the cache holds before it wipes itself: a session touches at
+/// most a ladder's worth of rungs per server, so this bounds steady-state
+/// memory without ever evicting an entry a live stream is about to revisit.
+const SCHEDULE_CACHE_CAP: usize = 32;
+
+/// A worker-wide frame-schedule cache, shared by every server (primary
+/// and replicas) a worker builds over a campaign.
+///
+/// Keys are the **exact** inputs of [`FrameSchedule::generate`] — seed
+/// included. Seeds are derived per server from the session seed, so
+/// distinct sessions never collide and a hit returns exactly the schedule
+/// the server would have generated; the cache converts regenerations with
+/// identical inputs (rung revisits after a re-SETUP, session retries,
+/// crash/restart cycles) into `Arc` clones. It holds no RNG and draws
+/// nothing: sharing it across sessions cannot shift any random stream.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    inner: Arc<Mutex<HashMap<ScheduleKey, Arc<FrameSchedule>>>>,
+}
+
+impl ScheduleCache {
+    /// The schedule for these generation inputs, computing and caching it
+    /// on first sight.
+    pub fn get_or_generate(
+        &self,
+        enc: &rv_media::Encoding,
+        content: rv_media::ContentKind,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Arc<FrameSchedule> {
+        let key = (
+            seed,
+            enc.total_bps,
+            enc.audio_bps,
+            enc.frame_rate.to_bits(),
+            enc.keyframe_interval,
+            content,
+            duration.as_micros(),
+        );
+        let mut map = self.inner.lock().expect("schedule cache poisoned");
+        if let Some(s) = map.get(&key) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(FrameSchedule::generate(enc, content, duration, seed));
+        if map.len() >= SCHEDULE_CACHE_CAP {
+            // Entries from retired sessions can never hit again (their
+            // seeds are gone with the session), so a full wipe only costs
+            // the live session its handful of warm rungs once in a while.
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&s));
+        s
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("schedule cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Recyclable server storage harvested from a retired session's server.
 ///
 /// Everything here is capacity, not state: a server built from scratch
@@ -229,6 +301,10 @@ pub struct ServerScratch {
     payload_pool: PayloadPool,
     ctrl_buf: Vec<u8>,
     pending_reports: Vec<ReceiverReport>,
+    /// The worker-wide schedule cache, threaded through the scratch so
+    /// consecutive sessions on one worker share it (a handle, not
+    /// capacity: see [`ScheduleCache`]).
+    schedules: ScheduleCache,
 }
 
 impl Default for ServerScratch {
@@ -242,6 +318,7 @@ impl Default for ServerScratch {
             payload_pool: PayloadPool::new(),
             ctrl_buf: Vec::new(),
             pending_reports: Vec::new(),
+            schedules: ScheduleCache::default(),
         }
     }
 }
@@ -280,6 +357,8 @@ pub struct RealServer {
     payload_pool: PayloadPool,
     /// Reused staging buffer for outgoing control responses.
     ctrl_buf: Vec<u8>,
+    /// Worker-wide frame-schedule cache (see [`ScheduleCache`]).
+    schedule_cache: ScheduleCache,
 }
 
 impl RealServer {
@@ -347,8 +426,22 @@ impl RealServer {
             pkt_scratch: scratch.pkt_scratch,
             payload_pool: scratch.payload_pool,
             ctrl_buf: scratch.ctrl_buf,
+            schedule_cache: scratch.schedules,
             cfg,
         }
+    }
+
+    /// A handle to this server's schedule cache, for sharing with replica
+    /// servers of the same world (see [`ScheduleCache`]).
+    pub fn schedule_cache(&self) -> ScheduleCache {
+        self.schedule_cache.clone()
+    }
+
+    /// Points this server at a shared schedule cache. Call before any
+    /// stream starts; schedules already cached under other servers' seeds
+    /// are invisible to this one, so sharing is behavior-neutral.
+    pub fn share_schedule_cache(&mut self, cache: ScheduleCache) {
+        self.schedule_cache = cache;
     }
 
     /// Tears the server down, harvesting its reusable storage for the
@@ -370,6 +463,7 @@ impl RealServer {
             payload_pool: self.payload_pool,
             ctrl_buf: self.ctrl_buf,
             pending_reports: self.core.pending_reports,
+            schedules: self.schedule_cache,
         }
     }
 
@@ -628,7 +722,7 @@ impl RealServer {
         };
 
         let mut schedules: Vec<Option<Arc<FrameSchedule>>> = vec![None; clip.ladder.len()];
-        let schedule = Arc::new(self.schedule_for(&clip, initial));
+        let schedule = self.schedule_for(&clip, initial);
         schedules[initial] = Some(Arc::clone(&schedule));
         self.stream = Some(ActiveStream {
             transport: spec.kind,
@@ -664,14 +758,15 @@ impl RealServer {
         });
     }
 
-    fn schedule_for(&self, clip: &Clip, rung: usize) -> FrameSchedule {
+    fn schedule_for(&self, clip: &Clip, rung: usize) -> Arc<FrameSchedule> {
         let enc = &clip.ladder.rungs()[rung];
         let seed = self
             .clip_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(hash_name(&clip.name))
             .wrapping_add(rung as u64);
-        FrameSchedule::generate(enc, clip.content, clip.duration, seed)
+        self.schedule_cache
+            .get_or_generate(enc, clip.content, clip.duration, seed)
     }
 
     fn pump_data(&mut self, now: SimTime, stack: &mut Stack) -> usize {
@@ -943,7 +1038,7 @@ impl RealServer {
         stream.schedule = match &stream.schedules[rung] {
             Some(s) => Arc::clone(s),
             None => {
-                let s = Arc::new(self.schedule_for(&stream.clip, rung));
+                let s = self.schedule_for(&stream.clip, rung);
                 stream.schedules[rung] = Some(Arc::clone(&s));
                 s
             }

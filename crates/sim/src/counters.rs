@@ -53,11 +53,18 @@ pub enum Counter {
     Failovers,
     /// SETUPs refused by a replica at capacity (453 Busy).
     AdmissionRejects,
+    /// Delay-line head (re-)registrations with the arrival wheel — the
+    /// scheduler work the per-link delay lines still do.
+    DelaylineHeadUpdates,
+    /// Packets that joined a busy delay line with no scheduler
+    /// interaction — the per-packet wheel events the delay lines
+    /// eliminated.
+    DelaylineBypassPackets,
 }
 
 impl Counter {
     /// Number of counters in the registry.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// Every counter, in registry (serialization) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -80,6 +87,8 @@ impl Counter {
         Counter::GatewayRedirects,
         Counter::Failovers,
         Counter::AdmissionRejects,
+        Counter::DelaylineHeadUpdates,
+        Counter::DelaylineBypassPackets,
     ];
 
     /// Stable snake_case name used in the campaign summary, bench JSON,
@@ -105,6 +114,8 @@ impl Counter {
             Counter::GatewayRedirects => "gateway_redirects",
             Counter::Failovers => "failovers",
             Counter::AdmissionRejects => "admission_rejects",
+            Counter::DelaylineHeadUpdates => "delayline_head_updates",
+            Counter::DelaylineBypassPackets => "delayline_bypass_packets",
         }
     }
 }

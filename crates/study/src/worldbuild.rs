@@ -14,7 +14,7 @@ use rv_tracer::{
     client_data_tcp_config, ports, ClientConfig, FaultLinkMap, GatewayEndpoint, SessionWorld,
     TracerClient, WorldScratch,
 };
-use rv_transport::{Segment, Stack, TcpConfig};
+use rv_transport::{Stack, TcpConfig};
 
 use crate::gateway::{route as gateway_route, GatewaySpec};
 use crate::geography::{path_profile, zone};
@@ -205,10 +205,14 @@ pub fn build_session_world_gw(
     }
     let gw_plan = gateway.map(|g| gateway_route(g, zone(site.country), zone(user.country)));
 
-    let net = match scratch.net.take() {
-        Some(old) => b.build_with_payload_into(&mut rng.fork(1), old),
-        None => b.build_with_payload::<Segment>(&mut rng.fork(1)),
-    };
+    // Routing for this shape is computed once per worker and replayed
+    // into every session (`TopologyPrototype` asserts the structural
+    // match, so a cache hit is bit-identical to a fresh BFS by
+    // construction). Link parameters and per-link RNG forks stay fully
+    // per-session — only the route derivation is shared.
+    let proto = scratch.topo.get_or_build(&b);
+    let old = scratch.net.take().unwrap_or_default();
+    let net = b.build_from_prototype_into(&mut rng.fork(1), old, &proto);
 
     // --- stacks & sockets ---
     let mut client_stack = Stack::new(HostId(0));
@@ -280,7 +284,7 @@ pub fn build_session_world_gw(
                 background_sessions: plan.loads[usize::from(k)],
                 ..ServerConfig::default()
             };
-            let srv = RealServer::new(
+            let mut srv = RealServer::new(
                 cfg,
                 cat,
                 r_ctrl,
@@ -288,6 +292,10 @@ pub fn build_session_world_gw(
                 r_udp,
                 session_seed ^ 0x5EED ^ (u64::from(k) << 32),
             );
+            // Replicas generate under their own seeds, so sharing the
+            // worker-wide cache is behavior-neutral (exact-input keys);
+            // it just lets a failover re-stream hit warm schedules.
+            srv.share_schedule_cache(real_server.schedule_cache());
             replicas.push((stack, srv));
         }
     }

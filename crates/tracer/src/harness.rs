@@ -110,6 +110,13 @@ pub struct WorldScratch {
     pub server: Option<ServerScratch>,
     /// Buffers harvested from the retired client.
     pub client: Option<ClientScratch>,
+    /// Worker-lifetime topology prototypes: each distinct graph shape's
+    /// BFS route set, computed once and cloned into every session that
+    /// builds it. Unlike the fields above this is a read-shared cache,
+    /// not recycled capacity — but the same bit-identity rule holds
+    /// (routes are a pure function of structure; see
+    /// [`rv_net::TopologyPrototype`]).
+    pub topo: rv_net::PrototypeCache,
 }
 
 /// One complete streaming world: network, two stacks, server, client.
@@ -371,6 +378,9 @@ impl SessionWorld {
         c.add(Counter::DropsOutage, links.dropped_outage);
         c.add(Counter::PacketsDelivered, links.delivered);
         c.add(Counter::WheelCascades, self.net.wheel_cascades());
+        let (head_updates, bypass) = self.net.delayline_stats();
+        c.add(Counter::DelaylineHeadUpdates, head_updates);
+        c.add(Counter::DelaylineBypassPackets, bypass);
         let tcp_c = self.client_stack.total_tcp_stats();
         let mut tcp_s = self.server_stack.total_tcp_stats();
         for (stack, _) in &self.replicas {
